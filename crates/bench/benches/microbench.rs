@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks for the computational kernels behind every
+//! table and figure: model forward/backward (all tables), heterogeneous
+//! aggregation (Table II), DDR gradient (Table IV/V, Fig. 8), RESKD round
+//! (Table IV), ranking evaluation (every metric column), and a full
+//! federated round + epoch (Fig. 7 / Table III).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hf_dataset::{SplitDataset, SyntheticConfig, Tier};
+use hf_models::ncf::NcfEngine;
+use hf_models::ModelKind;
+use hf_tensor::rng::{stream, SeedStream};
+use hf_tensor::{init, Matrix};
+use hetefedrec_core::config::{KdConfig, TrainConfig};
+use hetefedrec_core::reskd::distill_round;
+use hetefedrec_core::{Ablation, Strategy, Trainer};
+
+fn bench_model_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model");
+    for dim in [8usize, 32, 128] {
+        let mut rng = stream(1, SeedStream::ParamInit);
+        let engine = NcfEngine::new(dim, &mut rng);
+        let mut ws = engine.workspace();
+        let u = init::normal_vec(dim, 0.3, &mut rng);
+        let v = init::normal_vec(dim, 0.3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("ncf_forward", dim), &dim, |b, _| {
+            b.iter(|| engine.forward(black_box(&u), black_box(&v), &mut ws))
+        });
+        let mut tg = engine.ffn().zeros_like();
+        let mut du = vec![0.0; dim];
+        let mut dv = vec![0.0; dim];
+        group.bench_with_input(BenchmarkId::new("ncf_fwd_bwd", dim), &dim, |b, _| {
+            b.iter(|| {
+                let logit = engine.forward(black_box(&u), black_box(&v), &mut ws);
+                engine.backward(logit - 1.0, &mut ws, &mut tg, &mut du, &mut dv);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ddr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddr");
+    for (rows, dim) in [(128usize, 32usize), (256, 32), (256, 128)] {
+        let mut rng = stream(2, SeedStream::ParamInit);
+        let z = init::normal(rows, dim, 1.0, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("loss_grad", format!("{rows}x{dim}")),
+            &z,
+            |b, z| b.iter(|| hetefedrec_core::ddr::decorrelation_loss_grad(black_box(z))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reskd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reskd");
+    group.sample_size(20);
+    for items in [32usize, 128] {
+        let mut rng = stream(3, SeedStream::ParamInit);
+        let tables = [
+            init::embedding_normal(2000, 8, &mut rng),
+            init::embedding_normal(2000, 16, &mut rng),
+            init::embedding_normal(2000, 32, &mut rng),
+        ];
+        let kd = KdConfig { items, lr: 1.0, steps: 1 };
+        group.bench_with_input(BenchmarkId::new("distill_round", items), &items, |b, _| {
+            b.iter_batched(
+                || (tables.clone(), stream(4, SeedStream::Distill)),
+                |(mut t, mut rng)| distill_round(&mut t, &kd, &mut rng),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigen");
+    for n in [32usize, 128] {
+        let mut rng = stream(5, SeedStream::ParamInit);
+        let x = init::normal(512, n, 1.0, &mut rng);
+        let cov = hf_tensor::stats::covariance(&x);
+        group.bench_with_input(BenchmarkId::new("jacobi", n), &cov, |b, cov| {
+            b.iter(|| hf_tensor::eigen::symmetric_eigenvalues(black_box(cov), 1e-7, 64))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval");
+    let scores: Vec<f32> = (0..4000).map(|i| ((i * 37) % 997) as f32 / 997.0).collect();
+    let exclude: Vec<u32> = (0..200u32).map(|i| i * 17).collect();
+    group.bench_function("topk_4000_items", |b| {
+        b.iter(|| hf_metrics::top_k_excluding(black_box(&scores), 20, black_box(&exclude)))
+    });
+    group.finish();
+}
+
+fn bench_aggregation_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor");
+    let mut rng = stream(6, SeedStream::ParamInit);
+    let a = init::normal(256, 128, 1.0, &mut rng);
+    group.bench_function("gram_256x128", |b| {
+        b.iter(|| black_box(&a).gram())
+    });
+    let m = Matrix::from_fn(128, 128, |r, c| ((r * 131 + c * 17) as f32).sin());
+    group.bench_function("matmul_128", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&m)))
+    });
+    group.finish();
+}
+
+fn bench_federated_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("federated");
+    group.sample_size(10);
+    let data = SyntheticConfig::tiny().generate(9);
+    let split = SplitDataset::paper_split(&data, 9);
+    for (label, strategy) in [
+        ("epoch_hetefedrec", Strategy::HeteFedRec(Ablation::FULL)),
+        ("epoch_all_small", Strategy::AllSmall),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+                    cfg.threads = 1;
+                    Trainer::new(cfg, strategy, split.clone())
+                },
+                |mut t| t.run_epoch(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.bench_function("evaluate_population", |b| {
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.threads = 1;
+        let mut t = Trainer::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split.clone());
+        t.run_epoch();
+        b.iter(|| t.evaluate())
+    });
+    let _ = Tier::Small; // keep the Tier import meaningful for readers
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_kernels,
+    bench_ddr,
+    bench_reskd,
+    bench_eigen,
+    bench_topk,
+    bench_aggregation_matrix,
+    bench_federated_round
+);
+criterion_main!(benches);

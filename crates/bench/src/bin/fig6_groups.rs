@@ -1,0 +1,45 @@
+//! **Fig. 6** — NDCG@20 broken down by client data-size group
+//! (`Us`/`Um`/`Ul`) for every strategy.
+//!
+//! ```text
+//! cargo run --release -p hf-bench --bin fig6_groups -- --scale small --dataset all
+//! ```
+
+use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions};
+use hf_dataset::DatasetProfile;
+use hetefedrec_core::{run_experiment, Strategy};
+
+fn main() {
+    let opts = CliOptions::parse(&DatasetProfile::ALL);
+    println!(
+        "Fig. 6: per-group NDCG@20 (scale={}, seed={})\n",
+        opts.scale.name, opts.seed
+    );
+
+    for model in &opts.models {
+        for profile in &opts.datasets {
+            println!("== {} on {} ==", model.name(), profile.name());
+            let header = format!(
+                "{:<22} {:>9} {:>9} {:>9} {:>9}",
+                "Method", "Us", "Um", "Ul", "overall"
+            );
+            println!("{header}");
+            println!("{}", rule(&header));
+            let split = make_split(*profile, opts.scale, opts.seed);
+            let cfg = make_config_with(&opts, *model, *profile);
+            for strategy in Strategy::ALL {
+                let result = run_experiment(&cfg, strategy, &split);
+                let g = &result.final_eval.per_group;
+                println!(
+                    "{:<22} {:>9} {:>9} {:>9} {:>9}",
+                    result.strategy,
+                    fmt5(g[0].ndcg),
+                    fmt5(g[1].ndcg),
+                    fmt5(g[2].ndcg),
+                    fmt5(result.final_eval.overall.ndcg),
+                );
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! **Fig. 7** — convergence curves (NDCG@20 per epoch) for All Small,
+//! All Large, and HeteFedRec on ML.
+//!
+//! ```text
+//! cargo run --release -p hf-bench --bin fig7_convergence -- --scale small
+//! ```
+
+use hf_bench::{make_split, CliOptions};
+use hf_dataset::DatasetProfile;
+use hetefedrec_core::{run_experiment, Ablation, Strategy};
+
+fn main() {
+    let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
+    println!(
+        "Fig. 7: convergence (NDCG@20 per epoch, scale={}, seed={})\n",
+        opts.scale.name, opts.seed
+    );
+
+    let strategies = [
+        Strategy::AllSmall,
+        Strategy::AllLarge,
+        Strategy::ClusteredFedRec,
+        Strategy::HeteFedRec(Ablation::FULL),
+    ];
+
+    for model in &opts.models {
+        for profile in &opts.datasets {
+            println!("== {} on {} ==", model.name(), profile.name());
+            let split = make_split(*profile, opts.scale, opts.seed);
+            let cfg = hf_bench::make_config_with(&opts, *model, *profile);
+
+            let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+            for strategy in strategies {
+                let result = run_experiment(&cfg, strategy, &split);
+                let curve: Vec<f64> =
+                    result.history.epochs.iter().map(|e| e.eval.overall.ndcg).collect();
+                curves.push((result.strategy, curve));
+            }
+
+            print!("{:<22}", "epoch");
+            for e in 1..=cfg.epochs {
+                print!(" {e:>7}");
+            }
+            println!();
+            for (name, curve) in &curves {
+                print!("{name:<22}");
+                for v in curve {
+                    print!(" {v:>7.4}");
+                }
+                println!();
+            }
+            println!();
+        }
+    }
+}

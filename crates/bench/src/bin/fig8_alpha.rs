@@ -1,0 +1,41 @@
+//! **Fig. 8** — NDCG@20 of HeteFedRec as the DDR weight α sweeps
+//! 0.5 → 2.0 on ML.
+//!
+//! ```text
+//! cargo run --release -p hf-bench --bin fig8_alpha -- --scale small
+//! ```
+
+use hf_bench::{fmt5, make_config_with, make_split, CliOptions};
+use hf_dataset::DatasetProfile;
+use hetefedrec_core::{run_experiment, Ablation, Strategy};
+
+fn main() {
+    let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
+    println!(
+        "Fig. 8: NDCG@20 vs DDR weight alpha (scale={}, seed={})\n",
+        opts.scale.name, opts.seed
+    );
+
+    let alphas = [0.5f32, 0.75, 1.0, 1.5, 2.0];
+
+    for model in &opts.models {
+        for profile in &opts.datasets {
+            println!("== {} on {} ==", model.name(), profile.name());
+            let split = make_split(*profile, opts.scale, opts.seed);
+            let mut points = Vec::new();
+            for &alpha in &alphas {
+                let mut cfg = make_config_with(&opts, *model, *profile);
+                cfg.alpha = alpha;
+                let r = run_experiment(&cfg, Strategy::HeteFedRec(Ablation::FULL), &split);
+                points.push((alpha, r.final_eval.overall.ndcg));
+            }
+            let peak =
+                points.iter().cloned().fold(f64::MIN, |m, (_, v)| m.max(v)).max(1e-12);
+            for (alpha, ndcg) in &points {
+                let bar = ((ndcg / peak) * 40.0).round() as usize;
+                println!("alpha {alpha:<5} {} |{}", fmt5(*ndcg), "#".repeat(bar));
+            }
+            println!();
+        }
+    }
+}

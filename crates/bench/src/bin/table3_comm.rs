@@ -1,0 +1,73 @@
+//! **Table III** — one-time transmission cost per client type, comparing
+//! All Small, All Large, and HeteFedRec, plus the measured sparse-upload
+//! sizes from a real training round.
+//!
+//! ```text
+//! cargo run --release -p hf-bench --bin table3_comm -- --scale small --dataset ml
+//! ```
+
+use hf_bench::{make_config_with, make_split, rule, CliOptions};
+use hf_dataset::{DatasetProfile, Tier};
+use hf_fedsim::comm::RoundCost;
+use hf_models::{paper_predictor_dims, Ffn};
+use hf_tensor::rng::{stream, SeedStream};
+use hetefedrec_core::{Ablation, Strategy, Trainer};
+
+fn main() {
+    let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
+    println!(
+        "Table III: one-time transmission cost per client type (scale={}, seed={})\n",
+        opts.scale.name, opts.seed
+    );
+
+    for profile in &opts.datasets {
+        let model = opts.models[0];
+        let split = make_split(*profile, opts.scale, opts.seed);
+        let cfg = make_config_with(&opts, model, *profile);
+        let num_items = split.num_items();
+        let dims = cfg.dims;
+
+        // Predictor sizes at each tier width.
+        let mut rng = stream(0, SeedStream::ParamInit);
+        let mut theta_size = |tier: Tier| {
+            Ffn::new(&paper_predictor_dims(dims.dim(tier)), &mut rng).num_params()
+        };
+        let thetas: Vec<usize> = Tier::ALL.iter().map(|&t| theta_size(t)).collect();
+
+        println!("== {} ({} items, dims {}) ==", profile.name(), num_items, dims.label());
+        let header = format!(
+            "{:<6} {:>22} {:>22} {:>26}",
+            "Client", "All Small (params)", "All Large (params)", "HeteFedRec (params)"
+        );
+        println!("{header}");
+        println!("{}", rule(&header));
+        for (i, tier) in Tier::ALL.iter().enumerate() {
+            let all_small = RoundCost::dense(num_items, dims.dim(Tier::Small), &thetas[..1]);
+            let all_large =
+                RoundCost::dense(num_items, dims.dim(Tier::Large), &thetas[2..3]);
+            let hete = RoundCost::dense(num_items, dims.dim(*tier), &thetas[..=i]);
+            println!(
+                "{:<6} {:>22} {:>22} {:>26}",
+                tier.label(),
+                format!("{} = V+{}", all_small.total(), all_small.theta_params),
+                format!("{} = V+{}", all_large.total(), all_large.theta_params),
+                format!("{} = V+{}", hete.total(), hete.theta_params),
+            );
+        }
+
+        // Measured traffic over one epoch of actual training.
+        let mut trainer =
+            Trainer::new(cfg.clone(), Strategy::HeteFedRec(Ablation::FULL), split.clone());
+        trainer.run_epoch();
+        let ledger = trainer.ledger();
+        println!(
+            "\nMeasured (1 epoch of HeteFedRec): mean download {:.1} KiB (dense),\n\
+             mean upload {:.1} KiB (sparse wire format), {} uploads / {} downloads",
+            ledger.mean_download() / 1024.0,
+            ledger.mean_upload() / 1024.0,
+            ledger.uploads,
+            ledger.downloads,
+        );
+        println!();
+    }
+}

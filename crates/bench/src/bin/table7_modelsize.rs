@@ -1,0 +1,50 @@
+//! **Table VII** — NDCG@20 of All Small / All Large / HeteFedRec under the
+//! three model-size settings {2,4,8}, {8,16,32}, {32,64,128} on ML.
+//!
+//! ```text
+//! cargo run --release -p hf-bench --bin table7_modelsize -- --scale small
+//! ```
+
+use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions};
+use hf_dataset::DatasetProfile;
+use hetefedrec_core::{run_experiment, Ablation, Strategy, TierDims};
+
+fn main() {
+    let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
+    println!(
+        "Table VII: model-size settings (NDCG@20, scale={}, seed={})\n",
+        opts.scale.name, opts.seed
+    );
+
+    let settings =
+        [TierDims::rq5_tiny(), TierDims::paper_small(), TierDims::paper_large()];
+
+    for model in &opts.models {
+        for profile in &opts.datasets {
+            println!("== {} on {} ==", model.name(), profile.name());
+            let header = format!(
+                "{:<14} {:>10} {:>10} {:>12}",
+                "Dims", "All Small", "All Large", "HeteFedRec"
+            );
+            println!("{header}");
+            println!("{}", rule(&header));
+            let split = make_split(*profile, opts.scale, opts.seed);
+            for dims in settings {
+                let mut cfg = make_config_with(&opts, *model, *profile);
+                cfg.dims = dims;
+                let small = run_experiment(&cfg, Strategy::AllSmall, &split);
+                let large = run_experiment(&cfg, Strategy::AllLarge, &split);
+                let hete =
+                    run_experiment(&cfg, Strategy::HeteFedRec(Ablation::FULL), &split);
+                println!(
+                    "{:<14} {:>10} {:>10} {:>12}",
+                    dims.label(),
+                    fmt5(small.final_eval.overall.ndcg),
+                    fmt5(large.final_eval.overall.ndcg),
+                    fmt5(hete.final_eval.overall.ndcg),
+                );
+            }
+            println!();
+        }
+    }
+}

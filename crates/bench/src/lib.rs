@@ -1,0 +1,271 @@
+//! # hf-bench
+//!
+//! Experiment harness: one runnable binary per table and figure of the
+//! paper (see `DESIGN.md` §4 for the full index) plus Criterion
+//! micro-benchmarks.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale tiny|small|medium|paper` — dataset fraction and epoch count
+//!   (default `tiny`, which completes in well under a minute; `paper` is
+//!   the full Table I scale).
+//! * `--model ncf|lightgcn|both` — base recommender (default `both`).
+//! * `--dataset ml|anime|douban|all` — profile (default depends on the
+//!   experiment: figures that the paper shows only for ML default to
+//!   `ml`).
+//! * `--seed <u64>` — master seed (default 42).
+//!
+//! Output is the paper's table/figure re-rendered as text, with the
+//! measured values where the paper's numbers would be.
+
+#![warn(missing_docs)]
+
+use hf_dataset::{DatasetProfile, SplitDataset};
+use hf_models::ModelKind;
+use hetefedrec_core::config::TrainConfig;
+
+/// Preset experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunScale {
+    /// Human name.
+    pub name: &'static str,
+    /// Fraction of the paper's users/items to generate.
+    pub fraction: f64,
+    /// Global training epochs.
+    pub epochs: usize,
+}
+
+impl RunScale {
+    /// ~2% of paper scale; seconds per run. CI/smoke default.
+    pub const TINY: RunScale = RunScale { name: "tiny", fraction: 0.02, epochs: 4 };
+    /// ~8% of paper scale; a couple of minutes per experiment table.
+    pub const SMALL: RunScale = RunScale { name: "small", fraction: 0.08, epochs: 8 };
+    /// ~25% of paper scale.
+    pub const MEDIUM: RunScale = RunScale { name: "medium", fraction: 0.25, epochs: 12 };
+    /// Full Table I scale with the paper's 20 epochs.
+    pub const PAPER: RunScale = RunScale { name: "paper", fraction: 1.0, epochs: 20 };
+
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<RunScale> {
+        match s {
+            "tiny" => Some(Self::TINY),
+            "small" => Some(Self::SMALL),
+            "medium" => Some(Self::MEDIUM),
+            "paper" => Some(Self::PAPER),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed common CLI options.
+#[derive(Clone, Debug)]
+pub struct CliOptions {
+    /// Experiment scale.
+    pub scale: RunScale,
+    /// Base models to run.
+    pub models: Vec<ModelKind>,
+    /// Dataset profiles to run.
+    pub datasets: Vec<DatasetProfile>,
+    /// Master seed.
+    pub seed: u64,
+    /// Raw `--set key=value` overrides applied to every config.
+    pub overrides: Vec<(String, String)>,
+}
+
+impl CliOptions {
+    /// Parses `std::env::args`, with `default_datasets` used when the user
+    /// passes no `--dataset`.
+    ///
+    /// Exits the process with a usage message on malformed input.
+    pub fn parse(default_datasets: &[DatasetProfile]) -> CliOptions {
+        let mut scale = RunScale::TINY;
+        let mut models = vec![ModelKind::Ncf, ModelKind::LightGcn];
+        let mut datasets = default_datasets.to_vec();
+        let mut seed = 42u64;
+        let mut overrides = Vec::new();
+
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let (flag, value) = (args[i].as_str(), args.get(i + 1));
+            let value = || -> &str {
+                value.map(String::as_str).unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+            };
+            match flag {
+                "--scale" => {
+                    scale = RunScale::parse(value())
+                        .unwrap_or_else(|| usage("unknown scale"));
+                }
+                "--model" => {
+                    models = match value() {
+                        "ncf" => vec![ModelKind::Ncf],
+                        "lightgcn" => vec![ModelKind::LightGcn],
+                        "both" => vec![ModelKind::Ncf, ModelKind::LightGcn],
+                        _ => usage("unknown model"),
+                    };
+                }
+                "--dataset" => {
+                    datasets = match value() {
+                        "ml" => vec![DatasetProfile::MovieLens],
+                        "anime" => vec![DatasetProfile::Anime],
+                        "douban" => vec![DatasetProfile::Douban],
+                        "all" => DatasetProfile::ALL.to_vec(),
+                        _ => usage("unknown dataset"),
+                    };
+                }
+                "--seed" => {
+                    seed = value().parse().unwrap_or_else(|_| usage("seed must be a u64"));
+                }
+                "--set" => {
+                    let kv = value();
+                    let (k, v) = kv
+                        .split_once('=')
+                        .unwrap_or_else(|| usage("--set expects key=value"));
+                    overrides.push((k.to_string(), v.to_string()));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+            i += 2;
+        }
+        CliOptions { scale, models, datasets, seed, overrides }
+    }
+
+    /// Applies any `--set key=value` overrides to a configuration.
+    ///
+    /// Supported keys: `local_lr`, `user_lr`, `server_lr`, `alpha`,
+    /// `kd_lr`, `kd_items`, `kd_steps`, `epochs`, `local_epochs`,
+    /// `clients_per_round`, `negatives`, `item_agg_norm`
+    /// (`sum|mean|sqrt`), `server_opt` (`sgd|adam`), `udl_aux`
+    /// (auxiliary-task weight), `drop_prob`, `eval_k`, `ddr_max_rows`.
+    pub fn apply_overrides(&self, cfg: &mut TrainConfig) {
+        use hetefedrec_core::config::{ItemAggNorm, ServerOpt};
+        fn bad<T>(k: &str, v: &str) -> T {
+            usage(&format!("bad value for --set {k}={v}"))
+        }
+        for (k, v) in &self.overrides {
+            match k.as_str() {
+                "local_lr" => cfg.local_lr = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "user_lr" => cfg.user_lr = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "server_lr" => cfg.server_lr = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "alpha" => cfg.alpha = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "kd_lr" => cfg.kd.lr = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "kd_items" => cfg.kd.items = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "kd_steps" => cfg.kd.steps = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "epochs" => cfg.epochs = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "local_epochs" => cfg.local_epochs = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "clients_per_round" => {
+                    cfg.clients_per_round = v.parse().unwrap_or_else(|_| bad(k, v))
+                }
+                "negatives" => cfg.negatives = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "drop_prob" => cfg.drop_prob = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "eval_k" => cfg.eval_k = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "ddr_max_rows" => cfg.ddr_max_rows = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "udl_aux" => cfg.udl_aux_weight = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "item_agg_norm" => {
+                    cfg.item_agg_norm = match v.as_str() {
+                        "sum" => ItemAggNorm::Sum,
+                        "mean" => ItemAggNorm::Mean,
+                        "sqrt" => ItemAggNorm::SqrtCount,
+                        _ => bad(k, v),
+                    }
+                }
+                "server_opt" => {
+                    cfg.server_opt = match v.as_str() {
+                        "sgd" => ServerOpt::SgdSum,
+                        "adam" => ServerOpt::Adam,
+                        _ => bad(k, v),
+                    }
+                }
+                _ => usage(&format!("unknown --set key {k}")),
+            }
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: <bin> [--scale tiny|small|medium|paper] [--model ncf|lightgcn|both]\n\
+         \x20             [--dataset ml|anime|douban|all] [--seed <u64>]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 })
+}
+
+/// Generates and splits a profile at the given scale, deterministically.
+pub fn make_split(profile: DatasetProfile, scale: RunScale, seed: u64) -> SplitDataset {
+    let data = profile.config_scaled(scale.fraction).generate(seed);
+    SplitDataset::paper_split(&data, seed)
+}
+
+/// Paper-default training configuration at this scale (threads matched to
+/// the machine, epochs from the scale preset).
+pub fn make_config(
+    model: ModelKind,
+    profile: DatasetProfile,
+    scale: RunScale,
+    seed: u64,
+) -> TrainConfig {
+    let mut cfg = TrainConfig::paper_defaults(model, profile);
+    cfg.epochs = scale.epochs;
+    cfg.seed = seed;
+    cfg.threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    cfg
+}
+
+/// [`make_config`] plus the CLI's `--set` overrides.
+pub fn make_config_with(opts: &CliOptions, model: ModelKind, profile: DatasetProfile) -> TrainConfig {
+    let mut cfg = make_config(model, profile, opts.scale, opts.seed);
+    opts.apply_overrides(&mut cfg);
+    cfg
+}
+
+/// Renders a horizontal rule sized to a header line.
+pub fn rule(header: &str) -> String {
+    "-".repeat(header.chars().count())
+}
+
+/// Formats a metric to the paper's 5-decimal style.
+pub fn fmt5(x: f64) -> String {
+    format!("{x:.5}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(RunScale::parse("tiny"), Some(RunScale::TINY));
+        assert_eq!(RunScale::parse("paper"), Some(RunScale::PAPER));
+        assert_eq!(RunScale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn make_split_is_deterministic() {
+        let a = make_split(DatasetProfile::MovieLens, RunScale::TINY, 1);
+        let b = make_split(DatasetProfile::MovieLens, RunScale::TINY, 1);
+        assert_eq!(a.num_users(), b.num_users());
+        assert_eq!(a.user(0).train, b.user(0).train);
+    }
+
+    #[test]
+    fn make_config_applies_scale() {
+        let cfg = make_config(
+            ModelKind::Ncf,
+            DatasetProfile::MovieLens,
+            RunScale::SMALL,
+            7,
+        );
+        assert_eq!(cfg.epochs, RunScale::SMALL.epochs);
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.threads >= 1);
+    }
+
+    #[test]
+    fn fmt5_matches_paper_style() {
+        assert_eq!(fmt5(0.026_62), "0.02662");
+    }
+}

@@ -1,0 +1,252 @@
+//! Experiment configuration.
+
+use hf_dataset::{DatasetProfile, DivisionRatio, Tier};
+use hf_models::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// The three tier embedding dimensions `{Ns, Nm, Nl}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierDims {
+    dims: [usize; 3],
+}
+
+impl TierDims {
+    /// Creates tier dimensions, enforcing `Ns < Nm < Nl` (paper §IV-A).
+    pub fn new(small: usize, medium: usize, large: usize) -> Self {
+        assert!(
+            small > 0 && small < medium && medium < large,
+            "tier dims must satisfy 0 < Ns < Nm < Nl, got {small},{medium},{large}"
+        );
+        Self { dims: [small, medium, large] }
+    }
+
+    /// The paper's ML/Anime setting `{8, 16, 32}`.
+    pub fn paper_small() -> Self {
+        Self::new(8, 16, 32)
+    }
+
+    /// The paper's Douban setting `{32, 64, 128}`.
+    pub fn paper_large() -> Self {
+        Self::new(32, 64, 128)
+    }
+
+    /// The RQ5 tiny setting `{2, 4, 8}`.
+    pub fn rq5_tiny() -> Self {
+        Self::new(2, 4, 8)
+    }
+
+    /// Dimension of one tier.
+    pub fn dim(&self, tier: Tier) -> usize {
+        self.dims[tier.index()]
+    }
+
+    /// All three dimensions, ascending.
+    pub fn as_array(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// The widest dimension (`Nl`).
+    pub fn largest(&self) -> usize {
+        self.dims[2]
+    }
+
+    /// Paper-style label, e.g. `{8,16,32}`.
+    pub fn label(&self) -> String {
+        format!("{{{},{},{}}}", self.dims[0], self.dims[1], self.dims[2])
+    }
+}
+
+/// Relation-based ensemble self-distillation settings (Eq. 16–17).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct KdConfig {
+    /// Items sampled per distillation step (`|V_kd|`).
+    pub items: usize,
+    /// Server-side gradient-step size on the alignment loss.
+    pub lr: f32,
+    /// Gradient steps per aggregation round.
+    pub steps: usize,
+}
+
+impl Default for KdConfig {
+    fn default() -> Self {
+        Self { items: 128, lr: 1.0, steps: 1 }
+    }
+}
+
+/// How the server folds aggregated deltas into the public parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerOpt {
+    /// Eq. 9 literal: `V -= server_lr * Σ Δ` (deltas already carry the
+    /// local learning rate, so `server_lr = 1` reproduces summed local
+    /// progress). Predictors average rather than sum — see DESIGN.md §5.
+    SgdSum,
+    /// Server-side Adam over the summed deltas (per embedding row and per
+    /// predictor tensor) — the ablation alternative.
+    Adam,
+}
+
+/// Per-row normalisation of the aggregated item-embedding delta.
+///
+/// Eq. 8's plain sum lets a popular item accumulate one full local step
+/// from *every* client that touched it each round, which overdrives head
+/// items and destabilises training (visible as post-peak degradation in
+/// the convergence curves). Normalising by the contributor count per row
+/// restores stability; `SqrtCount` is the compromise that keeps some
+/// popularity-proportional progress. The server-optimiser ablation bench
+/// compares all three.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ItemAggNorm {
+    /// Eq. 8 literal: plain sum.
+    Sum,
+    /// Divide each row's summed delta by its contributor count.
+    Mean,
+    /// Divide each row's summed delta by sqrt(contributor count).
+    SqrtCount,
+}
+
+/// Full configuration of one federated training run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Base recommendation model.
+    pub model: ModelKind,
+    /// Tier embedding dimensions.
+    pub dims: TierDims,
+    /// Client division ratio over (small, medium, large).
+    pub ratio: DivisionRatio,
+    /// Global training epochs (each epoch traverses all clients once).
+    pub epochs: usize,
+    /// Clients per round (paper: 256).
+    pub clients_per_round: usize,
+    /// Local passes over a client's data per selection (paper's "local
+    /// epochs").
+    pub local_epochs: usize,
+    /// Client-side learning rate for local public-parameter SGD.
+    pub local_lr: f32,
+    /// Client-side Adam learning rate for the private user embedding
+    /// (paper: Adam, 0.001 — we default higher because each client is
+    /// selected only once per epoch).
+    pub user_lr: f32,
+    /// Server application of aggregated updates.
+    pub server_opt: ServerOpt,
+    /// Per-row normalisation of aggregated item deltas.
+    pub item_agg_norm: ItemAggNorm,
+    /// Server learning-rate scale on summed item deltas.
+    pub server_lr: f32,
+    /// Negatives per positive (paper: 4).
+    pub negatives: usize,
+    /// DDR weight α (Eq. 14; Fig. 8 sweeps 0.5–2.0).
+    pub alpha: f32,
+    /// Weight of each *auxiliary* prefix task in the UDL loss (the
+    /// client's own-tier task always has weight 1). Eq. 11 sums tasks
+    /// unweighted (`= 1.0`); damping the auxiliary tasks keeps the
+    /// effective step size on shared prefix dimensions comparable to
+    /// single-task clients under per-sample SGD, and bounds how much an
+    /// over-fit large client can perturb the small tier's objective. The
+    /// ablation bench compares weightings.
+    pub udl_aux_weight: f32,
+    /// Row cap for the DDR correlation computation (bounds client cost).
+    pub ddr_max_rows: usize,
+    /// Distillation settings.
+    pub kd: KdConfig,
+    /// Ranking cutoff (paper: 20).
+    pub eval_k: usize,
+    /// Worker threads for intra-round parallelism.
+    pub threads: usize,
+    /// Master experiment seed.
+    pub seed: u64,
+    /// Client upload drop probability (0 = paper setting).
+    pub drop_prob: f64,
+}
+
+impl TrainConfig {
+    /// Paper-default hyper-parameters for a dataset profile (§V-D), with
+    /// epochs left for the caller to choose.
+    pub fn paper_defaults(model: ModelKind, profile: DatasetProfile) -> Self {
+        let [s, m, l] = profile.paper_dims();
+        Self {
+            model,
+            dims: TierDims::new(s, m, l),
+            ratio: DivisionRatio::PAPER_DEFAULT,
+            epochs: 20,
+            clients_per_round: 256,
+            local_epochs: 2,
+            local_lr: 0.05,
+            user_lr: 0.01,
+            server_opt: ServerOpt::SgdSum,
+            item_agg_norm: ItemAggNorm::SqrtCount,
+            server_lr: 2.0,
+            negatives: 4,
+            alpha: 1.0,
+            udl_aux_weight: 0.3,
+            ddr_max_rows: 256,
+            kd: KdConfig::default(),
+            eval_k: 20,
+            threads: 2,
+            seed: 42,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// A fast configuration for unit tests: tiny tiers, few epochs.
+    pub fn test_default(model: ModelKind) -> Self {
+        Self {
+            model,
+            dims: TierDims::new(4, 8, 16),
+            ratio: DivisionRatio::PAPER_DEFAULT,
+            epochs: 2,
+            clients_per_round: 32,
+            local_epochs: 1,
+            local_lr: 0.05,
+            user_lr: 0.01,
+            server_opt: ServerOpt::SgdSum,
+            item_agg_norm: ItemAggNorm::SqrtCount,
+            server_lr: 2.0,
+            negatives: 4,
+            alpha: 1.0,
+            udl_aux_weight: 0.3,
+            ddr_max_rows: 64,
+            kd: KdConfig { items: 16, lr: 0.05, steps: 1 },
+            eval_k: 10,
+            threads: 1,
+            seed: 7,
+            drop_prob: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_dims_accessors() {
+        let d = TierDims::paper_small();
+        assert_eq!(d.dim(Tier::Small), 8);
+        assert_eq!(d.dim(Tier::Medium), 16);
+        assert_eq!(d.dim(Tier::Large), 32);
+        assert_eq!(d.largest(), 32);
+        assert_eq!(d.label(), "{8,16,32}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tier dims")]
+    fn rejects_non_monotone_dims() {
+        let _ = TierDims::new(8, 8, 16);
+    }
+
+    #[test]
+    fn paper_defaults_follow_section_v_d() {
+        let cfg = TrainConfig::paper_defaults(ModelKind::Ncf, DatasetProfile::Douban);
+        assert_eq!(cfg.dims.as_array(), [32, 64, 128]);
+        assert_eq!(cfg.clients_per_round, 256);
+        assert_eq!(cfg.negatives, 4);
+        assert_eq!(cfg.eval_k, 20);
+        assert_eq!(cfg.ratio, DivisionRatio::PAPER_DEFAULT);
+    }
+
+    #[test]
+    fn ml_defaults_use_small_dims() {
+        let cfg = TrainConfig::paper_defaults(ModelKind::LightGcn, DatasetProfile::MovieLens);
+        assert_eq!(cfg.dims.as_array(), [8, 16, 32]);
+    }
+}

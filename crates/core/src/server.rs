@@ -1,0 +1,452 @@
+//! Central-server state: public parameters, padding-based heterogeneous
+//! aggregation (Eq. 7–10, 15), and the distillation hook.
+
+use crate::config::{ItemAggNorm, KdConfig, ServerOpt, TierDims, TrainConfig};
+use crate::reskd;
+use crate::strategy::Strategy;
+use hf_dataset::Tier;
+use hf_fedsim::transport::ClientUpdate;
+use hf_models::{paper_predictor_dims, Ffn, RowGradBuffer};
+use hf_tensor::adam::{Adam, AdamConfig, SparseRowAdam};
+use hf_tensor::rng::{stream, SeedStream};
+use hf_tensor::Matrix;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// The server's public parameters and optimiser state.
+#[derive(Clone, Debug)]
+pub struct ServerState {
+    num_items: usize,
+    dims: TierDims,
+    strategy: Strategy,
+    server_opt: ServerOpt,
+    item_agg_norm: ItemAggNorm,
+    server_lr: f32,
+    /// Tier item-embedding tables `{Vs, Vm, Vl}`, initialised from the
+    /// same point on shared prefixes (required for Eq. 10).
+    tables: [Matrix; 3],
+    /// Tier predictors `{Θs, Θm, Θl}`.
+    thetas: [Ffn; 3],
+    /// Server-Adam state (only allocated under [`ServerOpt::Adam`]).
+    item_adam: Option<Box<[SparseRowAdam; 3]>>,
+    theta_adam: Option<Box<[Adam; 3]>>,
+    /// Distillation RNG (its own stream so KD sampling never perturbs
+    /// anything else).
+    kd_rng: StdRng,
+}
+
+impl ServerState {
+    /// Initialises public parameters for `num_items` items.
+    ///
+    /// `Vl` is drawn Normal(0, 1/√Nl); `Vm` and `Vs` are its leading-column
+    /// copies so all tiers start "from the same point" (§IV-B). Each
+    /// tier's predictor is drawn independently at its own width.
+    pub fn new(num_items: usize, cfg: &TrainConfig, strategy: Strategy) -> Self {
+        let mut rng = stream(cfg.seed, SeedStream::ParamInit);
+        let dims = cfg.dims;
+        let large = hf_tensor::init::embedding_normal(num_items, dims.largest(), &mut rng);
+        let tables = [
+            large.prefix_columns(dims.dim(Tier::Small)),
+            large.prefix_columns(dims.dim(Tier::Medium)),
+            large,
+        ];
+        let thetas = [
+            Ffn::new(&paper_predictor_dims(dims.dim(Tier::Small)), &mut rng),
+            Ffn::new(&paper_predictor_dims(dims.dim(Tier::Medium)), &mut rng),
+            Ffn::new(&paper_predictor_dims(dims.dim(Tier::Large)), &mut rng),
+        ];
+        let (item_adam, theta_adam) = match cfg.server_opt {
+            ServerOpt::SgdSum => (None, None),
+            ServerOpt::Adam => {
+                let ac = AdamConfig::with_lr(cfg.server_lr);
+                (
+                    Some(Box::new([
+                        SparseRowAdam::new(num_items, dims.dim(Tier::Small), ac),
+                        SparseRowAdam::new(num_items, dims.dim(Tier::Medium), ac),
+                        SparseRowAdam::new(num_items, dims.dim(Tier::Large), ac),
+                    ])),
+                    Some(Box::new([
+                        Adam::new(thetas[0].num_params(), ac),
+                        Adam::new(thetas[1].num_params(), ac),
+                        Adam::new(thetas[2].num_params(), ac),
+                    ])),
+                )
+            }
+        };
+        Self {
+            num_items,
+            dims,
+            strategy,
+            server_opt: cfg.server_opt,
+            item_agg_norm: cfg.item_agg_norm,
+            server_lr: cfg.server_lr,
+            tables,
+            thetas,
+            item_adam,
+            theta_adam,
+            kd_rng: stream(cfg.seed, SeedStream::Distill),
+        }
+    }
+
+    /// Item universe size.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Tier dimensions.
+    pub fn dims(&self) -> TierDims {
+        self.dims
+    }
+
+    /// One tier's item-embedding table.
+    pub fn table(&self, tier: Tier) -> &Matrix {
+        &self.tables[tier.index()]
+    }
+
+    /// One tier's predictor.
+    pub fn theta(&self, tier: Tier) -> &Ffn {
+        &self.thetas[tier.index()]
+    }
+
+    /// The predictors a client of `tier` downloads: every tier at or below
+    /// its own, ascending (Algorithm 1: `Um` receives `Θs, Θm`; `Ul` all
+    /// three).
+    pub fn thetas_for(&self, tier: Tier, udl: bool) -> Vec<Ffn> {
+        if udl {
+            (0..=tier.index()).map(|i| self.thetas[i].clone()).collect()
+        } else {
+            vec![self.thetas[tier.index()].clone()]
+        }
+    }
+
+    /// Applies one round of client updates.
+    ///
+    /// `updates` carries each accepted client's model tier alongside its
+    /// payload. Item-embedding deltas aggregate by padded **sum** (Eq. 8):
+    /// every delta lands in a `Nl`-wide accumulator at its natural prefix,
+    /// and each tier table then absorbs the prefix slice matching its
+    /// width (which preserves `Vs = Vm[:Ns] = Vl[:Ns]`, Eq. 10). Under
+    /// [`Strategy::ClusteredFedRec`] the sum instead stays within each
+    /// tier. Predictor deltas are **averaged** per tier (DESIGN.md §5).
+    pub fn apply_round(&mut self, updates: &[(Tier, ClientUpdate)]) {
+        if updates.is_empty() {
+            return;
+        }
+        if self.strategy.aggregates_across_tiers() {
+            let mut acc = RowGradBuffer::new(self.dims.largest());
+            let mut counts: HashMap<u32, u32> = HashMap::new();
+            for (_, update) in updates {
+                for (row, delta) in &update.items.rows {
+                    acc.accumulate(*row, 1.0, delta);
+                    *counts.entry(*row).or_insert(0) += 1;
+                }
+            }
+            self.normalize_rows(&mut acc, &counts);
+            self.apply_item_deltas(&acc, &[Tier::Small, Tier::Medium, Tier::Large]);
+        } else {
+            // Clustered: aggregate within each tier only.
+            for tier in Tier::ALL {
+                let mut acc = RowGradBuffer::new(self.dims.dim(tier));
+                let mut counts: HashMap<u32, u32> = HashMap::new();
+                for (t, update) in updates {
+                    if *t == tier {
+                        for (row, delta) in &update.items.rows {
+                            acc.accumulate(*row, 1.0, delta);
+                            *counts.entry(*row).or_insert(0) += 1;
+                        }
+                    }
+                }
+                if !acc.is_empty() {
+                    self.normalize_rows(&mut acc, &counts);
+                    self.apply_item_deltas(&acc, &[tier]);
+                }
+            }
+        }
+        self.apply_theta_deltas(updates);
+    }
+
+    /// Applies the configured per-row normalisation to an aggregated
+    /// delta buffer (see [`ItemAggNorm`]).
+    fn normalize_rows(&self, acc: &mut RowGradBuffer, counts: &HashMap<u32, u32>) {
+        if self.item_agg_norm == ItemAggNorm::Sum {
+            return;
+        }
+        // RowGradBuffer has no in-place per-row scaling; rebuild via drain.
+        let dim = acc.dim();
+        let rows = acc.drain();
+        for (row, mut delta) in rows {
+            let n = counts.get(&row).copied().unwrap_or(1).max(1) as f32;
+            let scale = match self.item_agg_norm {
+                ItemAggNorm::Sum => 1.0,
+                ItemAggNorm::Mean => 1.0 / n,
+                ItemAggNorm::SqrtCount => 1.0 / n.sqrt(),
+            };
+            delta.iter_mut().for_each(|x| *x *= scale);
+            acc.accumulate(row, 1.0, &delta[..dim]);
+        }
+    }
+
+    /// Folds an aggregated delta buffer into the given tier tables at
+    /// their prefix widths.
+    fn apply_item_deltas(&mut self, acc: &RowGradBuffer, tiers: &[Tier]) {
+        for &tier in tiers {
+            let dim = self.dims.dim(tier).min(acc.dim());
+            let table = &mut self.tables[tier.index()];
+            match self.server_opt {
+                ServerOpt::SgdSum => {
+                    for (row, delta) in acc.iter() {
+                        table.row_axpy(row as usize, self.server_lr, &delta[..dim]);
+                    }
+                }
+                ServerOpt::Adam => {
+                    let adam = &mut self.item_adam.as_mut().expect("adam state")[tier.index()];
+                    let mut grad = vec![0.0f32; dim];
+                    for (row, delta) in acc.iter() {
+                        // Deltas are descent directions; Adam consumes
+                        // gradients, so negate.
+                        for (g, &d) in grad.iter_mut().zip(&delta[..dim]) {
+                            *g = -d;
+                        }
+                        adam.step_row(row as usize, table.row_prefix_mut(row as usize, dim), &grad);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Averages predictor deltas per tier and applies them (Eq. 15's
+    /// union structure arises client-side: only clients holding a tier's
+    /// predictor upload a delta for it).
+    fn apply_theta_deltas(&mut self, updates: &[(Tier, ClientUpdate)]) {
+        for tier in Tier::ALL {
+            let idx = tier.index();
+            let expected = self.thetas[idx].num_params();
+            let mut sum = vec![0.0f32; expected];
+            let mut count = 0usize;
+            for (_, update) in updates {
+                for (t, flat) in &update.thetas {
+                    if *t as usize == idx {
+                        assert_eq!(flat.len(), expected, "theta delta width mismatch");
+                        hf_tensor::ops::axpy_slice(&mut sum, 1.0, flat);
+                        count += 1;
+                    }
+                }
+            }
+            if count == 0 {
+                continue;
+            }
+            let inv = 1.0 / count as f32;
+            match self.server_opt {
+                ServerOpt::SgdSum => {
+                    sum.iter_mut().for_each(|x| *x *= inv * self.server_lr);
+                    let delta = Ffn::from_flat(self.thetas[idx].dims(), &sum);
+                    self.thetas[idx].add_scaled(1.0, &delta);
+                }
+                ServerOpt::Adam => {
+                    // Mean delta as negative gradient.
+                    sum.iter_mut().for_each(|x| *x *= -inv);
+                    let mut flat = self.thetas[idx].to_flat();
+                    self.theta_adam.as_mut().expect("adam state")[idx].step(&mut flat, &sum);
+                    self.thetas[idx] = Ffn::from_flat(self.thetas[idx].dims(), &flat);
+                }
+            }
+        }
+    }
+
+    /// Runs one relation-based ensemble self-distillation round (Eq. 16–17)
+    /// and returns the pre-update alignment loss.
+    pub fn distill(&mut self, kd: &KdConfig) -> f32 {
+        reskd::distill_round(&mut self.tables, kd, &mut self.kd_rng)
+    }
+
+    /// Variance of the singular values of `cov(V_tier)` — the Table V
+    /// dimensional-collapse diagnostic.
+    pub fn collapse_metric(&self, tier: Tier) -> f32 {
+        hf_tensor::stats::singular_value_variance(&self.tables[tier.index()])
+    }
+
+    /// Maximum absolute violation of the Eq. 10 prefix invariant
+    /// (`Vs = Vm[:Ns] = Vl[:Ns]`, `Vm = Vl[:Nm]`). Exactly zero while
+    /// distillation is disabled; grows once RESKD perturbs tiers
+    /// individually.
+    pub fn eq10_violation(&self) -> f32 {
+        let ns = self.dims.dim(Tier::Small);
+        let nm = self.dims.dim(Tier::Medium);
+        let mut worst = 0.0f32;
+        for row in 0..self.num_items {
+            let s = self.tables[0].row(row);
+            let m = self.tables[1].row(row);
+            let l = self.tables[2].row(row);
+            for d in 0..ns {
+                worst = worst.max((s[d] - m[d]).abs()).max((s[d] - l[d]).abs());
+            }
+            for d in 0..nm {
+                worst = worst.max((m[d] - l[d]).abs());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Ablation;
+    use hf_fedsim::transport::SparseRowUpdate;
+    use hf_models::ModelKind;
+
+    fn cfg() -> TrainConfig {
+        // These tests exercise the Eq. 8/9 literal semantics: plain sum,
+        // unit server learning rate.
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.item_agg_norm = crate::config::ItemAggNorm::Sum;
+        cfg.server_lr = 1.0;
+        cfg
+    }
+
+    fn server(strategy: Strategy) -> ServerState {
+        ServerState::new(30, &cfg(), strategy)
+    }
+
+    fn update(tier: Tier, row: u32, dim: usize, value: f32, theta_len: usize) -> (Tier, ClientUpdate) {
+        (
+            tier,
+            ClientUpdate {
+                items: SparseRowUpdate::new(dim, vec![(row, vec![value; dim])]),
+                thetas: vec![(tier.index() as u8, vec![value; theta_len])],
+            },
+        )
+    }
+
+    #[test]
+    fn tables_start_from_the_same_point() {
+        let s = server(Strategy::HeteFedRec(Ablation::FULL));
+        assert_eq!(s.eq10_violation(), 0.0);
+    }
+
+    #[test]
+    fn padded_sum_updates_every_tier_prefix() {
+        let mut s = server(Strategy::HeteFedRec(Ablation::NO_RESKD));
+        let before = s.tables.clone();
+        // A small-tier client touches row 3 with +1 on its 4 dims.
+        let theta_len = s.theta(Tier::Small).num_params();
+        s.apply_round(&[update(Tier::Small, 3, 4, 1.0, theta_len)]);
+        // All three tables move on row 3's first 4 columns...
+        for tier in Tier::ALL {
+            let t = s.table(tier);
+            let b = &before[tier.index()];
+            for d in 0..4 {
+                assert!((t.get(3, d) - (b.get(3, d) + 1.0)).abs() < 1e-6, "{tier:?} dim {d}");
+            }
+            // ...and nowhere else.
+            for d in 4..t.cols() {
+                assert_eq!(t.get(3, d), b.get(3, d), "{tier:?} tail dim {d}");
+            }
+            assert_eq!(t.row(0), b.row(0), "{tier:?} untouched row");
+        }
+    }
+
+    #[test]
+    fn eq10_invariant_survives_aggregation() {
+        let mut s = server(Strategy::HeteFedRec(Ablation::NO_RESKD));
+        let tl = [
+            s.theta(Tier::Small).num_params(),
+            s.theta(Tier::Medium).num_params(),
+            s.theta(Tier::Large).num_params(),
+        ];
+        for round in 0..5 {
+            let updates = vec![
+                update(Tier::Small, round, 4, 0.1, tl[0]),
+                update(Tier::Medium, round + 1, 8, -0.2, tl[1]),
+                update(Tier::Large, round + 2, 16, 0.3, tl[2]),
+            ];
+            s.apply_round(&updates);
+        }
+        assert!(s.eq10_violation() < 1e-6, "violation {}", s.eq10_violation());
+    }
+
+    #[test]
+    fn distillation_breaks_eq10_as_documented() {
+        let mut s = server(Strategy::HeteFedRec(Ablation::FULL));
+        s.distill(&KdConfig { items: 20, lr: 20.0, steps: 2 });
+        assert!(s.eq10_violation() > 0.0);
+    }
+
+    #[test]
+    fn clustered_aggregation_stays_within_tier() {
+        let mut s = server(Strategy::ClusteredFedRec);
+        let before = s.tables.clone();
+        let theta_len = s.theta(Tier::Small).num_params();
+        s.apply_round(&[update(Tier::Small, 3, 4, 1.0, theta_len)]);
+        // Small table moves; medium and large tables must not.
+        assert!((s.table(Tier::Small).get(3, 0) - (before[0].get(3, 0) + 1.0)).abs() < 1e-6);
+        assert_eq!(s.table(Tier::Medium).row(3), before[1].row(3));
+        assert_eq!(s.table(Tier::Large).row(3), before[2].row(3));
+    }
+
+    #[test]
+    fn theta_deltas_average_per_tier() {
+        let mut s = server(Strategy::HeteFedRec(Ablation::NO_RESKD));
+        let theta_len = s.theta(Tier::Small).num_params();
+        let before = s.theta(Tier::Small).to_flat();
+        // Two small clients upload +1 and +3: mean is +2.
+        s.apply_round(&[
+            update(Tier::Small, 0, 4, 1.0, theta_len),
+            update(Tier::Small, 1, 4, 3.0, theta_len),
+        ]);
+        let after = s.theta(Tier::Small).to_flat();
+        for (a, b) in after.iter().zip(&before) {
+            assert!((a - b - 2.0).abs() < 1e-5);
+        }
+        // Medium/large thetas untouched (no deltas for them).
+        let _ = s;
+    }
+
+    #[test]
+    fn adam_server_opt_moves_parameters() {
+        let mut c = cfg();
+        c.server_opt = ServerOpt::Adam;
+        c.server_lr = 0.01;
+        let mut s = ServerState::new(30, &c, Strategy::HeteFedRec(Ablation::NO_RESKD));
+        let theta_len = s.theta(Tier::Small).num_params();
+        let before_row = s.table(Tier::Large).row(5).to_vec();
+        let before_theta = s.theta(Tier::Small).to_flat();
+        s.apply_round(&[update(Tier::Small, 5, 4, 1.0, theta_len)]);
+        // Adam's first step has magnitude ≈ lr in the delta direction.
+        let after_row = s.table(Tier::Large).row(5);
+        for d in 0..4 {
+            assert!((after_row[d] - before_row[d] - 0.01).abs() < 1e-4);
+        }
+        let after_theta = s.theta(Tier::Small).to_flat();
+        assert!((after_theta[0] - before_theta[0] - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_round_is_a_noop() {
+        let mut s = server(Strategy::HeteFedRec(Ablation::FULL));
+        let before = s.tables.clone();
+        s.apply_round(&[]);
+        assert_eq!(s.tables, before);
+    }
+
+    #[test]
+    fn thetas_for_respects_udl_protocol() {
+        let s = server(Strategy::HeteFedRec(Ablation::FULL));
+        assert_eq!(s.thetas_for(Tier::Small, true).len(), 1);
+        assert_eq!(s.thetas_for(Tier::Medium, true).len(), 2);
+        assert_eq!(s.thetas_for(Tier::Large, true).len(), 3);
+        assert_eq!(s.thetas_for(Tier::Large, false).len(), 1);
+        // Without UDL a large client gets only its own predictor.
+        let only = &s.thetas_for(Tier::Large, false)[0];
+        assert_eq!(only.num_params(), s.theta(Tier::Large).num_params());
+    }
+
+    #[test]
+    fn collapse_metric_is_finite_and_nonnegative() {
+        let s = server(Strategy::HeteFedRec(Ablation::FULL));
+        for tier in Tier::ALL {
+            let m = s.collapse_metric(tier);
+            assert!(m.is_finite() && m >= -1e-6, "{tier:?}: {m}");
+        }
+    }
+}

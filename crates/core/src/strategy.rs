@@ -1,0 +1,208 @@
+//! Training strategies: HeteFedRec, its ablations, and the six baselines
+//! of §V-C.
+
+use hf_dataset::{ClientGroups, DivisionRatio, SplitDataset, Tier};
+use serde::{Deserialize, Serialize};
+
+/// Ablation switches over HeteFedRec's three components (Table IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ablation {
+    /// Unified dual-task learning (Eq. 11).
+    pub udl: bool,
+    /// Dimensional decorrelation regularization (Eq. 13–14).
+    pub ddr: bool,
+    /// Relation-based ensemble self-distillation (Eq. 16–17).
+    pub reskd: bool,
+}
+
+impl Ablation {
+    /// Full HeteFedRec.
+    pub const FULL: Ablation = Ablation { udl: true, ddr: true, reskd: true };
+    /// Table IV row "- RESKD".
+    pub const NO_RESKD: Ablation = Ablation { udl: true, ddr: true, reskd: false };
+    /// Table IV row "- RESKD, DDR".
+    pub const NO_RESKD_DDR: Ablation = Ablation { udl: true, ddr: false, reskd: false };
+    /// Table IV row "- RESKD, DDR, UDL" (equivalent to Directly Aggregate).
+    pub const NONE: Ablation = Ablation { udl: false, ddr: false, reskd: false };
+}
+
+/// A training strategy: HeteFedRec or one of the paper's baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// The paper's method, with ablation switches (full = all on).
+    HeteFedRec(Ablation),
+    /// Homogeneous: every client trains the small model.
+    AllSmall,
+    /// Homogeneous: every client trains the large model.
+    AllLarge,
+    /// Homogeneous large, but only `Um ∪ Ul` clients' updates aggregate.
+    AllLargeExclusive,
+    /// Heterogeneous sizes, no collaboration at all.
+    Standalone,
+    /// Heterogeneous sizes, aggregation only within each tier
+    /// (clustered federated learning applied to FedRecs).
+    ClusteredFedRec,
+    /// Heterogeneous sizes, naive padded aggregation without UDL/DDR/RESKD.
+    DirectlyAggregate,
+}
+
+impl Strategy {
+    /// Every strategy in the paper's Table II order.
+    pub const ALL: [Strategy; 7] = [
+        Strategy::AllSmall,
+        Strategy::AllLarge,
+        Strategy::AllLargeExclusive,
+        Strategy::Standalone,
+        Strategy::ClusteredFedRec,
+        Strategy::DirectlyAggregate,
+        Strategy::HeteFedRec(Ablation::FULL),
+    ];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::HeteFedRec(Ablation::FULL) => "HeteFedRec(Ours)",
+            Strategy::HeteFedRec(_) => "HeteFedRec(ablated)",
+            Strategy::AllSmall => "All Small",
+            Strategy::AllLarge => "All Large",
+            Strategy::AllLargeExclusive => "All Large/Exclusive",
+            Strategy::Standalone => "Standalone",
+            Strategy::ClusteredFedRec => "Clustered FedRec",
+            Strategy::DirectlyAggregate => "Directly Aggregate",
+        }
+    }
+
+    /// Whether the paper classifies this as a heterogeneous method.
+    pub fn is_heterogeneous(self) -> bool {
+        !matches!(
+            self,
+            Strategy::AllSmall | Strategy::AllLarge | Strategy::AllLargeExclusive
+        )
+    }
+
+    /// The effective ablation switches (baselines run everything off).
+    pub fn ablation(self) -> Ablation {
+        match self {
+            Strategy::HeteFedRec(a) => a,
+            _ => Ablation::NONE,
+        }
+    }
+
+    /// Assigns every client its model tier.
+    ///
+    /// Homogeneous strategies pin one tier for everyone (the paper calls
+    /// these the `10:0:0` / `0:0:10` divisions); heterogeneous strategies
+    /// divide by training-data size under `ratio`. `AllLargeExclusive`
+    /// models everyone as Large but still *divides* internally — the
+    /// division defines whose updates are accepted.
+    pub fn assign_tiers(self, split: &SplitDataset, ratio: DivisionRatio) -> ClientGroups {
+        match self {
+            Strategy::AllSmall => ClientGroups::uniform(split.num_users(), Tier::Small),
+            Strategy::AllLarge => ClientGroups::uniform(split.num_users(), Tier::Large),
+            _ => ClientGroups::divide(split, ratio),
+        }
+    }
+
+    /// Whether `client_tier`'s upload participates in aggregation.
+    pub fn accepts_update(self, data_tier: Tier) -> bool {
+        match self {
+            Strategy::AllLargeExclusive => data_tier != Tier::Small,
+            Strategy::Standalone => false,
+            _ => true,
+        }
+    }
+
+    /// Whether item-embedding aggregation crosses tiers (padded sum) or
+    /// stays within each tier.
+    pub fn aggregates_across_tiers(self) -> bool {
+        matches!(
+            self,
+            Strategy::HeteFedRec(_)
+                | Strategy::DirectlyAggregate
+                | Strategy::AllSmall
+                | Strategy::AllLarge
+                | Strategy::AllLargeExclusive
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_dataset::SyntheticConfig;
+
+    fn split() -> SplitDataset {
+        let d = SyntheticConfig::tiny().generate(1);
+        SplitDataset::paper_split(&d, 1)
+    }
+
+    #[test]
+    fn table_ii_ordering_and_names() {
+        let names: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "All Small",
+                "All Large",
+                "All Large/Exclusive",
+                "Standalone",
+                "Clustered FedRec",
+                "Directly Aggregate",
+                "HeteFedRec(Ours)"
+            ]
+        );
+    }
+
+    #[test]
+    fn homogeneous_vs_heterogeneous_classification() {
+        assert!(!Strategy::AllSmall.is_heterogeneous());
+        assert!(!Strategy::AllLargeExclusive.is_heterogeneous());
+        assert!(Strategy::Standalone.is_heterogeneous());
+        assert!(Strategy::HeteFedRec(Ablation::FULL).is_heterogeneous());
+    }
+
+    #[test]
+    fn all_small_pins_small_tier() {
+        let s = split();
+        let g = Strategy::AllSmall.assign_tiers(&s, DivisionRatio::PAPER_DEFAULT);
+        assert_eq!(g.sizes(), [s.num_users(), 0, 0]);
+    }
+
+    #[test]
+    fn hetefedrec_divides_5_3_2() {
+        let s = split();
+        let g = Strategy::HeteFedRec(Ablation::FULL).assign_tiers(&s, DivisionRatio::PAPER_DEFAULT);
+        let [small, medium, large] = g.sizes();
+        let n = s.num_users();
+        assert!(small > medium && medium > large, "{small} {medium} {large}");
+        assert_eq!(small + medium + large, n);
+    }
+
+    #[test]
+    fn exclusive_rejects_small_data_clients() {
+        let st = Strategy::AllLargeExclusive;
+        assert!(!st.accepts_update(Tier::Small));
+        assert!(st.accepts_update(Tier::Medium));
+        assert!(st.accepts_update(Tier::Large));
+    }
+
+    #[test]
+    fn standalone_rejects_everything() {
+        for t in Tier::ALL {
+            assert!(!Strategy::Standalone.accepts_update(t));
+        }
+    }
+
+    #[test]
+    fn direct_aggregate_equals_fully_ablated_hetefedrec() {
+        assert_eq!(Strategy::DirectlyAggregate.ablation(), Ablation::NONE);
+        assert_eq!(Strategy::HeteFedRec(Ablation::NONE).ablation(), Ablation::NONE);
+        assert!(Strategy::DirectlyAggregate.aggregates_across_tiers());
+    }
+
+    #[test]
+    fn clustered_does_not_cross_tiers() {
+        assert!(!Strategy::ClusteredFedRec.aggregates_across_tiers());
+        assert!(Strategy::HeteFedRec(Ablation::FULL).aggregates_across_tiers());
+    }
+}

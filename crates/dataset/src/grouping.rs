@@ -1,0 +1,249 @@
+//! Client division into small / medium / large groups.
+//!
+//! Paper §IV-A: clients are categorised into `Us`, `Um`, `Ul` by the scale
+//! of their user-item interactions; §V-D fixes the default proportion at
+//! `5:3:2` (RQ4 also studies `1:1:1` and `2:3:5`). Division is by rank:
+//! after sorting clients by training-interaction count ascending, the
+//! first `x/(x+y+z)` fraction becomes `Us`, the next `y/(x+y+z)` becomes
+//! `Um`, and the rest `Ul`.
+
+use crate::split::SplitDataset;
+use crate::types::UserId;
+use serde::{Deserialize, Serialize};
+
+/// Model-size tier of a client (paper's `Us`/`Um`/`Ul`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Small clients (`Us`): fewest interactions, smallest model.
+    Small,
+    /// Medium clients (`Um`).
+    Medium,
+    /// Large clients (`Ul`): most interactions, largest model.
+    Large,
+}
+
+impl Tier {
+    /// All tiers, ascending.
+    pub const ALL: [Tier; 3] = [Tier::Small, Tier::Medium, Tier::Large];
+
+    /// Index into `[Ns, Nm, Nl]`-style arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Small => 0,
+            Tier::Medium => 1,
+            Tier::Large => 2,
+        }
+    }
+
+    /// Paper-style group label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Small => "Us",
+            Tier::Medium => "Um",
+            Tier::Large => "Ul",
+        }
+    }
+}
+
+/// A division ratio `x:y:z` over (small, medium, large).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DivisionRatio {
+    /// Small-group weight.
+    pub small: u32,
+    /// Medium-group weight.
+    pub medium: u32,
+    /// Large-group weight.
+    pub large: u32,
+}
+
+impl DivisionRatio {
+    /// The paper's default conservative division.
+    pub const PAPER_DEFAULT: DivisionRatio = DivisionRatio { small: 5, medium: 3, large: 2 };
+    /// The neutral division studied in RQ4.
+    pub const NEUTRAL: DivisionRatio = DivisionRatio { small: 1, medium: 1, large: 1 };
+    /// The optimistic division studied in RQ4.
+    pub const OPTIMISTIC: DivisionRatio = DivisionRatio { small: 2, medium: 3, large: 5 };
+
+    /// Creates a ratio; at least one weight must be positive.
+    pub fn new(small: u32, medium: u32, large: u32) -> Self {
+        assert!(small + medium + large > 0, "ratio weights sum to zero");
+        Self { small, medium, large }
+    }
+
+    /// Paper-style display, e.g. `5:3:2`.
+    pub fn label(&self) -> String {
+        format!("{}:{}:{}", self.small, self.medium, self.large)
+    }
+
+    /// Cut points `(n_small, n_small + n_medium)` for `n` clients, using
+    /// largest-remainder rounding so group sizes always sum to `n`.
+    fn cuts(&self, n: usize) -> (usize, usize) {
+        let total = (self.small + self.medium + self.large) as f64;
+        let n_small = ((n as f64) * (self.small as f64) / total).round() as usize;
+        let n_medium = ((n as f64) * (self.medium as f64) / total).round() as usize;
+        let n_small = n_small.min(n);
+        let n_medium = n_medium.min(n - n_small);
+        (n_small, n_small + n_medium)
+    }
+}
+
+/// The result of dividing clients into tiers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClientGroups {
+    tiers: Vec<Tier>,
+    /// Interaction-count thresholds `(p_small_max, p_medium_max)` implied
+    /// by the division — reported alongside Table I's `<50%`/`<80%`.
+    pub thresholds: (usize, usize),
+}
+
+impl ClientGroups {
+    /// Divides clients by ascending training-interaction count under the
+    /// given ratio.
+    pub fn divide(split: &SplitDataset, ratio: DivisionRatio) -> Self {
+        let counts = split.train_counts();
+        Self::divide_by_counts(&counts, ratio)
+    }
+
+    /// Division from raw per-client counts (exposed for tests and tools).
+    pub fn divide_by_counts(counts: &[usize], ratio: DivisionRatio) -> Self {
+        let n = counts.len();
+        let mut order: Vec<UserId> = (0..n).collect();
+        // Stable tie-break on user id keeps the division deterministic.
+        order.sort_by_key(|&u| (counts[u], u));
+
+        let (cut1, cut2) = ratio.cuts(n);
+        let mut tiers = vec![Tier::Small; n];
+        for (rank, &u) in order.iter().enumerate() {
+            tiers[u] = if rank < cut1 {
+                Tier::Small
+            } else if rank < cut2 {
+                Tier::Medium
+            } else {
+                Tier::Large
+            };
+        }
+        let t_small = if cut1 > 0 { counts[order[cut1 - 1]] } else { 0 };
+        let t_medium = if cut2 > 0 { counts[order[cut2 - 1]] } else { 0 };
+        Self { tiers, thresholds: (t_small, t_medium) }
+    }
+
+    /// Assigns every client to one tier (used by the `All Small` /
+    /// `All Large` homogeneous baselines, which the paper describes as the
+    /// `10:0:0` and `0:0:10` divisions).
+    pub fn uniform(num_users: usize, tier: Tier) -> Self {
+        Self { tiers: vec![tier; num_users], thresholds: (0, 0) }
+    }
+
+    /// Tier of one client.
+    pub fn tier(&self, u: UserId) -> Tier {
+        self.tiers[u]
+    }
+
+    /// Number of clients.
+    pub fn num_users(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// All members of a tier, ascending user id.
+    pub fn members(&self, tier: Tier) -> Vec<UserId> {
+        self.tiers
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == tier)
+            .map(|(u, _)| u)
+            .collect()
+    }
+
+    /// Group sizes `[|Us|, |Um|, |Ul|]`.
+    pub fn sizes(&self) -> [usize; 3] {
+        let mut s = [0usize; 3];
+        for &t in &self.tiers {
+            s[t.index()] += 1;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ratio_partitions_5_3_2() {
+        let counts: Vec<usize> = (0..100).collect();
+        let g = ClientGroups::divide_by_counts(&counts, DivisionRatio::PAPER_DEFAULT);
+        assert_eq!(g.sizes(), [50, 30, 20]);
+    }
+
+    #[test]
+    fn smaller_counts_land_in_smaller_tiers() {
+        let counts = vec![100, 1, 50, 2, 75, 3, 60, 4, 90, 5];
+        let g = ClientGroups::divide_by_counts(&counts, DivisionRatio::PAPER_DEFAULT);
+        // The five smallest counts (1..=5) are at odd indices.
+        for u in [1, 3, 5, 7, 9] {
+            assert_eq!(g.tier(u), Tier::Small, "user {u}");
+        }
+        assert_eq!(g.tier(0), Tier::Large);
+    }
+
+    #[test]
+    fn sizes_always_sum_to_n() {
+        for n in [1usize, 2, 3, 7, 10, 99, 1000] {
+            let counts: Vec<usize> = (0..n).map(|i| i * 3 % 17).collect();
+            for ratio in [
+                DivisionRatio::PAPER_DEFAULT,
+                DivisionRatio::NEUTRAL,
+                DivisionRatio::OPTIMISTIC,
+            ] {
+                let g = ClientGroups::divide_by_counts(&counts, ratio);
+                assert_eq!(g.sizes().iter().sum::<usize>(), n, "n={n} ratio={:?}", ratio);
+            }
+        }
+    }
+
+    #[test]
+    fn neutral_ratio_splits_evenly() {
+        let counts: Vec<usize> = (0..99).collect();
+        let g = ClientGroups::divide_by_counts(&counts, DivisionRatio::NEUTRAL);
+        assert_eq!(g.sizes(), [33, 33, 33]);
+    }
+
+    #[test]
+    fn thresholds_bound_the_groups() {
+        let counts: Vec<usize> = (0..200).map(|i| i % 97).collect();
+        let g = ClientGroups::divide_by_counts(&counts, DivisionRatio::PAPER_DEFAULT);
+        let (t_small, t_medium) = g.thresholds;
+        for u in 0..counts.len() {
+            match g.tier(u) {
+                Tier::Small => assert!(counts[u] <= t_small),
+                Tier::Medium => assert!(counts[u] <= t_medium),
+                Tier::Large => assert!(counts[u] >= t_small),
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_assignment() {
+        let g = ClientGroups::uniform(10, Tier::Large);
+        assert_eq!(g.sizes(), [0, 0, 10]);
+        assert_eq!(g.members(Tier::Large).len(), 10);
+    }
+
+    #[test]
+    fn division_is_deterministic_under_ties() {
+        let counts = vec![5usize; 30];
+        let a = ClientGroups::divide_by_counts(&counts, DivisionRatio::PAPER_DEFAULT);
+        let b = ClientGroups::divide_by_counts(&counts, DivisionRatio::PAPER_DEFAULT);
+        for u in 0..30 {
+            assert_eq!(a.tier(u), b.tier(u));
+        }
+    }
+
+    #[test]
+    fn tier_labels_match_paper() {
+        assert_eq!(Tier::Small.label(), "Us");
+        assert_eq!(Tier::Medium.label(), "Um");
+        assert_eq!(Tier::Large.label(), "Ul");
+        assert_eq!(DivisionRatio::PAPER_DEFAULT.label(), "5:3:2");
+    }
+}

@@ -1,0 +1,210 @@
+//! Train / validation / test splitting.
+//!
+//! Paper §V-A: "for each dataset, 80% of data and 20% of data are used as
+//! training and test set. When a client is selected for training, 10% of
+//! its training data will be used as the validation set to guide the local
+//! training." Splits are per-user (the client owns all of its data) and
+//! deterministic given the seed.
+
+use crate::types::{ImplicitDataset, ItemId, UserId};
+use hf_tensor::rng::{substream, SeedStream};
+use serde::{Deserialize, Serialize};
+
+/// A user's split interaction data.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UserSplit {
+    /// Training positives (sorted).
+    pub train: Vec<ItemId>,
+    /// Validation positives carved out of train (sorted).
+    pub valid: Vec<ItemId>,
+    /// Held-out test positives (sorted).
+    pub test: Vec<ItemId>,
+}
+
+impl UserSplit {
+    /// Training-set size (excluding validation).
+    pub fn train_len(&self) -> usize {
+        self.train.len()
+    }
+
+    /// `true` iff `item` is a train or validation positive (the set a
+    /// client may not sample as a negative).
+    pub fn is_local_positive(&self, item: ItemId) -> bool {
+        self.train.binary_search(&item).is_ok() || self.valid.binary_search(&item).is_ok()
+    }
+}
+
+/// Dataset with per-user train/valid/test splits.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SplitDataset {
+    num_items: usize,
+    users: Vec<UserSplit>,
+}
+
+impl SplitDataset {
+    /// Splits `dataset` with the paper's ratios: `test_frac` of each user's
+    /// interactions held out for testing (paper: 0.2) and `valid_frac` of
+    /// the remaining training data reserved for validation (paper: 0.1).
+    ///
+    /// Users with a single interaction keep it in train (an empty local
+    /// training set would make the client untrainable); at least one train
+    /// item is always retained.
+    pub fn split(dataset: &ImplicitDataset, test_frac: f64, valid_frac: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&test_frac), "test_frac in [0,1)");
+        assert!((0.0..1.0).contains(&valid_frac), "valid_frac in [0,1)");
+        let users = dataset
+            .iter_users()
+            .map(|(u, ints)| {
+                let mut items: Vec<ItemId> = ints.items().to_vec();
+                let mut rng = substream(seed, SeedStream::Split, u as u64);
+                hf_tensor::rng::shuffle(&mut items, &mut rng);
+
+                let n = items.len();
+                let n_test = ((n as f64) * test_frac).floor() as usize;
+                let n_test = n_test.min(n.saturating_sub(1));
+                let test: Vec<ItemId> = items.drain(..n_test).collect();
+
+                let n_valid = ((items.len() as f64) * valid_frac).floor() as usize;
+                let n_valid = n_valid.min(items.len().saturating_sub(1));
+                let valid: Vec<ItemId> = items.drain(..n_valid).collect();
+
+                let mut split = UserSplit { train: items, valid, test };
+                split.train.sort_unstable();
+                split.valid.sort_unstable();
+                split.test.sort_unstable();
+                split
+            })
+            .collect();
+        Self { num_items: dataset.num_items(), users }
+    }
+
+    /// Paper-default split: 80/20 train/test, 10% of train as validation.
+    pub fn paper_split(dataset: &ImplicitDataset, seed: u64) -> Self {
+        Self::split(dataset, 0.2, 0.1, seed)
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Item-universe size.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// A user's split.
+    pub fn user(&self, u: UserId) -> &UserSplit {
+        &self.users[u]
+    }
+
+    /// Iterator over `(user id, split)`.
+    pub fn iter_users(&self) -> impl Iterator<Item = (UserId, &UserSplit)> {
+        self.users.iter().enumerate()
+    }
+
+    /// Per-user training-set sizes — the quantity client division is based
+    /// on (paper groups clients by interaction amounts).
+    pub fn train_counts(&self) -> Vec<usize> {
+        self.users.iter().map(|u| u.train.len()).collect()
+    }
+
+    /// Total train/valid/test sizes.
+    pub fn totals(&self) -> (usize, usize, usize) {
+        let mut t = (0, 0, 0);
+        for u in &self.users {
+            t.0 += u.train.len();
+            t.1 += u.valid.len();
+            t.2 += u.test.len();
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    fn dataset() -> ImplicitDataset {
+        SyntheticConfig::tiny().generate(11)
+    }
+
+    #[test]
+    fn split_partitions_each_user() {
+        let d = dataset();
+        let s = SplitDataset::paper_split(&d, 5);
+        for (u, split) in s.iter_users() {
+            let mut all: Vec<ItemId> = split
+                .train
+                .iter()
+                .chain(&split.valid)
+                .chain(&split.test)
+                .copied()
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, d.user(u).items(), "user {u} not partitioned");
+        }
+    }
+
+    #[test]
+    fn ratios_are_respected_in_aggregate() {
+        let d = dataset();
+        let s = SplitDataset::paper_split(&d, 5);
+        let (train, valid, test) = s.totals();
+        let total = (train + valid + test) as f64;
+        let test_frac = test as f64 / total;
+        let valid_frac = valid as f64 / (train + valid) as f64;
+        assert!((test_frac - 0.2).abs() < 0.05, "test fraction {test_frac}");
+        assert!((valid_frac - 0.1).abs() < 0.05, "valid fraction {valid_frac}");
+    }
+
+    #[test]
+    fn every_user_keeps_a_train_item() {
+        let d = ImplicitDataset::new(10, vec![vec![0], vec![1, 2], vec![3, 4, 5]]);
+        let s = SplitDataset::split(&d, 0.5, 0.5, 1);
+        for (u, split) in s.iter_users() {
+            assert!(!split.train.is_empty(), "user {u} lost all train items");
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = dataset();
+        let a = SplitDataset::paper_split(&d, 9);
+        let b = SplitDataset::paper_split(&d, 9);
+        for u in 0..d.num_users() {
+            assert_eq!(a.user(u).train, b.user(u).train);
+            assert_eq!(a.user(u).test, b.user(u).test);
+        }
+    }
+
+    #[test]
+    fn different_seeds_split_differently() {
+        let d = dataset();
+        let a = SplitDataset::paper_split(&d, 1);
+        let b = SplitDataset::paper_split(&d, 2);
+        let same = (0..d.num_users()).all(|u| a.user(u).test == b.user(u).test);
+        assert!(!same);
+    }
+
+    #[test]
+    fn local_positive_covers_train_and_valid_only() {
+        let d = dataset();
+        let s = SplitDataset::paper_split(&d, 5);
+        let (u, split) = s.iter_users().find(|(_, s)| !s.test.is_empty()).unwrap();
+        let _ = u;
+        assert!(split.is_local_positive(split.train[0]));
+        if let Some(&v) = split.valid.first() {
+            assert!(split.is_local_positive(v));
+        }
+        assert!(!split.is_local_positive(split.test[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "test_frac")]
+    fn rejects_full_test_fraction() {
+        let d = dataset();
+        let _ = SplitDataset::split(&d, 1.0, 0.1, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Communication-cost accounting (Table III).
+//!
+//! Table III reports the one-time transmission cost per client type as
+//! parameter counts: homogeneous baselines move `size(V) + size(Θ)` of
+//! their single tier, while HeteFedRec moves the client's own tier table
+//! plus the predictors of every tier at or below it (a `Um` client also
+//! receives `Θs` for the unified dual-task loss; `Ul` receives all three).
+//!
+//! [`RoundCost`] captures one transmission analytically; [`CommLedger`]
+//! accumulates actual measured bytes over a training run so experiments
+//! can report both views.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters moved by one client↔server transmission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundCost {
+    /// Item-embedding parameters (`|V| × N` under dense accounting).
+    pub item_params: usize,
+    /// Predictor parameters across all transmitted tiers.
+    pub theta_params: usize,
+}
+
+impl RoundCost {
+    /// Total parameters.
+    pub fn total(self) -> usize {
+        self.item_params + self.theta_params
+    }
+
+    /// Total bytes at 4 bytes per `f32` parameter.
+    pub fn bytes(self) -> usize {
+        self.total() * 4
+    }
+
+    /// Cost of transmitting a dense `|V| x dim` table plus the given
+    /// predictor sizes — the Table III formula `size(V_x) + size({Θ})`.
+    pub fn dense(num_items: usize, dim: usize, theta_sizes: &[usize]) -> Self {
+        Self { item_params: num_items * dim, theta_params: theta_sizes.iter().sum() }
+    }
+}
+
+/// Accumulates measured communication over a run, split by direction.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CommLedger {
+    /// Bytes uploaded by clients (sparse wire format).
+    pub upload_bytes: u64,
+    /// Bytes downloaded by clients (dense tier tables + predictors).
+    pub download_bytes: u64,
+    /// Upload transmissions recorded.
+    pub uploads: u64,
+    /// Download transmissions recorded.
+    pub downloads: u64,
+}
+
+impl CommLedger {
+    /// Records one client upload of `bytes`.
+    pub fn record_upload(&mut self, bytes: usize) {
+        self.upload_bytes += bytes as u64;
+        self.uploads += 1;
+    }
+
+    /// Records one client download of `bytes`.
+    pub fn record_download(&mut self, bytes: usize) {
+        self.download_bytes += bytes as u64;
+        self.downloads += 1;
+    }
+
+    /// Merges another ledger (e.g. from a worker thread).
+    pub fn merge(&mut self, other: &CommLedger) {
+        self.upload_bytes += other.upload_bytes;
+        self.download_bytes += other.download_bytes;
+        self.uploads += other.uploads;
+        self.downloads += other.downloads;
+    }
+
+    /// Mean upload size in bytes, 0 when nothing was recorded.
+    pub fn mean_upload(&self) -> f64 {
+        if self.uploads == 0 {
+            0.0
+        } else {
+            self.upload_bytes as f64 / self.uploads as f64
+        }
+    }
+
+    /// Mean download size in bytes, 0 when nothing was recorded.
+    pub fn mean_download(&self) -> f64 {
+        if self.downloads == 0 {
+            0.0
+        } else {
+            self.download_bytes as f64 / self.downloads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_cost_formula() {
+        // ML example from §V-F: Vs has 3706 * 8 = 29648 parameters.
+        let c = RoundCost::dense(3_706, 8, &[217]);
+        assert_eq!(c.item_params, 29_648);
+        assert_eq!(c.theta_params, 217);
+        assert_eq!(c.total(), 29_865);
+        assert_eq!(c.bytes(), 29_865 * 4);
+    }
+
+    #[test]
+    fn hetero_large_client_carries_all_thetas() {
+        // Ul under HeteFedRec: size(Vl + {Θ}s,m,l).
+        let c = RoundCost::dense(3_706, 32, &[217, 345, 601]);
+        assert_eq!(c.item_params, 3_706 * 32);
+        assert_eq!(c.theta_params, 217 + 345 + 601);
+    }
+
+    #[test]
+    fn ledger_accumulates_and_averages() {
+        let mut l = CommLedger::default();
+        l.record_upload(100);
+        l.record_upload(300);
+        l.record_download(1000);
+        assert_eq!(l.upload_bytes, 400);
+        assert_eq!(l.mean_upload(), 200.0);
+        assert_eq!(l.mean_download(), 1000.0);
+    }
+
+    #[test]
+    fn ledger_merge() {
+        let mut a = CommLedger::default();
+        a.record_upload(10);
+        let mut b = CommLedger::default();
+        b.record_download(20);
+        b.record_upload(30);
+        a.merge(&b);
+        assert_eq!(a.uploads, 2);
+        assert_eq!(a.downloads, 1);
+        assert_eq!(a.upload_bytes, 40);
+    }
+
+    #[test]
+    fn empty_ledger_means_are_zero() {
+        let l = CommLedger::default();
+        assert_eq!(l.mean_upload(), 0.0);
+        assert_eq!(l.mean_download(), 0.0);
+    }
+}

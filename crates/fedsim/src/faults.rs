@@ -1,0 +1,97 @@
+//! Client-failure injection.
+//!
+//! The paper assumes every selected client returns its update. Real
+//! cross-device deployments lose a fraction of clients per round to
+//! connectivity and battery constraints, so the robustness extension
+//! (DESIGN.md §6) injects seeded, per-(round, client) deterministic drops:
+//! a dropped client trains locally (its private state advances) but its
+//! upload never reaches the server.
+
+use hf_tensor::rng::{substream, SeedStream};
+use rand::Rng;
+
+/// Deterministic client-drop injector.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    drop_prob: f64,
+}
+
+impl FaultInjector {
+    /// Creates an injector dropping each upload independently with
+    /// probability `drop_prob`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= drop_prob < 1`.
+    pub fn new(seed: u64, drop_prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&drop_prob), "drop probability in [0,1)");
+        Self { seed, drop_prob }
+    }
+
+    /// An injector that never drops (the paper's setting).
+    pub fn disabled() -> Self {
+        Self { seed: 0, drop_prob: 0.0 }
+    }
+
+    /// Configured drop probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// Whether `client`'s upload in global round `round` is lost.
+    /// Deterministic in `(seed, round, client)` — independent of
+    /// evaluation order, thread count, or how many other clients exist.
+    pub fn drops(&self, round: u64, client: usize) -> bool {
+        if self.drop_prob == 0.0 {
+            return false;
+        }
+        let key = round.wrapping_mul(0x1000_0000_1b3) ^ (client as u64);
+        let mut rng = substream(self.seed, SeedStream::Faults, key);
+        rng.gen::<f64>() < self.drop_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_drops() {
+        let f = FaultInjector::disabled();
+        assert!((0..1000).all(|c| !f.drops(0, c)));
+    }
+
+    #[test]
+    fn drop_rate_approximates_probability() {
+        let f = FaultInjector::new(1, 0.3);
+        let drops = (0..10_000).filter(|&c| f.drops(5, c)).count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultInjector::new(9, 0.5);
+        let b = FaultInjector::new(9, 0.5);
+        for round in 0..10 {
+            for client in 0..50 {
+                assert_eq!(a.drops(round, client), b.drops(round, client));
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_vary_by_round_and_client() {
+        let f = FaultInjector::new(2, 0.5);
+        let by_round: Vec<bool> = (0..64).map(|r| f.drops(r, 0)).collect();
+        let by_client: Vec<bool> = (0..64).map(|c| f.drops(0, c)).collect();
+        assert!(by_round.iter().any(|&d| d) && by_round.iter().any(|&d| !d));
+        assert!(by_client.iter().any(|&d| d) && by_client.iter().any(|&d| !d));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_certain_drop() {
+        let _ = FaultInjector::new(0, 1.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # hf-fedsim
+//!
+//! Federated-learning protocol substrate: everything about *how* clients
+//! and the server exchange state, independent of *what* the recommendation
+//! algorithm does with it.
+//!
+//! * [`transport`] — update payloads (sparse item-embedding rows + flat
+//!   predictor deltas) with a binary wire format and exact byte
+//!   accounting.
+//! * [`scheduler`] — the paper's round structure (§V-D): at each epoch the
+//!   server shuffles the client queue and traverses it in rounds of 256
+//!   selected clients.
+//! * [`comm`] — communication-cost bookkeeping per client tier, the
+//!   quantities behind Table III.
+//! * [`parallel`] — crossbeam-scoped worker pool running independent
+//!   client computations within a round.
+//! * [`faults`] — seeded client-failure injection (dropped updates) for
+//!   robustness experiments beyond the paper's happy path.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod faults;
+pub mod parallel;
+pub mod scheduler;
+pub mod transport;
+
+pub use comm::{CommLedger, RoundCost};
+pub use faults::FaultInjector;
+pub use scheduler::RoundScheduler;
+pub use transport::{ClientUpdate, SparseRowUpdate};

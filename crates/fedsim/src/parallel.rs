@@ -1,0 +1,124 @@
+//! Scoped worker pool for intra-round parallelism.
+//!
+//! Clients selected in the same round train independently against the same
+//! downloaded snapshot of the public parameters, so their local work is
+//! embarrassingly parallel. [`parallel_map`] fans a slice of inputs over a
+//! bounded number of crossbeam-scoped threads and returns outputs in input
+//! order — determinism is preserved because each client's computation
+//! derives its randomness from its own id, never from execution order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every element of `items`, using up to `threads` worker
+/// threads, returning results in input order.
+///
+/// With `threads <= 1` (or one item) this degrades to a plain sequential
+/// map with zero thread overhead.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots: Vec<SendPtr<R>> =
+        out.iter_mut().map(|slot| SendPtr(slot as *mut Option<R>)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            let slots = &slots;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                let slot = slots[i].0;
+                // SAFETY: index i is claimed exactly once via the atomic
+                // counter, so each slot pointer is written by one thread
+                // and the scope guarantees `out` outlives the workers.
+                unsafe { slot.write(Some(result)) };
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    out.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+/// Raw-pointer wrapper asserting cross-thread transferability; safe here
+/// because the work-stealing counter hands each index to exactly one
+/// worker.
+struct SendPtr<R>(*mut Option<R>);
+unsafe impl<R: Send> Send for SendPtr<R> {}
+unsafe impl<R: Send> Sync for SendPtr<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let items: Vec<u64> = (0..10).collect();
+        let par = parallel_map(&items, 4, |&x| x + 1);
+        let seq = parallel_map(&items, 1, |&x| x + 1);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7], 4, |&x| x * 3), vec![21]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |&x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn results_are_deterministic_regardless_of_threads() {
+        let items: Vec<u64> = (0..256).collect();
+        // A mildly expensive, pure function.
+        let f = |&x: &u64| -> u64 {
+            let mut h = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for _ in 0..100 {
+                h = h.rotate_left(13).wrapping_mul(31);
+            }
+            h
+        };
+        let a = parallel_map(&items, 1, f);
+        let b = parallel_map(&items, 2, f);
+        let c = parallel_map(&items, 8, f);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let items = [1, 2, 3, 4];
+        let _ = parallel_map(&items, 2, |&x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,106 @@
+//! Round scheduling.
+//!
+//! Paper §V-D: "At the beginning of an epoch, the server shuffles the
+//! queue of clients. Then, at each epoch, there are several rounds for the
+//! central server to traverse the client queue. During each round, the
+//! central server selects 256 users for training." The scheduler
+//! reproduces exactly that: one shuffle per epoch, then contiguous chunks
+//! of the queue as rounds (the final round of an epoch may be smaller).
+
+use hf_tensor::rng::{stream, SeedStream};
+use rand::rngs::StdRng;
+
+/// Epoch/round scheduler over a fixed client population.
+#[derive(Clone, Debug)]
+pub struct RoundScheduler {
+    queue: Vec<usize>,
+    clients_per_round: usize,
+    rng: StdRng,
+}
+
+impl RoundScheduler {
+    /// Creates a scheduler for `num_clients` clients with the given round
+    /// size, seeded deterministically.
+    ///
+    /// # Panics
+    /// Panics on an empty population or zero round size.
+    pub fn new(num_clients: usize, clients_per_round: usize, seed: u64) -> Self {
+        assert!(num_clients > 0, "no clients to schedule");
+        assert!(clients_per_round > 0, "round size must be positive");
+        Self {
+            queue: (0..num_clients).collect(),
+            clients_per_round: clients_per_round.min(num_clients),
+            rng: stream(seed, SeedStream::ClientQueue),
+        }
+    }
+
+    /// Paper-default round size of 256 clients.
+    pub fn paper_default(num_clients: usize, seed: u64) -> Self {
+        Self::new(num_clients, 256, seed)
+    }
+
+    /// Number of rounds per epoch (`ceil(num_clients / clients_per_round)`).
+    pub fn rounds_per_epoch(&self) -> usize {
+        self.queue.len().div_ceil(self.clients_per_round)
+    }
+
+    /// Shuffles the queue and returns this epoch's rounds.
+    pub fn next_epoch(&mut self) -> Vec<Vec<usize>> {
+        hf_tensor::rng::shuffle(&mut self.queue, &mut self.rng);
+        self.queue.chunks(self.clients_per_round).map(|c| c.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_traverses_every_client_once() {
+        let mut s = RoundScheduler::new(100, 32, 1);
+        let rounds = s.next_epoch();
+        assert_eq!(rounds.len(), 4); // ceil(100/32)
+        let mut all: Vec<usize> = rounds.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn last_round_holds_the_remainder() {
+        let mut s = RoundScheduler::new(100, 32, 1);
+        let rounds = s.next_epoch();
+        assert_eq!(rounds[0].len(), 32);
+        assert_eq!(rounds[3].len(), 4);
+    }
+
+    #[test]
+    fn epochs_differ_in_order() {
+        let mut s = RoundScheduler::new(64, 64, 2);
+        let a = s.next_epoch();
+        let b = s.next_epoch();
+        assert_ne!(a[0], b[0], "consecutive epochs should reshuffle");
+    }
+
+    #[test]
+    fn scheduling_is_deterministic_per_seed() {
+        let mut s1 = RoundScheduler::new(50, 16, 7);
+        let mut s2 = RoundScheduler::new(50, 16, 7);
+        assert_eq!(s1.next_epoch(), s2.next_epoch());
+        assert_eq!(s1.next_epoch(), s2.next_epoch());
+    }
+
+    #[test]
+    fn round_size_is_clamped_to_population() {
+        let mut s = RoundScheduler::new(10, 256, 3);
+        let rounds = s.next_epoch();
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].len(), 10);
+        assert_eq!(s.rounds_per_epoch(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no clients")]
+    fn rejects_empty_population() {
+        let _ = RoundScheduler::new(0, 8, 0);
+    }
+}

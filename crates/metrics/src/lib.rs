@@ -1,0 +1,26 @@
+//! # hf-metrics
+//!
+//! Ranking metrics and the full-ranking evaluation harness.
+//!
+//! The paper evaluates with Recall@20 and NDCG@20 (§V-B) under the
+//! standard full-ranking protocol: for each user, every item the user has
+//! not interacted with during training is scored, the top-K are selected,
+//! and hits against the held-out test items are measured. This crate is
+//! model-agnostic — callers supply a score vector per user — so the same
+//! harness serves every strategy, tier, and base model in the workspace.
+//!
+//! * [`ranking`] — Recall@K, NDCG@K, HitRate@K, Precision@K, MRR on a
+//!   ranked list.
+//! * [`topk`] — top-K selection over a score vector with a sorted
+//!   exclusion mask (train positives).
+//! * [`eval`] — per-user evaluation plus aggregation, including the
+//!   per-tier breakdown behind the paper's Fig. 6.
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod ranking;
+pub mod topk;
+
+pub use eval::{EvalResult, Evaluator, UserEval};
+pub use topk::top_k_excluding;

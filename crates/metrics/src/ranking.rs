@@ -1,0 +1,147 @@
+//! Ranking metrics over a recommended list.
+//!
+//! All functions take the recommendation list in rank order (best first)
+//! and the relevant (held-out test) items as a **sorted** slice, matching
+//! how `hf-dataset` stores splits.
+
+/// `true` iff `item` is in the sorted `relevant` slice.
+#[inline]
+fn is_relevant(relevant: &[u32], item: u32) -> bool {
+    relevant.binary_search(&item).is_ok()
+}
+
+/// Recall@K: fraction of relevant items that appear in the top-K.
+///
+/// Returns 0 when there are no relevant items.
+pub fn recall_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(k).filter(|&&i| is_relevant(relevant, i)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Precision@K: fraction of the top-K that is relevant.
+pub fn precision_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(k).filter(|&&i| is_relevant(relevant, i)).count();
+    hits as f64 / k.min(ranked.len()).max(1) as f64
+}
+
+/// HitRate@K: 1 if any relevant item appears in the top-K.
+pub fn hit_rate_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if ranked.iter().take(k).any(|&i| is_relevant(relevant, i)) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// NDCG@K with binary relevance: `DCG = Σ 1/log2(rank+1)` over hits,
+/// normalised by the ideal DCG for `min(K, |relevant|)` hits.
+pub fn ndcg_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, &i)| is_relevant(relevant, i))
+        .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
+        .sum();
+    let ideal: f64 =
+        (0..relevant.len().min(k)).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    dcg / ideal
+}
+
+/// Mean reciprocal rank (unbounded K): `1/rank` of the first hit, 0 if no
+/// relevant item is recommended.
+pub fn mrr(ranked: &[u32], relevant: &[u32]) -> f64 {
+    ranked
+        .iter()
+        .position(|&i| is_relevant(relevant, i))
+        .map(|pos| 1.0 / (pos + 1) as f64)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RANKED: [u32; 6] = [10, 20, 30, 40, 50, 60];
+
+    #[test]
+    fn recall_counts_hits_over_relevant() {
+        // relevant {20, 40, 99}: two of three in top-4.
+        assert!((recall_at_k(&RANKED, &[20, 40, 99], 4) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at_k(&RANKED, &[], 4), 0.0);
+        assert_eq!(recall_at_k(&RANKED, &[99], 4), 0.0);
+    }
+
+    #[test]
+    fn recall_is_monotone_in_k() {
+        let relevant = [30, 50];
+        let mut prev = 0.0;
+        for k in 1..=6 {
+            let r = recall_at_k(&RANKED, &relevant, k);
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert_eq!(prev, 1.0);
+    }
+
+    #[test]
+    fn precision_divides_by_k() {
+        assert!((precision_at_k(&RANKED, &[10, 20], 4) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_at_k(&RANKED, &[10], 0), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_is_binary() {
+        assert_eq!(hit_rate_at_k(&RANKED, &[60], 5), 0.0);
+        assert_eq!(hit_rate_at_k(&RANKED, &[60], 6), 1.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        assert!((ndcg_at_k(&[1, 2, 3], &[1, 2, 3], 3) - 1.0).abs() < 1e-12);
+        // Also when |relevant| > K.
+        assert!((ndcg_at_k(&[1, 2], &[1, 2, 3, 4], 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_rewards_earlier_hits() {
+        let early = ndcg_at_k(&[7, 1, 2], &[7], 3);
+        let late = ndcg_at_k(&[1, 2, 7], &[7], 3);
+        assert!(early > late);
+        assert!((early - 1.0).abs() < 1e-12);
+        assert!((late - 1.0 / 4.0_f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_bounds() {
+        for k in 1..6 {
+            let v = ndcg_at_k(&RANKED, &[20, 50], k);
+            assert!((0.0..=1.0 + 1e-12).contains(&v), "k={k} ndcg={v}");
+        }
+    }
+
+    #[test]
+    fn ndcg_hand_computed_case() {
+        // relevant {20, 99}; 20 at rank 2 → DCG = 1/log2(3).
+        // IDCG for 2 relevant in top-3 = 1/log2(2) + 1/log2(3).
+        let dcg = 1.0 / 3.0_f64.log2();
+        let idcg = 1.0 + 1.0 / 3.0_f64.log2();
+        assert!((ndcg_at_k(&RANKED, &[20, 99], 3) - dcg / idcg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_first_hit() {
+        assert!((mrr(&RANKED, &[30]) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mrr(&RANKED, &[99]), 0.0);
+        assert_eq!(mrr(&RANKED, &[10, 60]), 1.0);
+    }
+}

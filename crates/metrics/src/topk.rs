@@ -1,0 +1,135 @@
+//! Top-K selection with an exclusion mask.
+//!
+//! Full-ranking evaluation masks each user's training positives (they are
+//! trivially "known" and excluding them is the standard protocol the
+//! paper follows [69], [73]). A fixed-size binary min-heap over the
+//! candidate scores gives `O(|V| log K)` selection without sorting the
+//! whole universe.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Score-keyed heap entry; the `BinaryHeap` is a max-heap, so ordering is
+/// reversed to evict the *smallest* retained score first.
+#[derive(PartialEq)]
+struct Entry {
+    score: f32,
+    item: u32,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on score, forward on item id for deterministic ties.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+/// Selects the `k` highest-scoring items, skipping any in the **sorted**
+/// `exclude` mask. Ties break toward the smaller item id so results are
+/// deterministic. NaN scores are skipped.
+pub fn top_k_excluding(scores: &[f32], k: usize, exclude: &[u32]) -> Vec<u32> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (i, &score) in scores.iter().enumerate() {
+        if score.is_nan() {
+            continue;
+        }
+        let item = i as u32;
+        if exclude.binary_search(&item).is_ok() {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push(Entry { score, item });
+        } else if let Some(worst) = heap.peek() {
+            // Keep the candidate if it beats the current worst (or ties
+            // with a smaller id).
+            let better = score > worst.score
+                || (score == worst.score && item < worst.item);
+            if better {
+                heap.pop();
+                heap.push(Entry { score, item });
+            }
+        }
+    }
+    let mut out: Vec<Entry> = heap.into_vec();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    out.into_iter().map(|e| e.item).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_highest_scores_in_order() {
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.3];
+        assert_eq!(top_k_excluding(&scores, 3, &[]), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn excludes_masked_items() {
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.3];
+        assert_eq!(top_k_excluding(&scores, 3, &[1, 3]), vec![2, 4, 0]);
+    }
+
+    #[test]
+    fn k_larger_than_universe() {
+        let scores = [0.2, 0.1];
+        assert_eq!(top_k_excluding(&scores, 10, &[]), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(top_k_excluding(&[1.0, 2.0], 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn ties_break_to_smaller_id() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        assert_eq!(top_k_excluding(&scores, 2, &[]), vec![0, 1]);
+    }
+
+    #[test]
+    fn nan_scores_are_skipped() {
+        let scores = [f32::NAN, 0.5, f32::NAN, 0.7];
+        assert_eq!(top_k_excluding(&scores, 3, &[]), vec![3, 1]);
+    }
+
+    #[test]
+    fn matches_full_sort_reference() {
+        // Pseudo-random scores; compare against a sort-everything oracle.
+        let scores: Vec<f32> =
+            (0..500).map(|i| ((i * 2_654_435_761_u64 as usize) % 1000) as f32 / 1000.0).collect();
+        let exclude: Vec<u32> = (0..500).filter(|i| i % 7 == 0).map(|i| i as u32).collect();
+        let got = top_k_excluding(&scores, 20, &exclude);
+
+        let mut oracle: Vec<(f32, u32)> = scores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| exclude.binary_search(&(*i as u32)).is_err())
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        oracle.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let expected: Vec<u32> = oracle.into_iter().take(20).map(|(_, i)| i).collect();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,426 @@
+//! The shared feedforward preference predictor (`Θ` in the paper).
+//!
+//! Architecture per §V-D: layer sizes `[2N, 8, 8] → 1`, ReLU between
+//! hidden layers, identity on the output (the loss consumes logits).
+//! `Θ` travels between clients and server as a flat `Vec<f32>`; both the
+//! heterogeneous aggregation (Eq. 15) and the communication accounting
+//! (Table III) work on that flat form.
+
+use hf_tensor::ops::{relu, relu_grad};
+use hf_tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A multi-layer perceptron with ReLU hidden activations and a linear
+/// single-output head.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Ffn {
+    dims: Vec<usize>,
+    /// Per-layer weight matrices, `out_dim x in_dim`.
+    weights: Vec<Matrix>,
+    /// Per-layer bias vectors.
+    biases: Vec<Vec<f32>>,
+}
+
+impl Ffn {
+    /// Builds an FFN with the given layer sizes (`dims[0]` inputs through
+    /// `dims.last()` outputs), Glorot-initialised.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    pub fn new(dims: &[usize], rng: &mut impl Rng) -> Self {
+        assert!(dims.len() >= 2, "an FFN needs at least input and output sizes");
+        let weights = dims
+            .windows(2)
+            .map(|w| hf_tensor::init::glorot_uniform(w[1], w[0], rng))
+            .collect();
+        let biases = dims[1..].iter().map(|&d| vec![0.0; d]).collect();
+        Self { dims: dims.to_vec(), weights, biases }
+    }
+
+    /// Zero-valued FFN with the same shape (gradient accumulator).
+    pub fn zeros_like(&self) -> Self {
+        Self {
+            dims: self.dims.clone(),
+            weights: self.weights.iter().map(|w| Matrix::zeros(w.rows(), w.cols())).collect(),
+            biases: self.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
+        }
+    }
+
+    /// Layer sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Total parameter count (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.weights.iter().map(|w| w.len()).sum::<usize>()
+            + self.biases.iter().map(|b| b.len()).sum::<usize>()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Serialises all parameters into one flat vector
+    /// (per layer: row-major weights, then bias).
+    pub fn to_flat(&self) -> Vec<f32> {
+        let mut flat = Vec::with_capacity(self.num_params());
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            flat.extend_from_slice(w.as_slice());
+            flat.extend_from_slice(b);
+        }
+        flat
+    }
+
+    /// Reconstructs an FFN of shape `dims` from [`Ffn::to_flat`] output.
+    ///
+    /// # Panics
+    /// Panics if the flat length does not match the shape.
+    pub fn from_flat(dims: &[usize], flat: &[f32]) -> Self {
+        assert!(dims.len() >= 2);
+        let mut ffn = Self {
+            dims: dims.to_vec(),
+            weights: dims
+                .windows(2)
+                .map(|w| Matrix::zeros(w[1], w[0]))
+                .collect(),
+            biases: dims[1..].iter().map(|&d| vec![0.0; d]).collect(),
+        };
+        assert_eq!(flat.len(), ffn.num_params(), "flat parameter length mismatch");
+        let mut offset = 0;
+        for (w, b) in ffn.weights.iter_mut().zip(ffn.biases.iter_mut()) {
+            let wl = w.len();
+            w.as_mut_slice().copy_from_slice(&flat[offset..offset + wl]);
+            offset += wl;
+            let bl = b.len();
+            b.copy_from_slice(&flat[offset..offset + bl]);
+            offset += bl;
+        }
+        ffn
+    }
+
+    /// `self += alpha * other`, shape-checked (used for gradient
+    /// accumulation and server-side update application).
+    pub fn add_scaled(&mut self, alpha: f32, other: &Ffn) {
+        assert_eq!(self.dims, other.dims, "FFN shape mismatch");
+        for (w, ow) in self.weights.iter_mut().zip(&other.weights) {
+            w.axpy(alpha, ow);
+        }
+        for (b, ob) in self.biases.iter_mut().zip(&other.biases) {
+            hf_tensor::ops::axpy_slice(b, alpha, ob);
+        }
+    }
+
+    /// Sets every parameter to zero (gradient-buffer reset).
+    pub fn zero(&mut self) {
+        for w in &mut self.weights {
+            w.fill(0.0);
+        }
+        for b in &mut self.biases {
+            b.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// Forward pass producing the scalar logit, recording activations in
+    /// `cache` for the backward pass. `cache` must come from
+    /// [`FfnCache::for_ffn`] on an identically shaped FFN.
+    ///
+    /// # Panics
+    /// Panics if `input` width differs from `dims[0]`.
+    pub fn forward(&self, input: &[f32], cache: &mut FfnCache) -> f32 {
+        assert_eq!(input.len(), self.dims[0], "input width mismatch");
+        cache.input.clear();
+        cache.input.extend_from_slice(input);
+        let last = self.num_layers() - 1;
+        for l in 0..self.num_layers() {
+            let (w, b) = (&self.weights[l], &self.biases[l]);
+            // `pre` and `post` are distinct fields, so reading the previous
+            // layer's activations while writing this layer's borrows cleanly.
+            {
+                let src: &[f32] = if l == 0 { &cache.input } else { &cache.post[l - 1] };
+                let pre = &mut cache.pre[l];
+                for (o, out) in pre.iter_mut().enumerate() {
+                    *out = hf_tensor::ops::dot(w.row(o), src) + b[o];
+                }
+            }
+            let (pre_done, post_rest) = (&cache.pre[l], &mut cache.post[l]);
+            if l == last {
+                post_rest.copy_from_slice(pre_done);
+            } else {
+                for (p, &z) in post_rest.iter_mut().zip(pre_done.iter()) {
+                    *p = relu(z);
+                }
+            }
+        }
+        cache.post[last][0]
+    }
+
+    /// Backward pass for a single sample.
+    ///
+    /// `d_logit` is `∂L/∂logit`; gradients accumulate into `grads`
+    /// (shape-matched, from [`Ffn::zeros_like`]) and the gradient with
+    /// respect to the input is written into `d_input`.
+    pub fn backward(
+        &self,
+        d_logit: f32,
+        cache: &FfnCache,
+        grads: &mut Ffn,
+        d_input: &mut [f32],
+    ) {
+        assert_eq!(self.dims, grads.dims, "grad accumulator shape mismatch");
+        assert_eq!(d_input.len(), self.dims[0], "d_input width mismatch");
+        let last = self.num_layers() - 1;
+        // delta holds ∂L/∂pre[l] as we walk backwards.
+        let mut delta = vec![d_logit]; // output layer is linear
+        for l in (0..=last).rev() {
+            let src: &[f32] = if l == 0 { &cache.input } else { &cache.post[l - 1] };
+            // Parameter gradients.
+            let gw = &mut grads.weights[l];
+            for (o, &d) in delta.iter().enumerate() {
+                if d != 0.0 {
+                    gw.row_axpy(o, d, src);
+                }
+                grads.biases[l][o] += d;
+            }
+            // Propagate to the layer input.
+            let w = &self.weights[l];
+            let mut d_src = vec![0.0_f32; self.dims[l]];
+            for (o, &d) in delta.iter().enumerate() {
+                if d != 0.0 {
+                    hf_tensor::ops::axpy_slice(&mut d_src, d, w.row(o));
+                }
+            }
+            if l == 0 {
+                d_input.copy_from_slice(&d_src);
+            } else {
+                // Through the ReLU of layer l-1.
+                for (ds, &pre) in d_src.iter_mut().zip(cache.pre[l - 1].iter()) {
+                    *ds *= relu_grad(pre);
+                }
+                delta = d_src;
+            }
+        }
+    }
+
+    /// Largest absolute parameter (diagnostics / divergence guards).
+    pub fn max_abs(&self) -> f32 {
+        let w = self.weights.iter().map(|w| w.max_abs()).fold(0.0_f32, f32::max);
+        let b = self
+            .biases
+            .iter()
+            .flat_map(|b| b.iter())
+            .fold(0.0_f32, |m, x| m.max(x.abs()));
+        w.max(b)
+    }
+}
+
+/// Reusable forward-pass activation cache (one per worker thread; avoids
+/// per-sample allocation in the hot loop).
+#[derive(Clone, Debug)]
+pub struct FfnCache {
+    input: Vec<f32>,
+    pre: Vec<Vec<f32>>,
+    post: Vec<Vec<f32>>,
+}
+
+impl FfnCache {
+    /// Allocates a cache matching `ffn`'s shape.
+    pub fn for_ffn(ffn: &Ffn) -> Self {
+        Self {
+            input: Vec::with_capacity(ffn.dims[0]),
+            pre: ffn.dims[1..].iter().map(|&d| vec![0.0; d]).collect(),
+            post: ffn.dims[1..].iter().map(|&d| vec![0.0; d]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_tensor::ops::{bce_with_logits, bce_with_logits_grad};
+    use hf_tensor::rng::{stream, SeedStream};
+
+    fn make(dims: &[usize], seed: u64) -> Ffn {
+        let mut rng = stream(seed, SeedStream::ParamInit);
+        Ffn::new(dims, &mut rng)
+    }
+
+    #[test]
+    fn forward_of_zero_weights_is_bias() {
+        let mut ffn = make(&[4, 3, 1], 1);
+        ffn.zero();
+        let mut cache = FfnCache::for_ffn(&ffn);
+        assert_eq!(ffn.forward(&[1.0, 2.0, 3.0, 4.0], &mut cache), 0.0);
+    }
+
+    #[test]
+    fn forward_known_linear_case() {
+        // Single layer [2 -> 1]: logit = w . x + b.
+        let mut ffn = make(&[2, 1], 2);
+        ffn.zero();
+        let flat = vec![0.5, -1.0, 0.25]; // w00 w01 b0
+        let ffn = {
+            let mut f = Ffn::from_flat(&[2, 1], &flat);
+            f.dims = vec![2, 1];
+            f
+        };
+        let mut cache = FfnCache::for_ffn(&ffn);
+        let y = ffn.forward(&[2.0, 3.0], &mut cache);
+        assert!((y - (0.5 * 2.0 - 1.0 * 3.0 + 0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_parameters() {
+        let ffn = make(&[6, 8, 8, 1], 3);
+        let flat = ffn.to_flat();
+        assert_eq!(flat.len(), ffn.num_params());
+        let back = Ffn::from_flat(&[6, 8, 8, 1], &flat);
+        assert_eq!(ffn, back);
+    }
+
+    #[test]
+    fn num_params_matches_paper_architecture() {
+        // [2N, 8, 8, 1] with N=8: (16*8+8) + (8*8+8) + (8*1+1) = 217.
+        let ffn = make(&crate::paper_predictor_dims(8), 4);
+        assert_eq!(ffn.num_params(), 217);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let ffn = make(&[3, 2, 1], 5);
+        let mut acc = ffn.zeros_like();
+        acc.add_scaled(2.0, &ffn);
+        acc.add_scaled(-2.0, &ffn);
+        assert!(acc.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let dims = [5, 6, 4, 1];
+        let ffn = make(&dims, 6);
+        let mut rng = stream(99, SeedStream::Custom(1));
+        let input = hf_tensor::init::normal_vec(5, 1.0, &mut rng);
+        let target = 1.0;
+
+        let mut cache = FfnCache::for_ffn(&ffn);
+        let logit = ffn.forward(&input, &mut cache);
+        let mut grads = ffn.zeros_like();
+        let mut d_input = vec![0.0; 5];
+        ffn.backward(bce_with_logits_grad(logit, target), &cache, &mut grads, &mut d_input);
+
+        let flat = ffn.to_flat();
+        let gflat = grads.to_flat();
+        let eps = 1e-2;
+        let mut checked = 0;
+        for idx in (0..flat.len()).step_by(5) {
+            let mut fplus = flat.clone();
+            fplus[idx] += eps;
+            let mut fminus = flat.clone();
+            fminus[idx] -= eps;
+            let fp = Ffn::from_flat(&dims, &fplus);
+            let fm = Ffn::from_flat(&dims, &fminus);
+            let lp = bce_with_logits(fp.forward(&input, &mut cache), target);
+            let lm = bce_with_logits(fm.forward(&input, &mut cache), target);
+            let fd = (lp - lm) / (2.0 * eps);
+            let g = gflat[idx];
+            assert!(
+                (fd - g).abs() < 5e-3 * fd.abs().max(g.abs()).max(1.0),
+                "param {idx}: analytic {g} vs fd {fd}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 10);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let dims = [4, 6, 1];
+        let ffn = make(&dims, 7);
+        let mut rng = stream(98, SeedStream::Custom(2));
+        let input = hf_tensor::init::normal_vec(4, 1.0, &mut rng);
+
+        let mut cache = FfnCache::for_ffn(&ffn);
+        let logit = ffn.forward(&input, &mut cache);
+        let mut grads = ffn.zeros_like();
+        let mut d_input = vec![0.0; 4];
+        ffn.backward(bce_with_logits_grad(logit, 0.0), &cache, &mut grads, &mut d_input);
+
+        let eps = 1e-2;
+        for i in 0..4 {
+            let mut plus = input.clone();
+            plus[i] += eps;
+            let mut minus = input.clone();
+            minus[i] -= eps;
+            let lp = bce_with_logits(ffn.forward(&plus, &mut cache), 0.0);
+            let lm = bce_with_logits(ffn.forward(&minus, &mut cache), 0.0);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - d_input[i]).abs() < 5e-3 * fd.abs().max(1.0),
+                "input {i}: analytic {} vs fd {fd}",
+                d_input[i]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_task() {
+        // Learn XOR-ish separability: y = 1 iff x0 > x1.
+        let ffn = make(&[2, 8, 1], 8);
+        let mut model = ffn;
+        let mut cache = FfnCache::for_ffn(&model);
+        let mut rng = stream(55, SeedStream::Custom(3));
+        let samples: Vec<([f32; 2], f32)> = (0..200)
+            .map(|_| {
+                let x: [f32; 2] = [
+                    rand::Rng::gen::<f32>(&mut rng) * 2.0 - 1.0,
+                    rand::Rng::gen::<f32>(&mut rng) * 2.0 - 1.0,
+                ];
+                let y = if x[0] > x[1] { 1.0 } else { 0.0 };
+                (x, y)
+            })
+            .collect();
+
+        let loss_of = |m: &Ffn, c: &mut FfnCache| -> f32 {
+            samples.iter().map(|(x, y)| bce_with_logits(m.forward(x, c), *y)).sum::<f32>()
+                / samples.len() as f32
+        };
+        let before = loss_of(&model, &mut cache);
+        for _ in 0..60 {
+            let mut grads = model.zeros_like();
+            let mut d_input = [0.0_f32; 2];
+            for (x, y) in &samples {
+                let logit = model.forward(x, &mut cache);
+                model_backward(&model, logit, *y, &cache, &mut grads, &mut d_input);
+            }
+            model.add_scaled(-0.5 / samples.len() as f32, &grads);
+        }
+        let after = loss_of(&model, &mut cache);
+        assert!(after < before * 0.7, "before {before}, after {after}");
+    }
+
+    fn model_backward(
+        model: &Ffn,
+        logit: f32,
+        y: f32,
+        cache: &FfnCache,
+        grads: &mut Ffn,
+        d_input: &mut [f32; 2],
+    ) {
+        model.backward(bce_with_logits_grad(logit, y), cache, grads, d_input);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn forward_rejects_wrong_width() {
+        let ffn = make(&[3, 1], 9);
+        let mut cache = FfnCache::for_ffn(&ffn);
+        let _ = ffn.forward(&[1.0, 2.0], &mut cache);
+    }
+}

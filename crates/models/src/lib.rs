@@ -1,0 +1,69 @@
+//! # hf-models
+//!
+//! Base recommendation models with hand-written backpropagation.
+//!
+//! The paper demonstrates HeteFedRec on two widely used recommenders
+//! (§III-B):
+//!
+//! * **NCF** (neural collaborative filtering): `r̂ = σ(FFN([u, v]))`, a
+//!   three-layer feedforward predictor over the concatenated user and item
+//!   embeddings with dimensions `[2N, 8, 8] → 1` (§V-D).
+//! * **LightGCN**: user and item embeddings are first propagated on the
+//!   *client-local* bipartite graph (one layer, privacy constraint from
+//!   §III-B), then scored with the same predictor (Eq. 5).
+//!
+//! There is no autograd anywhere in this workspace — the repro hint warns
+//! that Rust ML frameworks are immature for this workload — so every
+//! gradient is analytic and checked against finite differences in the
+//! test suites.
+//!
+//! Layout:
+//! * [`ffn`] — the shared feedforward predictor with forward caches,
+//!   backward pass, and flat (de)serialisation for federated transport.
+//! * [`ncf`] — the NCF scoring engine.
+//! * [`lightgcn`] — local-graph propagation + scoring engine.
+//! * [`sparse`] — row-sparse gradient accumulation for item embeddings.
+
+#![warn(missing_docs)]
+
+pub mod ffn;
+pub mod lightgcn;
+pub mod ncf;
+pub mod sparse;
+
+pub use ffn::{Ffn, FfnCache};
+pub use lightgcn::{LightGcnEngine, LocalGraph};
+pub use ncf::NcfEngine;
+pub use sparse::RowGradBuffer;
+
+use serde::{Deserialize, Serialize};
+
+/// Which base recommendation model an experiment uses (paper: Fed-NCF or
+/// Fed-LightGCN).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Neural collaborative filtering.
+    Ncf,
+    /// LightGCN with client-local propagation.
+    LightGcn,
+}
+
+impl ModelKind {
+    /// Both base models.
+    pub const ALL: [ModelKind; 2] = [ModelKind::Ncf, ModelKind::LightGcn];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Ncf => "Fed-NCF",
+            ModelKind::LightGcn => "Fed-LightGCN",
+        }
+    }
+}
+
+/// The paper's predictor layer sizes for embedding dimension `n`:
+/// `[2n, 8, 8] → 1` (§V-D: "three feedforward layers with `[2 × N∗, 8, 8]`
+/// dimensions").
+pub fn paper_predictor_dims(n: usize) -> Vec<usize> {
+    vec![2 * n, 8, 8, 1]
+}

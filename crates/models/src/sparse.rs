@@ -1,0 +1,168 @@
+//! Row-sparse gradient accumulation for item-embedding tables.
+//!
+//! A federated client's batch touches a handful of item rows (its
+//! positives, sampled negatives, and — for LightGCN — its local-graph
+//! items). Accumulating into a dense `|V| x N` buffer would dominate the
+//! round cost, so gradients are keyed by row with slot reuse across a
+//! local epoch. The buffer is also the wire format producer: its contents
+//! become the sparse update a client uploads (DESIGN.md §5).
+
+use std::collections::HashMap;
+
+/// Accumulates per-row gradients of fixed width.
+#[derive(Clone, Debug)]
+pub struct RowGradBuffer {
+    dim: usize,
+    slots: HashMap<u32, usize>,
+    rows: Vec<u32>,
+    data: Vec<f32>,
+}
+
+impl RowGradBuffer {
+    /// Creates a buffer for rows of width `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, slots: HashMap::new(), rows: Vec::new(), data: Vec::new() }
+    }
+
+    /// Gradient width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of distinct rows touched.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows are touched.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// `grad` may be narrower than `dim` (a prefix-width contribution from
+    /// a smaller tier task); the tail stays untouched.
+    ///
+    /// # Panics
+    /// Panics if `grad` is wider than `dim`.
+    pub fn accumulate(&mut self, row: u32, scale: f32, grad: &[f32]) {
+        assert!(grad.len() <= self.dim, "grad wider than buffer dim");
+        let slot = *self.slots.entry(row).or_insert_with(|| {
+            self.rows.push(row);
+            self.data.extend(std::iter::repeat_n(0.0, self.dim));
+            self.rows.len() - 1
+        });
+        let start = slot * self.dim;
+        for (acc, &g) in self.data[start..start + grad.len()].iter_mut().zip(grad) {
+            *acc += scale * g;
+        }
+    }
+
+    /// Iterates `(row, gradient)` pairs in first-touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[f32])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(move |(slot, &row)| (row, &self.data[slot * self.dim..(slot + 1) * self.dim]))
+    }
+
+    /// Gradient for one row, if touched.
+    pub fn get(&self, row: u32) -> Option<&[f32]> {
+        self.slots.get(&row).map(|&slot| &self.data[slot * self.dim..(slot + 1) * self.dim])
+    }
+
+    /// Resets to empty, retaining allocations for reuse.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.rows.clear();
+        self.data.clear();
+    }
+
+    /// Drains into owned `(row, grad)` pairs (the upload payload), leaving
+    /// the buffer empty but allocated.
+    pub fn drain(&mut self) -> Vec<(u32, Vec<f32>)> {
+        let out = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(slot, &row)| (row, self.data[slot * self.dim..(slot + 1) * self.dim].to_vec()))
+            .collect();
+        self.clear();
+        out
+    }
+
+    /// Scales every accumulated gradient (e.g. batch-size normalisation).
+    pub fn scale(&mut self, alpha: f32) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_same_row() {
+        let mut buf = RowGradBuffer::new(3);
+        buf.accumulate(5, 1.0, &[1.0, 2.0, 3.0]);
+        buf.accumulate(5, 2.0, &[1.0, 1.0, 1.0]);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.get(5).unwrap(), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn distinct_rows_get_distinct_slots() {
+        let mut buf = RowGradBuffer::new(2);
+        buf.accumulate(1, 1.0, &[1.0, 0.0]);
+        buf.accumulate(9, 1.0, &[0.0, 1.0]);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.get(1).unwrap(), &[1.0, 0.0]);
+        assert_eq!(buf.get(9).unwrap(), &[0.0, 1.0]);
+        assert!(buf.get(2).is_none());
+    }
+
+    #[test]
+    fn prefix_grad_leaves_tail_zero() {
+        let mut buf = RowGradBuffer::new(4);
+        buf.accumulate(0, 1.0, &[1.0, 2.0]);
+        assert_eq!(buf.get(0).unwrap(), &[1.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn iter_preserves_first_touch_order() {
+        let mut buf = RowGradBuffer::new(1);
+        for row in [7, 3, 11, 3, 7] {
+            buf.accumulate(row, 1.0, &[1.0]);
+        }
+        let order: Vec<u32> = buf.iter().map(|(r, _)| r).collect();
+        assert_eq!(order, vec![7, 3, 11]);
+        assert_eq!(buf.get(7).unwrap(), &[2.0]);
+    }
+
+    #[test]
+    fn drain_empties_but_retains_capacity() {
+        let mut buf = RowGradBuffer::new(2);
+        buf.accumulate(4, 1.0, &[1.0, 1.0]);
+        let drained = buf.drain();
+        assert_eq!(drained, vec![(4, vec![1.0, 1.0])]);
+        assert!(buf.is_empty());
+        buf.accumulate(4, 1.0, &[2.0, 2.0]);
+        assert_eq!(buf.get(4).unwrap(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_rescales_everything() {
+        let mut buf = RowGradBuffer::new(1);
+        buf.accumulate(0, 1.0, &[2.0]);
+        buf.accumulate(1, 1.0, &[4.0]);
+        buf.scale(0.5);
+        assert_eq!(buf.get(0).unwrap(), &[1.0]);
+        assert_eq!(buf.get(1).unwrap(), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than buffer")]
+    fn rejects_overwide_grad() {
+        let mut buf = RowGradBuffer::new(2);
+        buf.accumulate(0, 1.0, &[1.0, 2.0, 3.0]);
+    }
+}

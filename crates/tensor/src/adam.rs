@@ -1,0 +1,261 @@
+//! Adam optimiser state, dense and sparse-row flavours.
+//!
+//! The paper adopts Adam with learning rate 0.001 (Section V-D). Two usage
+//! patterns appear in the reproduction:
+//!
+//! * [`Adam`] — dense state over a flat parameter vector, used for FFN
+//!   predictor parameters and per-client private user embeddings.
+//! * [`SparseRowAdam`] — row-keyed state for embedding tables where a step
+//!   only touches the rows present in a batch (a federated client touches
+//!   only its own items; the server touches only rows that received
+//!   updates). Moment tensors are allocated lazily per row, and the
+//!   per-row timestep is tracked individually so bias correction stays
+//!   exact for rarely-updated rows.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate (paper: 0.001).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator stabiliser.
+    pub eps: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+impl AdamConfig {
+    /// Convenience constructor overriding only the learning rate.
+    pub fn with_lr(lr: f32) -> Self {
+        Self { lr, ..Self::default() }
+    }
+}
+
+/// Dense Adam state over a flat parameter vector.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates state for `len` parameters.
+    pub fn new(len: usize, config: AdamConfig) -> Self {
+        Self { config, m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+    }
+
+    /// Number of tracked parameters.
+    pub fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// `true` when tracking zero parameters.
+    pub fn is_empty(&self) -> bool {
+        self.m.is_empty()
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update: `params -= lr * m̂ / (sqrt(v̂) + eps)`.
+    ///
+    /// # Panics
+    /// Panics if `params` or `grads` length differs from the state length.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "param length mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
+        self.t += 1;
+        let AdamConfig { lr, beta1, beta2, eps } = self.config;
+        let bc1 = 1.0 - beta1.powi(self.t as i32);
+        let bc2 = 1.0 - beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = beta1 * self.m[i] + (1.0 - beta1) * g;
+            self.v[i] = beta2 * self.v[i] + (1.0 - beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+}
+
+/// Adam state keyed by embedding-table row, for sparse updates.
+///
+/// Rows never seen carry no memory cost beyond a `None` slot.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SparseRowAdam {
+    config: AdamConfig,
+    dim: usize,
+    rows: Vec<Option<RowState>>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct RowState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl SparseRowAdam {
+    /// Creates state for a table of `num_rows` rows of width `dim`.
+    pub fn new(num_rows: usize, dim: usize, config: AdamConfig) -> Self {
+        Self { config, dim, rows: vec![None; num_rows] }
+    }
+
+    /// Embedding width this state was created for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows that have received at least one update.
+    pub fn active_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Applies an Adam update to a single row (or row prefix: `grad` may be
+    /// shorter than `dim`, in which case only the leading entries step —
+    /// the heterogeneous-tier case where a small-tier update reaches a wide
+    /// table).
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range, `params` is shorter than `grad`,
+    /// or `grad` is wider than `dim`.
+    pub fn step_row(&mut self, row: usize, params: &mut [f32], grad: &[f32]) {
+        assert!(grad.len() <= self.dim, "grad wider than table dim");
+        assert!(params.len() >= grad.len(), "param slice shorter than grad");
+        let state = self.rows[row].get_or_insert_with(|| RowState {
+            m: vec![0.0; self.dim],
+            v: vec![0.0; self.dim],
+            t: 0,
+        });
+        state.t += 1;
+        let AdamConfig { lr, beta1, beta2, eps } = self.config;
+        let bc1 = 1.0 - beta1.powi(state.t as i32);
+        let bc2 = 1.0 - beta2.powi(state.t as i32);
+        for i in 0..grad.len() {
+            let g = grad[i];
+            state.m[i] = beta1 * state.m[i] + (1.0 - beta1) * g;
+            state.v[i] = beta2 * state.v[i] + (1.0 - beta2) * g * g;
+            let m_hat = state.m[i] / bc1;
+            let v_hat = state.v[i] / bc2;
+            params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimising f(x) = (x-3)² should converge to 3.
+    #[test]
+    fn dense_adam_minimises_quadratic() {
+        let mut adam = Adam::new(1, AdamConfig::with_lr(0.1));
+        let mut x = [0.0_f32];
+        for _ in 0..500 {
+            let g = [2.0 * (x[0] - 3.0)];
+            adam.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn first_step_magnitude_is_lr() {
+        // Adam's bias correction makes the very first step ≈ lr * sign(g).
+        let mut adam = Adam::new(1, AdamConfig::with_lr(0.01));
+        let mut x = [1.0_f32];
+        adam.step(&mut x, &[42.0]);
+        assert!((x[0] - (1.0 - 0.01)).abs() < 1e-4, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn zero_gradient_is_a_noop() {
+        let mut adam = Adam::new(3, AdamConfig::default());
+        let mut x = [1.0, 2.0, 3.0];
+        adam.step(&mut x, &[0.0, 0.0, 0.0]);
+        assert_eq!(x, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grad length mismatch")]
+    fn dense_rejects_mismatched_grad() {
+        let mut adam = Adam::new(2, AdamConfig::default());
+        let mut x = [0.0, 0.0];
+        adam.step(&mut x, &[1.0]);
+    }
+
+    #[test]
+    fn sparse_rows_are_lazily_allocated() {
+        let mut adam = SparseRowAdam::new(100, 4, AdamConfig::default());
+        assert_eq!(adam.active_rows(), 0);
+        let mut row = [0.0; 4];
+        adam.step_row(7, &mut row, &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(adam.active_rows(), 1);
+    }
+
+    #[test]
+    fn sparse_per_row_timesteps_match_dense_behaviour() {
+        // A row updated in isolation must follow the same trajectory as a
+        // dense Adam on that row alone.
+        let cfg = AdamConfig::with_lr(0.05);
+        let mut sparse = SparseRowAdam::new(10, 2, cfg);
+        let mut dense = Adam::new(2, cfg);
+        let mut row_sparse = [1.0_f32, -1.0];
+        let mut row_dense = [1.0_f32, -1.0];
+        for step in 0..20 {
+            let g = [0.3 + step as f32 * 0.01, -0.2];
+            sparse.step_row(3, &mut row_sparse, &g);
+            dense.step(&mut row_dense, &g);
+        }
+        for (a, b) in row_sparse.iter().zip(&row_dense) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sparse_prefix_update_leaves_tail_untouched() {
+        let mut adam = SparseRowAdam::new(4, 6, AdamConfig::with_lr(0.1));
+        let mut row = [5.0_f32; 6];
+        adam.step_row(0, &mut row, &[1.0, 1.0]); // prefix width 2
+        assert_ne!(row[0], 5.0);
+        assert_ne!(row[1], 5.0);
+        assert!(row[2..].iter().all(|&x| x == 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "grad wider")]
+    fn sparse_rejects_overwide_grad() {
+        let mut adam = SparseRowAdam::new(2, 2, AdamConfig::default());
+        let mut row = [0.0; 3];
+        adam.step_row(0, &mut row, &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sparse_minimises_per_row_quadratics() {
+        let mut adam = SparseRowAdam::new(3, 1, AdamConfig::with_lr(0.1));
+        let targets = [1.0_f32, -2.0, 0.5];
+        let mut rows = [[0.0_f32]; 3];
+        for _ in 0..400 {
+            for (i, target) in targets.iter().enumerate() {
+                let g = [2.0 * (rows[i][0] - target)];
+                adam.step_row(i, &mut rows[i], &g);
+            }
+        }
+        for (row, target) in rows.iter().zip(&targets) {
+            assert!((row[0] - target).abs() < 2e-2);
+        }
+    }
+}

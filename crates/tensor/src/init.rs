@@ -1,0 +1,115 @@
+//! Parameter initialisers.
+//!
+//! The paper inherits the usual deep-recsys defaults: Glorot/Xavier for FFN
+//! weights and small-variance normal draws for embedding tables. The
+//! heterogeneous aggregation (Eq. 10) additionally requires that tier
+//! tables are initialised *from the same point* on their shared column
+//! prefixes — [`embedding_normal`] guarantees this by construction because
+//! the generator fills row-major and each tier table is a prefix slice of
+//! the widest one.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand_distr_shim::StandardNormalShim;
+
+/// Glorot/Xavier-uniform initialised matrix: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn glorot_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+/// Normal(0, std) initialised matrix, the convention for embedding tables.
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| sample_normal(rng) * std)
+}
+
+/// Normal(0, std) initialised flat vector (for biases / user embeddings).
+pub fn normal_vec(len: usize, std: f32, rng: &mut impl Rng) -> Vec<f32> {
+    (0..len).map(|_| sample_normal(rng) * std).collect()
+}
+
+/// Embedding-table initialiser: Normal(0, `1/sqrt(dim)`), the scale that
+/// keeps dot products O(1) regardless of dimension — important when tiers
+/// of very different widths (8 vs 128) must coexist.
+pub fn embedding_normal(rows: usize, dim: usize, rng: &mut impl Rng) -> Matrix {
+    normal(rows, dim, 1.0 / (dim.max(1) as f32).sqrt(), rng)
+}
+
+/// Samples a standard normal via Box–Muller (keeps the dependency surface
+/// at plain `rand`, per the offline-crate constraint).
+fn sample_normal(rng: &mut impl Rng) -> f32 {
+    StandardNormalShim.sample(rng)
+}
+
+/// Minimal standard-normal sampler; lives in a private module so the
+/// Box–Muller plumbing does not leak into the public API.
+mod rand_distr_shim {
+    use rand::Rng;
+
+    pub struct StandardNormalShim;
+
+    impl StandardNormalShim {
+        pub fn sample(&self, rng: &mut impl Rng) -> f32 {
+            // Box–Muller: draw u1 in (0,1] to avoid ln(0).
+            let u1: f32 = 1.0 - rng.gen::<f32>();
+            let u2: f32 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{stream, SeedStream};
+
+    #[test]
+    fn glorot_respects_bound() {
+        let mut rng = stream(1, SeedStream::ParamInit);
+        let m = glorot_uniform(64, 32, &mut rng);
+        let a = (6.0 / 96.0_f32).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = stream(2, SeedStream::ParamInit);
+        let m = normal(200, 50, 0.5, &mut rng);
+        let n = m.len() as f64;
+        let mean: f64 = m.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var: f64 = m.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn embedding_scale_tracks_dimension() {
+        let mut rng = stream(3, SeedStream::ParamInit);
+        let wide = embedding_normal(500, 64, &mut rng);
+        let n = wide.len() as f64;
+        let var: f64 = wide.as_slice().iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / n;
+        let expected = 1.0 / 64.0;
+        assert!((var - expected).abs() < expected * 0.15, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn initialisation_is_deterministic_per_stream() {
+        let mut a = stream(9, SeedStream::ParamInit);
+        let mut b = stream(9, SeedStream::ParamInit);
+        assert_eq!(glorot_uniform(4, 4, &mut a), glorot_uniform(4, 4, &mut b));
+    }
+
+    #[test]
+    fn normal_vec_length() {
+        let mut rng = stream(4, SeedStream::UserInit);
+        assert_eq!(normal_vec(17, 0.1, &mut rng).len(), 17);
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let mut rng = stream(5, SeedStream::ParamInit);
+        let m = normal(100, 10, 1.0, &mut rng);
+        assert!(m.all_finite());
+    }
+}

@@ -1,0 +1,46 @@
+//! # hf-tensor
+//!
+//! Dense `f32` linear-algebra substrate for the HeteFedRec reproduction.
+//!
+//! Every numerical primitive the federated recommender stack needs lives
+//! here so that the higher layers (models, aggregation, distillation) stay
+//! free of ad-hoc math:
+//!
+//! * [`Matrix`] — row-major dense matrix with the handful of BLAS-like
+//!   operations the models require (matmul, transpose, axpy, prefix-column
+//!   views for heterogeneous embeddings).
+//! * [`rng`] — deterministic, purpose-keyed random streams so every
+//!   experiment is bit-reproducible from a single seed.
+//! * [`init`] — Glorot/Xavier and scaled-normal initialisers.
+//! * [`ops`] — scalar activations and losses (sigmoid, BCE-with-logits,
+//!   ReLU) plus a few vector helpers.
+//! * [`stats`] — column statistics, covariance and correlation matrices
+//!   (the inputs to the paper's dimensional-decorrelation regulariser,
+//!   Eq. 13, and the Table V diagnostic).
+//! * [`eigen`] — a cyclic Jacobi eigen-solver for symmetric matrices, used
+//!   to obtain the singular values of embedding covariance matrices.
+//! * [`sim`] — pairwise cosine-similarity matrices and their analytic
+//!   gradient, the core of relation-based ensemble self-distillation
+//!   (Eq. 16–17).
+//! * [`adam`] — Adam optimiser state for dense parameter vectors and for
+//!   sparse row-subsets of embedding tables.
+//!
+//! The crate is intentionally framework-free: the repro band for this paper
+//! flags Rust ML frameworks as immature for distillation workflows, so all
+//! gradients in the workspace are written (and finite-difference tested) by
+//! hand on top of these primitives.
+
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod eigen;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+
+pub use adam::{Adam, AdamConfig, SparseRowAdam};
+pub use matrix::Matrix;
+pub use rng::{stream, SeedStream};

@@ -1,0 +1,460 @@
+//! Row-major dense `f32` matrix.
+//!
+//! The recommender models only need a small set of operations, but two of
+//! them are unusual and drive the design:
+//!
+//! * **Prefix-column views.** Heterogeneous tiers operate on the *leading*
+//!   `n` columns of a wider embedding table (the paper's `V[:Ns]` slices,
+//!   Eq. 10/11). Rows are contiguous, so a prefix view of a row is just a
+//!   shorter slice — every row accessor therefore takes an optional width.
+//! * **Sparse row updates.** A federated client touches only the item rows
+//!   in its local batch, so in-place row `axpy` must be cheap and
+//!   allocation-free.
+
+use serde::{Deserialize, Serialize};
+
+/// Row-major dense matrix of `f32`.
+///
+/// Invariant: `data.len() == rows * cols` at all times.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix of shape `rows x cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with a constant value.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat buffer length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Sets a single element.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Full row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Full row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Leading `width` entries of row `r` — the `[:width]` prefix view the
+    /// heterogeneous tiers operate on.
+    ///
+    /// # Panics
+    /// Panics if `width > cols`.
+    #[inline]
+    pub fn row_prefix(&self, r: usize, width: usize) -> &[f32] {
+        assert!(width <= self.cols, "prefix width {width} exceeds {} columns", self.cols);
+        let start = r * self.cols;
+        &self.data[start..start + width]
+    }
+
+    /// Mutable leading `width` entries of row `r`.
+    #[inline]
+    pub fn row_prefix_mut(&mut self, r: usize, width: usize) -> &mut [f32] {
+        assert!(width <= self.cols, "prefix width {width} exceeds {} columns", self.cols);
+        let start = r * self.cols;
+        &mut self.data[start..start + width]
+    }
+
+    /// Copies the leading `width` columns into a new `rows x width` matrix
+    /// (materialises the paper's `V[:N]` sub-table).
+    pub fn prefix_columns(&self, width: usize) -> Matrix {
+        assert!(width <= self.cols, "prefix width {width} exceeds {} columns", self.cols);
+        let mut out = Vec::with_capacity(self.rows * width);
+        for r in 0..self.rows {
+            out.extend_from_slice(self.row_prefix(r, width));
+        }
+        Matrix::from_vec(self.rows, width, out)
+    }
+
+    /// Copies a subset of rows (in the given order) into a new matrix.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Vec::with_capacity(indices.len() * self.cols);
+        for &r in indices {
+            out.extend_from_slice(self.row(r));
+        }
+        Matrix::from_vec(indices.len(), self.cols, out)
+    }
+
+    /// Copies a subset of rows restricted to the leading `width` columns.
+    pub fn select_rows_prefix(&self, indices: &[usize], width: usize) -> Matrix {
+        let mut out = Vec::with_capacity(indices.len() * width);
+        for &r in indices {
+            out.extend_from_slice(self.row_prefix(r, width));
+        }
+        Matrix::from_vec(indices.len(), width, out)
+    }
+
+    /// Fills every element with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// `self += alpha * other` (same shape).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self[r][..len] += alpha * v` for a single row prefix.
+    #[inline]
+    pub fn row_axpy(&mut self, r: usize, alpha: f32, v: &[f32]) {
+        let row = self.row_prefix_mut(r, v.len());
+        for (a, b) in row.iter_mut().zip(v.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Straightforward ikj-ordered triple loop; the workspace's matrices are
+    /// small (≤ a few hundred columns) so cache-friendly ordering is all the
+    /// optimisation needed.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row_start = i * other.cols;
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                let out_row = &mut out.data[out_row_start..out_row_start + other.cols];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * self` without materialising the transpose — the Gram matrix
+    /// used by covariance/correlation computations.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut out = Matrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (i, &xi) in row.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &xj) in out_row.iter_mut().zip(row.iter()) {
+                    *o += xi * xj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm `sqrt(sum of squares)`.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| (*x as f64) * (*x as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Sum of squared elements (squared Frobenius norm) in f64 for accuracy.
+    pub fn sum_squares(&self) -> f64 {
+        self.data.iter().map(|x| (*x as f64) * (*x as f64)).sum()
+    }
+
+    /// Maximum absolute element, or 0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, x| m.max(x.abs()))
+    }
+
+    /// `true` if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Elementwise sum with another matrix, producing a new matrix.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.axpy(1.0, other);
+        out
+    }
+
+    /// Elementwise difference `self - other`, producing a new matrix.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.axpy(-1.0, other);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_contents() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_fn_indexing_is_row_major() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat buffer length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_prefix_views() {
+        let m = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(m.row_prefix(1, 2), &[4.0, 5.0]);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix width")]
+    fn row_prefix_rejects_overwide() {
+        let m = Matrix::zeros(2, 3);
+        let _ = m.row_prefix(0, 4);
+    }
+
+    #[test]
+    fn prefix_columns_materialises_leading_slice() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let p = m.prefix_columns(2);
+        assert_eq!(p.rows(), 3);
+        assert_eq!(p.cols(), 2);
+        assert_eq!(p.as_slice(), &[0.0, 1.0, 4.0, 5.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn select_rows_in_order() {
+        let m = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let s = m.select_rows(&[3, 1]);
+        assert_eq!(s.as_slice(), &[6.0, 7.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn select_rows_prefix_combines_both() {
+        let m = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let s = m.select_rows_prefix(&[2, 0], 2);
+        assert_eq!(s.as_slice(), &[6.0, 7.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r + c) as f32 + 0.5);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn gram_equals_transpose_matmul() {
+        let a = Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) as f32).sin());
+        let g = a.gram();
+        let g2 = a.transpose().matmul(&a);
+        for (x, y) in g.as_slice().iter().zip(g2.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = Matrix::from_fn(2, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+        a.scale(0.25);
+        assert_eq!(a.as_slice(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn row_axpy_touches_only_target_prefix() {
+        let mut a = Matrix::zeros(2, 3);
+        a.row_axpy(1, 2.0, &[1.0, 2.0]);
+        assert_eq!(a.as_slice(), &[0.0, 0.0, 0.0, 2.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let a = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + 2 * c) as f32);
+        let b = Matrix::filled(2, 2, 1.5);
+        let roundtrip = a.add(&b).sub(&b);
+        for (x, y) in roundtrip.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn max_abs_and_finiteness() {
+        let a = Matrix::from_vec(1, 3, vec![-2.0, 1.0, 0.5]);
+        assert_eq!(a.max_abs(), 2.0);
+        assert!(a.all_finite());
+        let b = Matrix::from_vec(1, 1, vec![f32::NAN]);
+        assert!(!b.all_finite());
+    }
+}

@@ -1,0 +1,164 @@
+//! Scalar activations, losses, and small vector helpers.
+//!
+//! The recommendation loss throughout the paper is binary cross-entropy on
+//! implicit feedback (Eq. 2). We keep it in logit space
+//! ([`bce_with_logits`]) for numerical stability; its gradient with respect
+//! to the logit is the famously tidy `sigmoid(z) - y`.
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy evaluated in logit space:
+/// `max(z,0) - z*y + ln(1 + exp(-|z|))`.
+///
+/// Mathematically identical to `-y ln σ(z) - (1-y) ln(1-σ(z))` (Eq. 2 of
+/// the paper) but immune to `ln(0)`.
+#[inline]
+pub fn bce_with_logits(logit: f32, target: f32) -> f32 {
+    logit.max(0.0) - logit * target + (1.0 + (-logit.abs()).exp()).ln()
+}
+
+/// Gradient of [`bce_with_logits`] with respect to the logit: `σ(z) - y`.
+#[inline]
+pub fn bce_with_logits_grad(logit: f32, target: f32) -> f32 {
+    sigmoid(logit) - target
+}
+
+/// Rectified linear unit.
+#[inline]
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Derivative of ReLU evaluated at the *pre-activation* value.
+#[inline]
+pub fn relu_grad(pre_activation: f32) -> f32 {
+    if pre_activation > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics (debug) if lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn l2_norm(v: &[f32]) -> f32 {
+    dot(v, v).sqrt()
+}
+
+/// `out += alpha * v` elementwise.
+#[inline]
+pub fn axpy_slice(out: &mut [f32], alpha: f32, v: &[f32]) {
+    debug_assert_eq!(out.len(), v.len());
+    for (o, x) in out.iter_mut().zip(v.iter()) {
+        *o += alpha * x;
+    }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(v: &[f32]) -> f32 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    (v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64) as f32
+}
+
+/// Population variance of a slice (0 for len < 2 inputs).
+pub fn variance(v: &[f32]) -> f32 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v) as f64;
+    (v.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / v.len() as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        for z in [-50.0, -3.0, -0.1, 0.2, 4.0, 80.0] {
+            let s = sigmoid(z);
+            assert!(s.is_finite() && (0.0..=1.0).contains(&s));
+            assert!((sigmoid(-z) - (1.0 - s)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bce_matches_naive_formula_in_safe_range() {
+        for &(z, y) in &[(0.3_f32, 1.0_f32), (-0.7, 0.0), (2.0, 1.0), (-1.5, 1.0)] {
+            let p = sigmoid(z);
+            let naive = -y * p.ln() - (1.0 - y) * (1.0 - p).ln();
+            assert!((bce_with_logits(z, y) - naive).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bce_is_stable_at_extremes() {
+        assert!(bce_with_logits(100.0, 0.0).is_finite());
+        assert!(bce_with_logits(-100.0, 1.0).is_finite());
+        // Correct, confident predictions have ~zero loss.
+        assert!(bce_with_logits(100.0, 1.0) < 1e-6);
+        assert!(bce_with_logits(-100.0, 0.0) < 1e-6);
+    }
+
+    #[test]
+    fn bce_grad_is_sigmoid_minus_target() {
+        let z = 0.83;
+        let eps = 1e-3;
+        for y in [0.0, 1.0] {
+            let fd = (bce_with_logits(z + eps, y) - bce_with_logits(z - eps, y)) / (2.0 * eps);
+            assert!((bce_with_logits_grad(z, y) - fd).abs() < 1e-3, "y={y}");
+        }
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu(3.0), 3.0);
+        assert_eq!(relu_grad(-0.5), 0.0);
+        assert_eq!(relu_grad(0.5), 1.0);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_slice_accumulates() {
+        let mut out = [1.0, 1.0];
+        axpy_slice(&mut out, 2.0, &[1.0, 3.0]);
+        assert_eq!(out, [3.0, 7.0]);
+    }
+
+    #[test]
+    fn mean_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-6);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

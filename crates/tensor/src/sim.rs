@@ -1,0 +1,209 @@
+//! Pairwise cosine-similarity matrices and the analytic gradient of the
+//! similarity-alignment loss.
+//!
+//! Relation-based ensemble self-distillation (paper Eq. 16–17) transfers
+//! knowledge between heterogeneous item-embedding tables by aligning the
+//! *relative geometry* of a sampled item subset: each table's pairwise
+//! cosine-similarity matrix is pulled toward the tables' ensemble average.
+//!
+//! * [`cosine_similarity_matrix`] computes `S(V)` with `S_ij = cos(v_i, v_j)`.
+//! * [`alignment_loss_grad`] evaluates `L = ‖S(V) − T‖²_F` and its exact
+//!   gradient with respect to every row of `V` — the server-side
+//!   distillation step needs no autograd.
+
+use crate::matrix::Matrix;
+use crate::ops::dot;
+
+/// Norm floor protecting cosine computations from zero rows.
+const NORM_EPS: f32 = 1e-12;
+
+/// Pairwise cosine-similarity matrix of the rows of `v` (`k x k` for a
+/// `k x d` input). Zero rows yield zero similarity against everything and
+/// 1 on their own diagonal entry by convention.
+pub fn cosine_similarity_matrix(v: &Matrix) -> Matrix {
+    let k = v.rows();
+    let norms: Vec<f32> = (0..k).map(|i| dot(v.row(i), v.row(i)).sqrt()).collect();
+    let mut s = Matrix::zeros(k, k);
+    for i in 0..k {
+        s.set(i, i, 1.0);
+        for j in i + 1..k {
+            let denom = norms[i] * norms[j];
+            let value = if denom > NORM_EPS { dot(v.row(i), v.row(j)) / denom } else { 0.0 };
+            s.set(i, j, value);
+            s.set(j, i, value);
+        }
+    }
+    s
+}
+
+/// Squared-Frobenius alignment loss `‖S(V) − T‖²_F` and its gradient with
+/// respect to `V`'s rows.
+///
+/// Uses `∂cos(v_i,v_j)/∂v_i = v_j/(‖v_i‖‖v_j‖) − cos(v_i,v_j)·v_i/‖v_i‖²`,
+/// accumulated over all ordered off-diagonal pairs (which handles the
+/// symmetric double-counting exactly). Diagonal entries are constant 1 and
+/// contribute no gradient; targets should carry 1 on the diagonal so they
+/// contribute no loss either.
+///
+/// # Panics
+/// Panics if `target` is not `v.rows() x v.rows()`.
+pub fn alignment_loss_grad(v: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    let k = v.rows();
+    assert_eq!(
+        (target.rows(), target.cols()),
+        (k, k),
+        "target must be {k}x{k}"
+    );
+    let s = cosine_similarity_matrix(v);
+    let norms: Vec<f32> = (0..k).map(|i| dot(v.row(i), v.row(i)).sqrt().max(NORM_EPS)) .collect();
+
+    let mut loss = 0.0_f64;
+    let mut grad = Matrix::zeros(k, v.cols());
+    for i in 0..k {
+        for j in 0..k {
+            let diff = s.get(i, j) - target.get(i, j);
+            loss += (diff as f64) * (diff as f64);
+            if i == j {
+                continue; // S_ii ≡ 1: no gradient flows.
+            }
+            let coeff = 2.0 * diff;
+            let inv = 1.0 / (norms[i] * norms[j]);
+            // grad_i += coeff * ∂S_ij/∂v_i
+            //         = coeff * (v_j/(|vi||vj|) - S_ij * v_i/|vi|²)
+            grad.row_axpy(i, coeff * inv, v.row(j));
+            grad.row_axpy(i, -coeff * s.get(i, j) / (norms[i] * norms[i]), v.row(i));
+            // grad_j += coeff * ∂S_ij/∂v_j (S_ij depends on both endpoints)
+            grad.row_axpy(j, coeff * inv, v.row(i));
+            grad.row_axpy(j, -coeff * s.get(i, j) / (norms[j] * norms[j]), v.row(j));
+        }
+    }
+    (loss as f32, grad)
+}
+
+/// Elementwise mean of several equally shaped matrices — the ensemble
+/// similarity target of Eq. 16.
+///
+/// # Panics
+/// Panics on an empty input or mismatched shapes.
+pub fn mean_of(matrices: &[&Matrix]) -> Matrix {
+    assert!(!matrices.is_empty(), "mean_of needs at least one matrix");
+    let mut acc = matrices[0].clone();
+    for m in &matrices[1..] {
+        acc.axpy(1.0, m);
+    }
+    acc.scale(1.0 / matrices.len() as f32);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use crate::rng::{stream, SeedStream};
+
+    #[test]
+    fn similarity_of_identical_rows_is_one() {
+        let v = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 2.0, 4.0, 6.0]);
+        let s = cosine_similarity_matrix(&v);
+        assert!((s.get(0, 1) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn similarity_of_orthogonal_rows_is_zero() {
+        let v = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let s = cosine_similarity_matrix(&v);
+        assert!(s.get(0, 1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similarity_of_opposite_rows_is_minus_one() {
+        let v = Matrix::from_vec(2, 2, vec![1.0, 1.0, -2.0, -2.0]);
+        let s = cosine_similarity_matrix(&v);
+        assert!((s.get(0, 1) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn similarity_matrix_is_symmetric_with_unit_diagonal() {
+        let mut rng = stream(31, SeedStream::Custom(20));
+        let v = init::normal(8, 5, 1.0, &mut rng);
+        let s = cosine_similarity_matrix(&v);
+        for i in 0..8 {
+            assert!((s.get(i, i) - 1.0).abs() < 1e-6);
+            for j in 0..8 {
+                assert!((s.get(i, j) - s.get(j, i)).abs() < 1e-6);
+                assert!(s.get(i, j) >= -1.0 - 1e-5 && s.get(i, j) <= 1.0 + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_are_handled() {
+        let v = Matrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+        let s = cosine_similarity_matrix(&v);
+        assert_eq!(s.get(0, 1), 0.0);
+        assert_eq!(s.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn loss_is_zero_when_already_aligned() {
+        let mut rng = stream(32, SeedStream::Custom(21));
+        let v = init::normal(6, 4, 1.0, &mut rng);
+        let target = cosine_similarity_matrix(&v);
+        let (loss, grad) = alignment_loss_grad(&v, &target);
+        assert!(loss < 1e-10);
+        assert!(grad.max_abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = stream(33, SeedStream::Custom(22));
+        let v = init::normal(5, 3, 1.0, &mut rng);
+        let t_src = init::normal(5, 3, 1.0, &mut rng);
+        let target = cosine_similarity_matrix(&t_src);
+        let (_, grad) = alignment_loss_grad(&v, &target);
+
+        let eps = 1e-3;
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                let mut plus = v.clone();
+                *plus.get_mut(r, c) += eps;
+                let mut minus = v.clone();
+                *minus.get_mut(r, c) -= eps;
+                let (lp, _) = alignment_loss_grad(&plus, &target);
+                let (lm, _) = alignment_loss_grad(&minus, &target);
+                let fd = (lp - lm) / (2.0 * eps);
+                let g = grad.get(r, c);
+                assert!(
+                    (fd - g).abs() < 2e-2 * fd.abs().max(g.abs()).max(1.0),
+                    "({r},{c}): analytic {g} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss() {
+        let mut rng = stream(34, SeedStream::Custom(23));
+        let mut v = init::normal(8, 4, 1.0, &mut rng);
+        let t_src = init::normal(8, 4, 1.0, &mut rng);
+        let target = cosine_similarity_matrix(&t_src);
+        let (before, grad) = alignment_loss_grad(&v, &target);
+        v.axpy(-0.05, &grad);
+        let (after, _) = alignment_loss_grad(&v, &target);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn mean_of_averages() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 3.0);
+        let m = mean_of(&[&a, &b]);
+        assert!(m.as_slice().iter().all(|&x| (x - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn mean_of_rejects_empty() {
+        let _ = mean_of(&[]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Domain example: why model heterogeneity matters. Divides the clients
+//! of a synthetic Anime-like dataset by data volume, trains the two
+//! homogeneous extremes and HeteFedRec, and prints the per-group story
+//! the paper's introduction motivates — small-data clients struggle with
+//! large models while data-rich clients benefit from them.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_clients
+//! ```
+
+use hetefedrec::prelude::*;
+
+fn main() {
+    let seed = 11;
+    let data = DatasetProfile::Anime.config_scaled(0.03).generate(seed);
+    let split = SplitDataset::paper_split(&data, seed);
+
+    // Show the division the 5:3:2 ratio produces.
+    let groups = ClientGroups::divide(&split, DivisionRatio::PAPER_DEFAULT);
+    let sizes = groups.sizes();
+    let (t_small, t_medium) = groups.thresholds;
+    println!(
+        "division 5:3:2 over {} clients -> |Us|={} (<= {} interactions), \
+         |Um|={} (<= {}), |Ul|={}",
+        split.num_users(),
+        sizes[0],
+        t_small,
+        sizes[1],
+        t_medium,
+        sizes[2]
+    );
+
+    let mut cfg = TrainConfig::paper_defaults(ModelKind::Ncf, DatasetProfile::Anime);
+    cfg.epochs = 5;
+    cfg.seed = seed;
+    cfg.local_epochs = 3; // pronounced local overfitting for small clients
+
+    println!(
+        "\n{:<22} {:>9} {:>9} {:>9} {:>9}",
+        "strategy", "Us", "Um", "Ul", "overall"
+    );
+    for strategy in [
+        Strategy::AllSmall,
+        Strategy::AllLarge,
+        Strategy::HeteFedRec(Ablation::FULL),
+    ] {
+        let result = run_experiment(&cfg, strategy, &split);
+        let g = &result.final_eval.per_group;
+        println!(
+            "{:<22} {:>9.5} {:>9.5} {:>9.5} {:>9.5}",
+            result.strategy,
+            g[0].ndcg,
+            g[1].ndcg,
+            g[2].ndcg,
+            result.final_eval.overall.ndcg
+        );
+    }
+
+    println!(
+        "\nReading the table: under 'All Large', the Us column suffers — \n\
+         clients with little data cannot support a wide embedding — while \n\
+         HeteFedRec serves each group a model matched to its data budget."
+    );
+}

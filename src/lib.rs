@@ -1,0 +1,55 @@
+//! # hetefedrec
+//!
+//! Rust reproduction of **HeteFedRec: Federated Recommender Systems with
+//! Model Heterogeneity** (Yuan et al., ICDE 2024, arXiv:2307.12810).
+//!
+//! This facade crate re-exports the whole workspace so applications need a
+//! single dependency:
+//!
+//! ```
+//! use hetefedrec::prelude::*;
+//!
+//! // Generate a small synthetic dataset calibrated to MovieLens-1M.
+//! let data = DatasetProfile::MovieLens.config_scaled(0.02).generate(42);
+//! let split = SplitDataset::paper_split(&data, 42);
+//!
+//! // Train HeteFedRec for one epoch and evaluate.
+//! let mut cfg = TrainConfig::paper_defaults(ModelKind::Ncf, DatasetProfile::MovieLens);
+//! cfg.epochs = 1;
+//! let mut trainer = Trainer::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split);
+//! trainer.run_epoch();
+//! let eval = trainer.evaluate();
+//! assert!(eval.overall.ndcg.is_finite());
+//! ```
+//!
+//! Crate map (see `DESIGN.md` for the full inventory):
+//!
+//! | Re-export | Contents |
+//! |---|---|
+//! | [`tensor`] | dense linear algebra, RNG streams, Adam, eigen-solver |
+//! | [`dataset`] | synthetic profiles, splits, negative sampling, grouping |
+//! | [`models`] | NCF / LightGCN with manual backprop |
+//! | [`fedsim`] | rounds, transport, communication accounting, faults |
+//! | [`metrics`] | Recall@K / NDCG@K and the ranking evaluator |
+//! | [`core`] | HeteFedRec itself: UDL, DDR, RESKD, baselines, trainer |
+
+pub use hf_dataset as dataset;
+pub use hf_fedsim as fedsim;
+pub use hf_metrics as metrics;
+pub use hf_models as models;
+pub use hf_tensor as tensor;
+pub use hetefedrec_core as core;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use hf_dataset::{
+        ClientGroups, DatasetProfile, DivisionRatio, ImplicitDataset, SplitDataset,
+        SyntheticConfig, Tier,
+    };
+    pub use hf_metrics::eval::EvalResult;
+    pub use hf_models::ModelKind;
+    pub use hetefedrec_core::{
+        run_experiment, Ablation, EvalOutput, ExperimentResult, History, ItemAggNorm,
+        KdConfig, ServerOpt, Strategy, TierDims, TrainConfig, Trainer,
+    };
+}
