@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the HeteFedRec workspace.
+#
+# The workspace is std-only: it must build with an EMPTY cargo registry,
+# which `--offline` enforces. Run from the repo root:
+#
+#   ./ci.sh          # build + test + fmt check
+#   ./ci.sh quick    # skip the release build (debug test cycle only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick="${1:-}"
+
+if [[ "$quick" != "quick" ]]; then
+    echo "==> cargo build --release --offline (zero crates.io deps)"
+    cargo build --release --offline --workspace --all-targets
+fi
+
+echo "==> cargo test -q (workspace: unit + integration + doctests)"
+cargo test -q --offline --workspace
+
+echo "==> bench smoke (std::time::Instant harness, no criterion)"
+cargo test -q --offline -p hf_bench --benches
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci.sh: all green"

@@ -1,60 +1,122 @@
-//! Criterion micro-benchmarks for the computational kernels behind every
-//! table and figure: model forward/backward (all tables), heterogeneous
-//! aggregation (Table II), DDR gradient (Table IV/V, Fig. 8), RESKD round
-//! (Table IV), ranking evaluation (every metric column), and a full
-//! federated round + epoch (Fig. 7 / Table III).
+//! Micro-benchmarks for the computational kernels behind every table and
+//! figure: model forward/backward (all tables), DDR gradient (Table IV/V,
+//! Fig. 8), RESKD round (Table IV), eigen-solver and ranking evaluation
+//! (every metric column), and a full federated round + epoch (Fig. 7 /
+//! Table III).
+//!
+//! Runs on a plain `std::time::Instant` harness (`harness = false`) so the
+//! workspace builds with an empty cargo registry — no criterion.
+//!
+//! * `cargo test` builds and smoke-runs every kernel once (sanity: they
+//!   complete and produce finite outputs).
+//! * `cargo bench -p hf_bench`, or `HF_BENCH_FULL=1`, runs calibrated
+//!   timing loops (~200 ms per kernel) and reports ns/iter.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hf_dataset::{SplitDataset, SyntheticConfig, Tier};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use hetefedrec_core::config::{KdConfig, TrainConfig};
+use hetefedrec_core::reskd::distill_round;
+use hetefedrec_core::{Ablation, Strategy, Trainer};
+use hf_dataset::{SplitDataset, SyntheticConfig};
 use hf_models::ncf::NcfEngine;
 use hf_models::ModelKind;
 use hf_tensor::rng::{stream, SeedStream};
 use hf_tensor::{init, Matrix};
-use hetefedrec_core::config::{KdConfig, TrainConfig};
-use hetefedrec_core::reskd::distill_round;
-use hetefedrec_core::{Ablation, Strategy, Trainer};
 
-fn bench_model_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model");
+/// Minimal fixed-budget timing harness.
+struct Harness {
+    /// Full mode: calibrated timing loops. Smoke mode: one pass per kernel.
+    full: bool,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let full = std::env::var_os("HF_BENCH_FULL").is_some()
+            || std::env::args().any(|a| a == "--bench" || a == "--full");
+        Self { full }
+    }
+
+    /// Times `routine` with fresh `setup` output per iteration (setup cost
+    /// excluded from the measurement).
+    fn bench_with<S, R>(
+        &self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        if !self.full {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            println!("{name:<40} smoke {:>12?}", t.elapsed());
+            return;
+        }
+        // Calibrate: grow the iteration count until one batch costs ≥ 50 ms,
+        // then time ~4 batches' worth.
+        let mut iters: u64 = 1;
+        let batch = loop {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                spent += t.elapsed();
+            }
+            if spent >= Duration::from_millis(50) || iters >= 1 << 20 {
+                break spent;
+            }
+            iters *= 2;
+        };
+        let total_iters = iters * 4;
+        let mut spent = batch;
+        for _ in iters..total_iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+        }
+        let per_iter = spent.as_nanos() / u128::from(total_iters);
+        println!("{name:<40} {per_iter:>12} ns/iter ({total_iters} iters)");
+    }
+
+    /// Times `routine` with no per-iteration setup.
+    fn bench<R>(&self, name: &str, mut routine: impl FnMut() -> R) {
+        self.bench_with(name, || (), |()| routine());
+    }
+}
+
+fn bench_model_kernels(h: &Harness) {
     for dim in [8usize, 32, 128] {
         let mut rng = stream(1, SeedStream::ParamInit);
         let engine = NcfEngine::new(dim, &mut rng);
         let mut ws = engine.workspace();
         let u = init::normal_vec(dim, 0.3, &mut rng);
         let v = init::normal_vec(dim, 0.3, &mut rng);
-        group.bench_with_input(BenchmarkId::new("ncf_forward", dim), &dim, |b, _| {
-            b.iter(|| engine.forward(black_box(&u), black_box(&v), &mut ws))
+        h.bench(&format!("model/ncf_forward/{dim}"), || {
+            engine.forward(black_box(&u), black_box(&v), &mut ws)
         });
         let mut tg = engine.ffn().zeros_like();
         let mut du = vec![0.0; dim];
         let mut dv = vec![0.0; dim];
-        group.bench_with_input(BenchmarkId::new("ncf_fwd_bwd", dim), &dim, |b, _| {
-            b.iter(|| {
-                let logit = engine.forward(black_box(&u), black_box(&v), &mut ws);
-                engine.backward(logit - 1.0, &mut ws, &mut tg, &mut du, &mut dv);
-            })
+        h.bench(&format!("model/ncf_fwd_bwd/{dim}"), || {
+            let logit = engine.forward(black_box(&u), black_box(&v), &mut ws);
+            engine.backward(logit - 1.0, &mut ws, &mut tg, &mut du, &mut dv);
         });
     }
-    group.finish();
 }
 
-fn bench_ddr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ddr");
+fn bench_ddr(h: &Harness) {
     for (rows, dim) in [(128usize, 32usize), (256, 32), (256, 128)] {
         let mut rng = stream(2, SeedStream::ParamInit);
         let z = init::normal(rows, dim, 1.0, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("loss_grad", format!("{rows}x{dim}")),
-            &z,
-            |b, z| b.iter(|| hetefedrec_core::ddr::decorrelation_loss_grad(black_box(z))),
-        );
+        h.bench(&format!("ddr/loss_grad/{rows}x{dim}"), || {
+            hetefedrec_core::ddr::decorrelation_loss_grad(black_box(&z))
+        });
     }
-    group.finish();
 }
 
-fn bench_reskd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reskd");
-    group.sample_size(20);
+fn bench_reskd(h: &Harness) {
     for items in [32usize, 128] {
         let mut rng = stream(3, SeedStream::ParamInit);
         let tables = [
@@ -62,95 +124,90 @@ fn bench_reskd(c: &mut Criterion) {
             init::embedding_normal(2000, 16, &mut rng),
             init::embedding_normal(2000, 32, &mut rng),
         ];
-        let kd = KdConfig { items, lr: 1.0, steps: 1 };
-        group.bench_with_input(BenchmarkId::new("distill_round", items), &items, |b, _| {
-            b.iter_batched(
-                || (tables.clone(), stream(4, SeedStream::Distill)),
-                |(mut t, mut rng)| distill_round(&mut t, &kd, &mut rng),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        let kd = KdConfig {
+            items,
+            lr: 1.0,
+            steps: 1,
+        };
+        h.bench_with(
+            &format!("reskd/distill_round/{items}"),
+            || (tables.clone(), stream(4, SeedStream::Distill)),
+            |(mut t, mut rng)| distill_round(&mut t, &kd, &mut rng),
+        );
     }
-    group.finish();
 }
 
-fn bench_eigen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eigen");
+fn bench_eigen(h: &Harness) {
     for n in [32usize, 128] {
         let mut rng = stream(5, SeedStream::ParamInit);
         let x = init::normal(512, n, 1.0, &mut rng);
         let cov = hf_tensor::stats::covariance(&x);
-        group.bench_with_input(BenchmarkId::new("jacobi", n), &cov, |b, cov| {
-            b.iter(|| hf_tensor::eigen::symmetric_eigenvalues(black_box(cov), 1e-7, 64))
+        h.bench(&format!("eigen/jacobi/{n}"), || {
+            hf_tensor::eigen::symmetric_eigenvalues(black_box(&cov), 1e-7, 64)
         });
     }
-    group.finish();
 }
 
-fn bench_topk(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eval");
+fn bench_topk(h: &Harness) {
     let scores: Vec<f32> = (0..4000).map(|i| ((i * 37) % 997) as f32 / 997.0).collect();
     let exclude: Vec<u32> = (0..200u32).map(|i| i * 17).collect();
-    group.bench_function("topk_4000_items", |b| {
-        b.iter(|| hf_metrics::top_k_excluding(black_box(&scores), 20, black_box(&exclude)))
+    h.bench("eval/topk_4000_items", || {
+        hf_metrics::top_k_excluding(black_box(&scores), 20, black_box(&exclude))
     });
-    group.finish();
 }
 
-fn bench_aggregation_matrix(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tensor");
+fn bench_aggregation_matrix(h: &Harness) {
     let mut rng = stream(6, SeedStream::ParamInit);
     let a = init::normal(256, 128, 1.0, &mut rng);
-    group.bench_function("gram_256x128", |b| {
-        b.iter(|| black_box(&a).gram())
-    });
+    h.bench("tensor/gram_256x128", || black_box(&a).gram());
     let m = Matrix::from_fn(128, 128, |r, c| ((r * 131 + c * 17) as f32).sin());
-    group.bench_function("matmul_128", |b| {
-        b.iter(|| black_box(&a).matmul(black_box(&m)))
-    });
-    group.finish();
+    h.bench("tensor/matmul_128", || black_box(&a).matmul(black_box(&m)));
 }
 
-fn bench_federated_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("federated");
-    group.sample_size(10);
+fn bench_federated_round(h: &Harness) {
     let data = SyntheticConfig::tiny().generate(9);
     let split = SplitDataset::paper_split(&data, 9);
     for (label, strategy) in [
-        ("epoch_hetefedrec", Strategy::HeteFedRec(Ablation::FULL)),
-        ("epoch_all_small", Strategy::AllSmall),
+        (
+            "federated/epoch_hetefedrec",
+            Strategy::HeteFedRec(Ablation::FULL),
+        ),
+        ("federated/epoch_all_small", Strategy::AllSmall),
     ] {
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || {
-                    let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
-                    cfg.threads = 1;
-                    Trainer::new(cfg, strategy, split.clone())
-                },
-                |mut t| t.run_epoch(),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        let split = split.clone();
+        h.bench_with(
+            label,
+            || {
+                let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+                cfg.threads = 1;
+                Trainer::new(cfg, strategy, split.clone())
+            },
+            |mut t| t.run_epoch(),
+        );
     }
-    group.bench_function("evaluate_population", |b| {
-        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
-        cfg.threads = 1;
-        let mut t = Trainer::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split.clone());
-        t.run_epoch();
-        b.iter(|| t.evaluate())
-    });
-    let _ = Tier::Small; // keep the Tier import meaningful for readers
-    group.finish();
+    let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+    cfg.threads = 1;
+    let mut t = Trainer::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split);
+    t.run_epoch();
+    h.bench("federated/evaluate_population", || t.evaluate());
 }
 
-criterion_group!(
-    benches,
-    bench_model_kernels,
-    bench_ddr,
-    bench_reskd,
-    bench_eigen,
-    bench_topk,
-    bench_aggregation_matrix,
-    bench_federated_round
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::new();
+    println!(
+        "hf_bench microbench — {} mode{}",
+        if h.full { "full" } else { "smoke" },
+        if h.full {
+            ""
+        } else {
+            " (set HF_BENCH_FULL=1 or pass --bench for timing loops)"
+        },
+    );
+    bench_model_kernels(&h);
+    bench_ddr(&h);
+    bench_reskd(&h);
+    bench_eigen(&h);
+    bench_topk(&h);
+    bench_aggregation_matrix(&h);
+    bench_federated_round(&h);
+}

@@ -2,7 +2,7 @@
 //! dataset profiles, rendered as ASCII histograms.
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin fig1_distribution -- --scale small
+//! cargo run --release -p hf_bench --bin fig1_distribution -- --scale small
 //! ```
 
 use hf_bench::CliOptions;
@@ -16,7 +16,9 @@ fn main() {
         opts.scale.name, opts.seed
     );
     for profile in &opts.datasets {
-        let data = profile.config_scaled(opts.scale.fraction).generate(opts.seed);
+        let data = profile
+            .config_scaled(opts.scale.fraction)
+            .generate(opts.seed);
         let stats = DatasetStats::compute(&data);
         println!(
             "== {} ==  (std dev {:.1}, mean {:.1} — paper quotes std {:.1}, mean {:.1})",

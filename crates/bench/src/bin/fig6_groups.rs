@@ -2,12 +2,12 @@
 //! (`Us`/`Um`/`Ul`) for every strategy.
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin fig6_groups -- --scale small --dataset all
+//! cargo run --release -p hf_bench --bin fig6_groups -- --scale small --dataset all
 //! ```
 
+use hetefedrec_core::{run_experiment, Strategy};
 use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions};
 use hf_dataset::DatasetProfile;
-use hetefedrec_core::{run_experiment, Strategy};
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);

@@ -2,12 +2,12 @@
 //! All Large, and HeteFedRec on ML.
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin fig7_convergence -- --scale small
+//! cargo run --release -p hf_bench --bin fig7_convergence -- --scale small
 //! ```
 
+use hetefedrec_core::{run_experiment, Ablation, Strategy};
 use hf_bench::{make_split, CliOptions};
 use hf_dataset::DatasetProfile;
-use hetefedrec_core::{run_experiment, Ablation, Strategy};
 
 fn main() {
     let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
@@ -32,8 +32,12 @@ fn main() {
             let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
             for strategy in strategies {
                 let result = run_experiment(&cfg, strategy, &split);
-                let curve: Vec<f64> =
-                    result.history.epochs.iter().map(|e| e.eval.overall.ndcg).collect();
+                let curve: Vec<f64> = result
+                    .history
+                    .epochs
+                    .iter()
+                    .map(|e| e.eval.overall.ndcg)
+                    .collect();
                 curves.push((result.strategy, curve));
             }
 

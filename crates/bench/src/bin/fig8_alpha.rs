@@ -2,12 +2,12 @@
 //! 0.5 → 2.0 on ML.
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin fig8_alpha -- --scale small
+//! cargo run --release -p hf_bench --bin fig8_alpha -- --scale small
 //! ```
 
+use hetefedrec_core::{run_experiment, Ablation, Strategy};
 use hf_bench::{fmt5, make_config_with, make_split, CliOptions};
 use hf_dataset::DatasetProfile;
-use hetefedrec_core::{run_experiment, Ablation, Strategy};
 
 fn main() {
     let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
@@ -29,8 +29,11 @@ fn main() {
                 let r = run_experiment(&cfg, Strategy::HeteFedRec(Ablation::FULL), &split);
                 points.push((alpha, r.final_eval.overall.ndcg));
             }
-            let peak =
-                points.iter().cloned().fold(f64::MIN, |m, (_, v)| m.max(v)).max(1e-12);
+            let peak = points
+                .iter()
+                .cloned()
+                .fold(f64::MIN, |m, (_, v)| m.max(v))
+                .max(1e-12);
             for (alpha, ndcg) in &points {
                 let bar = ((ndcg / peak) * 40.0).round() as usize;
                 println!("alpha {alpha:<5} {} |{}", fmt5(*ndcg), "#".repeat(bar));

@@ -6,12 +6,12 @@
 //! full HeteFedRec next to the strongest baseline for each setting.
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin sweep -- --scale small --dataset ml --model ncf
+//! cargo run --release -p hf_bench --bin sweep -- --scale small --dataset ml --model ncf
 //! ```
 
+use hetefedrec_core::{run_experiment, Ablation, Strategy, TrainConfig};
 use hf_bench::{fmt5, make_split, CliOptions};
 use hf_dataset::DatasetProfile;
-use hetefedrec_core::{run_experiment, Ablation, Strategy, TrainConfig};
 
 fn main() {
     let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
@@ -39,7 +39,11 @@ fn main() {
 
     // Reference points.
     run("baseline: All Small", &base, Strategy::AllSmall);
-    run("baseline: Directly Aggregate", &base, Strategy::DirectlyAggregate);
+    run(
+        "baseline: Directly Aggregate",
+        &base,
+        Strategy::DirectlyAggregate,
+    );
     println!();
 
     // UDL auxiliary-task weighting.

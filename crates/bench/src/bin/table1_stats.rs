@@ -2,7 +2,7 @@
 //! p50, p80) of the generated profiles, next to the paper's values.
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin table1_stats -- --scale paper
+//! cargo run --release -p hf_bench --bin table1_stats -- --scale paper
 //! ```
 
 use hf_bench::{rule, CliOptions};
@@ -22,7 +22,9 @@ fn main() {
     println!("{header}");
     println!("{}", rule(&header));
     for profile in &opts.datasets {
-        let data = profile.config_scaled(opts.scale.fraction).generate(opts.seed);
+        let data = profile
+            .config_scaled(opts.scale.fraction)
+            .generate(opts.seed);
         let s = DatasetStats::compute(&data);
         println!(
             "{:<8} {:>7} {:>7} {:>11} {:>6.0} {:>6} {:>6}   |        {:>7} {:>7} {:>11} {:>6.0} {:>6.0} {:>6.0}",

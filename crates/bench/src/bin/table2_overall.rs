@@ -2,12 +2,12 @@
 //! six baselines, per dataset and base model.
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin table2_overall -- --scale small --dataset all
+//! cargo run --release -p hf_bench --bin table2_overall -- --scale small --dataset all
 //! ```
 
+use hetefedrec_core::{run_experiment, Strategy};
 use hf_bench::{fmt5, make_split, rule, CliOptions};
 use hf_dataset::DatasetProfile;
-use hetefedrec_core::{run_experiment, Strategy};
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);
@@ -30,7 +30,11 @@ fn main() {
             let cfg = hf_bench::make_config_with(&opts, *model, *profile);
             for strategy in Strategy::ALL {
                 let result = run_experiment(&cfg, strategy, &split);
-                let kind = if strategy.is_heterogeneous() { "hetero" } else { "homog" };
+                let kind = if strategy.is_heterogeneous() {
+                    "hetero"
+                } else {
+                    "homog"
+                };
                 println!(
                     "{:<22} {:>9} {:>9} | {:>9} {:>9}",
                     result.strategy,

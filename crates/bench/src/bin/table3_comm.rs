@@ -3,15 +3,15 @@
 //! sizes from a real training round.
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin table3_comm -- --scale small --dataset ml
+//! cargo run --release -p hf_bench --bin table3_comm -- --scale small --dataset ml
 //! ```
 
+use hetefedrec_core::{Ablation, Strategy, Trainer};
 use hf_bench::{make_config_with, make_split, rule, CliOptions};
 use hf_dataset::{DatasetProfile, Tier};
 use hf_fedsim::comm::RoundCost;
 use hf_models::{paper_predictor_dims, Ffn};
 use hf_tensor::rng::{stream, SeedStream};
-use hetefedrec_core::{Ablation, Strategy, Trainer};
 
 fn main() {
     let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
@@ -29,12 +29,16 @@ fn main() {
 
         // Predictor sizes at each tier width.
         let mut rng = stream(0, SeedStream::ParamInit);
-        let mut theta_size = |tier: Tier| {
-            Ffn::new(&paper_predictor_dims(dims.dim(tier)), &mut rng).num_params()
-        };
+        let mut theta_size =
+            |tier: Tier| Ffn::new(&paper_predictor_dims(dims.dim(tier)), &mut rng).num_params();
         let thetas: Vec<usize> = Tier::ALL.iter().map(|&t| theta_size(t)).collect();
 
-        println!("== {} ({} items, dims {}) ==", profile.name(), num_items, dims.label());
+        println!(
+            "== {} ({} items, dims {}) ==",
+            profile.name(),
+            num_items,
+            dims.label()
+        );
         let header = format!(
             "{:<6} {:>22} {:>22} {:>26}",
             "Client", "All Small (params)", "All Large (params)", "HeteFedRec (params)"
@@ -43,8 +47,7 @@ fn main() {
         println!("{}", rule(&header));
         for (i, tier) in Tier::ALL.iter().enumerate() {
             let all_small = RoundCost::dense(num_items, dims.dim(Tier::Small), &thetas[..1]);
-            let all_large =
-                RoundCost::dense(num_items, dims.dim(Tier::Large), &thetas[2..3]);
+            let all_large = RoundCost::dense(num_items, dims.dim(Tier::Large), &thetas[2..3]);
             let hete = RoundCost::dense(num_items, dims.dim(*tier), &thetas[..=i]);
             println!(
                 "{:<6} {:>22} {:>22} {:>26}",
@@ -56,8 +59,11 @@ fn main() {
         }
 
         // Measured traffic over one epoch of actual training.
-        let mut trainer =
-            Trainer::new(cfg.clone(), Strategy::HeteFedRec(Ablation::FULL), split.clone());
+        let mut trainer = Trainer::new(
+            cfg.clone(),
+            Strategy::HeteFedRec(Ablation::FULL),
+            split.clone(),
+        );
         trainer.run_epoch();
         let ledger = trainer.ledger();
         println!(

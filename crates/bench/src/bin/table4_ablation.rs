@@ -2,12 +2,12 @@
 //! −RESKD−DDR−UDL (the last row equals "Directly Aggregate").
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin table4_ablation -- --scale small --dataset all
+//! cargo run --release -p hf_bench --bin table4_ablation -- --scale small --dataset all
 //! ```
 
+use hetefedrec_core::{run_experiment, Ablation, Strategy};
 use hf_bench::{fmt5, make_split, rule, CliOptions};
 use hf_dataset::DatasetProfile;
-use hetefedrec_core::{run_experiment, Ablation, Strategy};
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);
@@ -27,8 +27,7 @@ fn main() {
         println!("== {} ==", model.name());
         for profile in &opts.datasets {
             println!("\n-- {} --", profile.name());
-            let header =
-                format!("{:<18} {:>9} {:>9}", "Variant", "Recall@20", "NDCG@20");
+            let header = format!("{:<18} {:>9} {:>9}", "Variant", "Recall@20", "NDCG@20");
             println!("{header}");
             println!("{}", rule(&header));
             let split = make_split(*profile, opts.scale, opts.seed);

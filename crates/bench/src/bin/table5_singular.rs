@@ -3,12 +3,12 @@
 //! dimensional collapse.
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin table5_singular -- --scale small --dataset all
+//! cargo run --release -p hf_bench --bin table5_singular -- --scale small --dataset all
 //! ```
 
+use hetefedrec_core::{Ablation, Strategy, Trainer};
 use hf_bench::{make_config_with, make_split, rule, CliOptions};
 use hf_dataset::{DatasetProfile, Tier};
-use hetefedrec_core::{Ablation, Strategy, Trainer};
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);
@@ -19,8 +19,10 @@ fn main() {
 
     for model in &opts.models {
         println!("== {} ==", model.name());
-        let header =
-            format!("{:<10} {:>12} {:>12} {:>10}", "Dataset", "- DDR", "+ DDR", "reduction");
+        let header = format!(
+            "{:<10} {:>12} {:>12} {:>10}",
+            "Dataset", "- DDR", "+ DDR", "reduction"
+        );
         println!("{header}");
         println!("{}", rule(&header));
         for profile in &opts.datasets {

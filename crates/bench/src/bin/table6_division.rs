@@ -3,12 +3,12 @@
 //! (≈0:0:10).
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin table6_division -- --scale small --dataset all
+//! cargo run --release -p hf_bench --bin table6_division -- --scale small --dataset all
 //! ```
 
+use hetefedrec_core::{run_experiment, Ablation, Strategy};
 use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions};
 use hf_dataset::{DatasetProfile, DivisionRatio};
-use hetefedrec_core::{run_experiment, Ablation, Strategy};
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);
@@ -41,7 +41,11 @@ fn main() {
             for ratio in ratios {
                 let mut cfg = base.clone();
                 cfg.ratio = ratio;
-                cells.push(run_experiment(&cfg, Strategy::HeteFedRec(Ablation::FULL), &split));
+                cells.push(run_experiment(
+                    &cfg,
+                    Strategy::HeteFedRec(Ablation::FULL),
+                    &split,
+                ));
             }
 
             println!(

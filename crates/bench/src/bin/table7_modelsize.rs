@@ -2,12 +2,12 @@
 //! three model-size settings {2,4,8}, {8,16,32}, {32,64,128} on ML.
 //!
 //! ```text
-//! cargo run --release -p hf-bench --bin table7_modelsize -- --scale small
+//! cargo run --release -p hf_bench --bin table7_modelsize -- --scale small
 //! ```
 
+use hetefedrec_core::{run_experiment, Ablation, Strategy, TierDims};
 use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions};
 use hf_dataset::DatasetProfile;
-use hetefedrec_core::{run_experiment, Ablation, Strategy, TierDims};
 
 fn main() {
     let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
@@ -16,8 +16,11 @@ fn main() {
         opts.scale.name, opts.seed
     );
 
-    let settings =
-        [TierDims::rq5_tiny(), TierDims::paper_small(), TierDims::paper_large()];
+    let settings = [
+        TierDims::rq5_tiny(),
+        TierDims::paper_small(),
+        TierDims::paper_large(),
+    ];
 
     for model in &opts.models {
         for profile in &opts.datasets {
@@ -34,8 +37,7 @@ fn main() {
                 cfg.dims = dims;
                 let small = run_experiment(&cfg, Strategy::AllSmall, &split);
                 let large = run_experiment(&cfg, Strategy::AllLarge, &split);
-                let hete =
-                    run_experiment(&cfg, Strategy::HeteFedRec(Ablation::FULL), &split);
+                let hete = run_experiment(&cfg, Strategy::HeteFedRec(Ablation::FULL), &split);
                 println!(
                     "{:<14} {:>10} {:>10} {:>12}",
                     dims.label(),

@@ -1,8 +1,8 @@
-//! # hf-bench
+//! # hf_bench
 //!
 //! Experiment harness: one runnable binary per table and figure of the
-//! paper (see `DESIGN.md` §4 for the full index) plus Criterion
-//! micro-benchmarks.
+//! paper (see `DESIGN.md` §4 for the full index) plus std-`Instant`
+//! micro-benchmarks (`benches/microbench.rs`).
 //!
 //! Every binary accepts:
 //!
@@ -20,9 +20,9 @@
 
 #![warn(missing_docs)]
 
+use hetefedrec_core::config::TrainConfig;
 use hf_dataset::{DatasetProfile, SplitDataset};
 use hf_models::ModelKind;
-use hetefedrec_core::config::TrainConfig;
 
 /// Preset experiment scale.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -37,13 +37,29 @@ pub struct RunScale {
 
 impl RunScale {
     /// ~2% of paper scale; seconds per run. CI/smoke default.
-    pub const TINY: RunScale = RunScale { name: "tiny", fraction: 0.02, epochs: 4 };
+    pub const TINY: RunScale = RunScale {
+        name: "tiny",
+        fraction: 0.02,
+        epochs: 4,
+    };
     /// ~8% of paper scale; a couple of minutes per experiment table.
-    pub const SMALL: RunScale = RunScale { name: "small", fraction: 0.08, epochs: 8 };
+    pub const SMALL: RunScale = RunScale {
+        name: "small",
+        fraction: 0.08,
+        epochs: 8,
+    };
     /// ~25% of paper scale.
-    pub const MEDIUM: RunScale = RunScale { name: "medium", fraction: 0.25, epochs: 12 };
+    pub const MEDIUM: RunScale = RunScale {
+        name: "medium",
+        fraction: 0.25,
+        epochs: 12,
+    };
     /// Full Table I scale with the paper's 20 epochs.
-    pub const PAPER: RunScale = RunScale { name: "paper", fraction: 1.0, epochs: 20 };
+    pub const PAPER: RunScale = RunScale {
+        name: "paper",
+        fraction: 1.0,
+        epochs: 20,
+    };
 
     /// Parses a scale name.
     pub fn parse(s: &str) -> Option<RunScale> {
@@ -89,12 +105,13 @@ impl CliOptions {
         while i < args.len() {
             let (flag, value) = (args[i].as_str(), args.get(i + 1));
             let value = || -> &str {
-                value.map(String::as_str).unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+                value
+                    .map(String::as_str)
+                    .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
             };
             match flag {
                 "--scale" => {
-                    scale = RunScale::parse(value())
-                        .unwrap_or_else(|| usage("unknown scale"));
+                    scale = RunScale::parse(value()).unwrap_or_else(|| usage("unknown scale"));
                 }
                 "--model" => {
                     models = match value() {
@@ -114,7 +131,9 @@ impl CliOptions {
                     };
                 }
                 "--seed" => {
-                    seed = value().parse().unwrap_or_else(|_| usage("seed must be a u64"));
+                    seed = value()
+                        .parse()
+                        .unwrap_or_else(|_| usage("seed must be a u64"));
                 }
                 "--set" => {
                     let kv = value();
@@ -128,7 +147,13 @@ impl CliOptions {
             }
             i += 2;
         }
-        CliOptions { scale, models, datasets, seed, overrides }
+        CliOptions {
+            scale,
+            models,
+            datasets,
+            seed,
+            overrides,
+        }
     }
 
     /// Applies any `--set key=value` overrides to a configuration.
@@ -211,12 +236,18 @@ pub fn make_config(
     let mut cfg = TrainConfig::paper_defaults(model, profile);
     cfg.epochs = scale.epochs;
     cfg.seed = seed;
-    cfg.threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    cfg.threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     cfg
 }
 
 /// [`make_config`] plus the CLI's `--set` overrides.
-pub fn make_config_with(opts: &CliOptions, model: ModelKind, profile: DatasetProfile) -> TrainConfig {
+pub fn make_config_with(
+    opts: &CliOptions,
+    model: ModelKind,
+    profile: DatasetProfile,
+) -> TrainConfig {
     let mut cfg = make_config(model, profile, opts.scale, opts.seed);
     opts.apply_overrides(&mut cfg);
     cfg

@@ -25,9 +25,9 @@ use hf_models::ncf::{NcfEngine, NcfWorkspace};
 use hf_models::ModelKind;
 use hf_tensor::adam::{Adam, AdamConfig};
 use hf_tensor::ops::{bce_with_logits, bce_with_logits_grad};
+use hf_tensor::rng::Rng;
 use hf_tensor::rng::{substream, SeedStream};
 use hf_tensor::Matrix;
-use rand::Rng;
 use std::collections::HashMap;
 
 /// A client's persistent private state.
@@ -121,7 +121,12 @@ struct LocalRows<'a> {
 
 impl<'a> LocalRows<'a> {
     fn new(base: &'a Matrix, overlay: Option<&'a HashMap<u32, Vec<f32>>>, width: usize) -> Self {
-        Self { base, overlay, width, rows: HashMap::new() }
+        Self {
+            base,
+            overlay,
+            width,
+            rows: HashMap::new(),
+        }
     }
 
     /// The pristine (downloaded) value of a row.
@@ -136,7 +141,10 @@ impl<'a> LocalRows<'a> {
 
     /// Current local value (read path; no clone for untouched rows).
     fn get(&self, item: u32) -> &[f32] {
-        self.rows.get(&item).map(Vec::as_slice).unwrap_or_else(|| self.pristine(item))
+        self.rows
+            .get(&item)
+            .map(Vec::as_slice)
+            .unwrap_or_else(|| self.pristine(item))
     }
 
     /// Mutable local copy, cloned from pristine on first touch.
@@ -211,8 +219,11 @@ pub fn train_client(ctx: &ClientCtx<'_>, prev: &UserState) -> ClientOutcome {
     } else {
         ctx.thetas.iter().collect()
     };
-    let task_tiers: &[Tier] =
-        if is_standalone { &[ctx.model_tier][..] } else { ctx.theta_tiers };
+    let task_tiers: &[Tier] = if is_standalone {
+        &[ctx.model_tier][..]
+    } else {
+        ctx.theta_tiers
+    };
 
     let mut tasks: Vec<Task> = task_tiers
         .iter()
@@ -251,7 +262,6 @@ pub fn train_client(ctx: &ClientCtx<'_>, prev: &UserState) -> ClientOutcome {
     let mut total_loss = 0.0f64;
     let mut total_samples = 0usize;
 
-
     // --- Local passes ---------------------------------------------------------
     for _pass in 0..cfg.local_epochs.max(1) {
         // LightGCN: refresh each task's propagated user from the current
@@ -275,14 +285,19 @@ pub fn train_client(ctx: &ClientCtx<'_>, prev: &UserState) -> ClientOutcome {
             for task in &mut tasks {
                 // Own-tier task at full weight; auxiliary prefix tasks
                 // damped (see `TrainConfig::udl_aux_weight`).
-                let task_scale =
-                    if task.tier == ctx.model_tier { 1.0 } else { cfg.udl_aux_weight };
+                let task_scale = if task.tier == ctx.model_tier {
+                    1.0
+                } else {
+                    cfg.udl_aux_weight
+                };
                 let logit = if is_gcn {
                     let row = local.get(item);
-                    task.engine.forward(&task.prop_user, &row[..task.dim], &mut task.ws)
+                    task.engine
+                        .forward(&task.prop_user, &row[..task.dim], &mut task.ws)
                 } else {
                     let row = local.get(item);
-                    task.engine.forward(&state.emb[..task.dim], &row[..task.dim], &mut task.ws)
+                    task.engine
+                        .forward(&state.emb[..task.dim], &row[..task.dim], &mut task.ws)
                 };
                 total_loss += (task_scale * bce_with_logits(logit, label)) as f64;
                 let d_logit = task_scale * bce_with_logits_grad(logit, label);
@@ -295,7 +310,9 @@ pub fn train_client(ctx: &ClientCtx<'_>, prev: &UserState) -> ClientOutcome {
                     &mut task.dv,
                 );
                 // Θ: immediate local SGD step, then reset the accumulator.
-                task.engine.ffn_mut().add_scaled(-cfg.local_lr, &task.theta_grad);
+                task.engine
+                    .ffn_mut()
+                    .add_scaled(-cfg.local_lr, &task.theta_grad);
                 task.theta_grad.zero();
                 // V row: immediate local SGD step on the task's prefix.
                 {
@@ -377,8 +394,7 @@ pub fn train_client(ctx: &ClientCtx<'_>, prev: &UserState) -> ClientOutcome {
             .map(|(task, downloaded)| {
                 let trained = task.engine.ffn().to_flat();
                 let base = downloaded.to_flat();
-                let delta: Vec<f32> =
-                    trained.iter().zip(&base).map(|(t, b)| t - b).collect();
+                let delta: Vec<f32> = trained.iter().zip(&base).map(|(t, b)| t - b).collect();
                 (task.tier.index() as u8, delta)
             })
             .collect();
@@ -388,7 +404,12 @@ pub fn train_client(ctx: &ClientCtx<'_>, prev: &UserState) -> ClientOutcome {
         }
     };
 
-    ClientOutcome { update, state, loss: total_loss, samples: total_samples }
+    ClientOutcome {
+        update,
+        state,
+        loss: total_loss,
+        samples: total_samples,
+    }
 }
 
 #[cfg(test)]
@@ -421,8 +442,8 @@ mod tests {
         } else {
             vec![tier]
         };
-        let standalone_theta = matches!(strategy, Strategy::Standalone)
-            .then(|| server.theta(tier).clone());
+        let standalone_theta =
+            matches!(strategy, Strategy::Standalone).then(|| server.theta(tier).clone());
         let state = UserState::init(user_id, cfg.dims.dim(tier), cfg, standalone_theta);
         let ctx = ClientCtx {
             cfg,
@@ -553,9 +574,26 @@ mod tests {
             Tier::Medium,
         );
         let server_no = ServerState::new(split.num_items(), &cfg, Strategy::DirectlyAggregate);
-        let without = run_one(&cfg, Strategy::DirectlyAggregate, &split, &server_no, 6, Tier::Medium);
-        let a = with_udl.update.items.rows.iter().find(|(r, _)| *r == split.user(6).train[0]);
-        let b = without.update.items.rows.iter().find(|(r, _)| *r == split.user(6).train[0]);
+        let without = run_one(
+            &cfg,
+            Strategy::DirectlyAggregate,
+            &split,
+            &server_no,
+            6,
+            Tier::Medium,
+        );
+        let a = with_udl
+            .update
+            .items
+            .rows
+            .iter()
+            .find(|(r, _)| *r == split.user(6).train[0]);
+        let b = without
+            .update
+            .items
+            .rows
+            .iter()
+            .find(|(r, _)| *r == split.user(6).train[0]);
         assert_ne!(a.unwrap().1, b.unwrap().1);
     }
 
@@ -621,9 +659,10 @@ mod tests {
         let thetas = server.thetas_for(Tier::Small, true);
         let theta_tiers = vec![Tier::Small];
         let mut state = UserState::init(9, cfg.dims.dim(Tier::Small), &cfg, None);
-        let mut first = f64::NAN;
-        let mut last = f64::NAN;
-        for round in 0..8 {
+        // Each round draws fresh negatives, so per-round loss is a noisy
+        // estimate; compare averaged windows rather than single rounds.
+        let mut losses = Vec::new();
+        for round in 0..16 {
             let ctx = ClientCtx {
                 cfg: &cfg,
                 strategy,
@@ -637,12 +676,10 @@ mod tests {
             };
             let out = train_client(&ctx, &state);
             state = out.state;
-            let mean = out.loss / out.samples.max(1) as f64;
-            if round == 0 {
-                first = mean;
-            }
-            last = mean;
+            losses.push(out.loss / out.samples.max(1) as f64);
         }
-        assert!(last < first, "first {first}, last {last}");
+        let head = losses[..4].iter().sum::<f64>() / 4.0;
+        let tail = losses[losses.len() - 4..].iter().sum::<f64>() / 4.0;
+        assert!(tail < head, "head {head}, tail {tail}, losses {losses:?}");
     }
 }

@@ -2,10 +2,9 @@
 
 use hf_dataset::{DatasetProfile, DivisionRatio, Tier};
 use hf_models::ModelKind;
-use serde::{Deserialize, Serialize};
 
 /// The three tier embedding dimensions `{Ns, Nm, Nl}`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TierDims {
     dims: [usize; 3],
 }
@@ -17,7 +16,9 @@ impl TierDims {
             small > 0 && small < medium && medium < large,
             "tier dims must satisfy 0 < Ns < Nm < Nl, got {small},{medium},{large}"
         );
-        Self { dims: [small, medium, large] }
+        Self {
+            dims: [small, medium, large],
+        }
     }
 
     /// The paper's ML/Anime setting `{8, 16, 32}`.
@@ -57,7 +58,7 @@ impl TierDims {
 }
 
 /// Relation-based ensemble self-distillation settings (Eq. 16–17).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct KdConfig {
     /// Items sampled per distillation step (`|V_kd|`).
     pub items: usize,
@@ -69,12 +70,16 @@ pub struct KdConfig {
 
 impl Default for KdConfig {
     fn default() -> Self {
-        Self { items: 128, lr: 1.0, steps: 1 }
+        Self {
+            items: 128,
+            lr: 1.0,
+            steps: 1,
+        }
     }
 }
 
 /// How the server folds aggregated deltas into the public parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ServerOpt {
     /// Eq. 9 literal: `V -= server_lr * Σ Δ` (deltas already carry the
     /// local learning rate, so `server_lr = 1` reproduces summed local
@@ -94,7 +99,7 @@ pub enum ServerOpt {
 /// restores stability; `SqrtCount` is the compromise that keeps some
 /// popularity-proportional progress. The server-optimiser ablation bench
 /// compares all three.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ItemAggNorm {
     /// Eq. 8 literal: plain sum.
     Sum,
@@ -105,7 +110,7 @@ pub enum ItemAggNorm {
 }
 
 /// Full configuration of one federated training run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TrainConfig {
     /// Base recommendation model.
     pub model: ModelKind,
@@ -205,7 +210,11 @@ impl TrainConfig {
             alpha: 1.0,
             udl_aux_weight: 0.3,
             ddr_max_rows: 64,
-            kd: KdConfig { items: 16, lr: 0.05, steps: 1 },
+            kd: KdConfig {
+                items: 16,
+                lr: 0.05,
+                steps: 1,
+            },
             eval_k: 10,
             threads: 1,
             seed: 7,

@@ -44,8 +44,10 @@ pub fn decorrelation_loss_grad(z: &Matrix) -> (f32, Matrix) {
 
     let means = stats::column_means(z);
     let vars = stats::column_variances(z);
-    let inv_std: Vec<f32> =
-        vars.iter().map(|&v| if v > VAR_EPS { 1.0 / v.sqrt() } else { 0.0 }).collect();
+    let inv_std: Vec<f32> = vars
+        .iter()
+        .map(|&v| if v > VAR_EPS { 1.0 / v.sqrt() } else { 0.0 })
+        .collect();
 
     // Standardise (stop-grad on means/vars).
     let mut zhat = z.clone();
@@ -187,9 +189,8 @@ mod tests {
             let shared = ((r * 13 % 101) as f32 / 101.0 - 0.5) * 2.0;
             0.8 * shared + 0.6 * noise.get(r, c)
         });
-        let spectrum_spread = |m: &Matrix| {
-            stats::singular_value_variance(&stats::standardize_columns(m, 1e-12))
-        };
+        let spectrum_spread =
+            |m: &Matrix| stats::singular_value_variance(&stats::standardize_columns(m, 1e-12));
         let before = spectrum_spread(&z);
         for _ in 0..400 {
             let (_, grad) = decorrelation_loss_grad(&z);
@@ -211,7 +212,11 @@ mod tests {
 
     #[test]
     fn constant_columns_are_ignored() {
-        let z = Matrix::from_fn(50, 3, |r, c| if c == 2 { 7.0 } else { ((r + c) as f32).sin() });
+        let z = Matrix::from_fn(
+            50,
+            3,
+            |r, c| if c == 2 { 7.0 } else { ((r + c) as f32).sin() },
+        );
         let (loss, grad) = decorrelation_loss_grad(&z);
         assert!(loss.is_finite());
         for r in 0..50 {

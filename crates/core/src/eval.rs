@@ -15,15 +15,23 @@ use hf_dataset::{ClientGroups, SplitDataset, Tier};
 use hf_metrics::eval::{EvalResult, Evaluator, GroupedEval, UserEval};
 use hf_models::ncf::NcfEngine;
 use hf_models::ModelKind;
-use serde::{Deserialize, Serialize};
 
 /// Aggregated evaluation output: overall plus per-data-group (Fig. 6).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct EvalOutput {
     /// Mean metrics over all users with test data (Table II row).
     pub overall: EvalResult,
     /// Mean metrics per data group `[Us, Um, Ul]` (Fig. 6 bars).
     pub per_group: [EvalResult; 3],
+}
+
+impl hf_tensor::ser::ToJson for EvalOutput {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("overall", &self.overall)
+                .field("per_group", &self.per_group);
+        });
+    }
 }
 
 impl EvalOutput {
@@ -61,7 +69,12 @@ pub fn evaluate_user(
     let is_standalone = matches!(strategy, Strategy::Standalone);
 
     let theta = if is_standalone {
-        state.standalone.as_ref().expect("standalone state").theta.clone()
+        state
+            .standalone
+            .as_ref()
+            .expect("standalone state")
+            .theta
+            .clone()
     } else {
         server.theta(model_tier).clone()
     };
@@ -122,7 +135,15 @@ pub fn evaluate(
 ) -> EvalOutput {
     let ids: Vec<usize> = (0..split.num_users()).collect();
     let evals = hf_fedsim::parallel::parallel_map(&ids, cfg.threads, |&u| {
-        evaluate_user(cfg, strategy, split, server, &users[u], u, model_groups.tier(u))
+        evaluate_user(
+            cfg,
+            strategy,
+            split,
+            server,
+            &users[u],
+            u,
+            model_groups.tier(u),
+        )
     });
 
     let mut grouped = GroupedEval::new(3);
@@ -144,7 +165,13 @@ mod tests {
     use crate::strategy::Ablation;
     use hf_dataset::{DivisionRatio, SyntheticConfig};
 
-    fn setup() -> (TrainConfig, SplitDataset, ServerState, Vec<UserState>, ClientGroups) {
+    fn setup() -> (
+        TrainConfig,
+        SplitDataset,
+        ServerState,
+        Vec<UserState>,
+        ClientGroups,
+    ) {
         let cfg = TrainConfig::test_default(ModelKind::Ncf);
         let data = SyntheticConfig::tiny().generate(5);
         let split = SplitDataset::paper_split(&data, 5);
@@ -169,8 +196,10 @@ mod tests {
             &groups,
             &groups,
         );
-        let with_test =
-            split.iter_users().filter(|(_, s)| !s.test.is_empty()).count();
+        let with_test = split
+            .iter_users()
+            .filter(|(_, s)| !s.test.is_empty())
+            .count();
         assert_eq!(out.overall.users, with_test);
         let group_sum: usize = out.per_group.iter().map(|g| g.users).sum();
         assert_eq!(group_sum, with_test);
@@ -231,8 +260,12 @@ mod tests {
         let groups = strategy.assign_tiers(&split, DivisionRatio::PAPER_DEFAULT);
         let u = 0;
         let tier = groups.tier(u);
-        let state =
-            UserState::init(u, cfg.dims.dim(tier), &cfg, Some(server.theta(tier).clone()));
+        let state = UserState::init(
+            u,
+            cfg.dims.dim(tier),
+            &cfg,
+            Some(server.theta(tier).clone()),
+        );
         let eval = evaluate_user(&cfg, strategy, &split, &server, &state, u, tier);
         // User 0 of the tiny dataset has test items, so evaluation runs.
         assert!(eval.is_some());

@@ -6,10 +6,9 @@ use crate::strategy::Strategy;
 use crate::trainer::{History, Trainer};
 use hf_dataset::{SplitDataset, Tier};
 use hf_fedsim::comm::CommLedger;
-use serde::{Deserialize, Serialize};
 
 /// Everything an experiment table needs from one training run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentResult {
     /// Strategy display name (paper row label).
     pub strategy: String,
@@ -21,6 +20,18 @@ pub struct ExperimentResult {
     pub collapse: [f32; 3],
     /// Accumulated communication ledger.
     pub comm: CommLedger,
+}
+
+impl hf_tensor::ser::ToJson for ExperimentResult {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("strategy", &self.strategy)
+                .field("final_eval", &self.final_eval)
+                .field("history", &self.history)
+                .field("collapse", &self.collapse)
+                .field("comm", &self.comm);
+        });
+    }
 }
 
 /// Trains `strategy` under `cfg` on `split` and collects the artefacts
@@ -69,21 +80,31 @@ mod tests {
     }
 
     #[test]
-    fn results_serialize_roundtrip() {
+    fn results_snapshot_as_json() {
+        use hf_tensor::ser::ToJson;
+
         let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
         cfg.epochs = 1;
         let data = SyntheticConfig::tiny().generate(2);
         let split = SplitDataset::paper_split(&data, 2);
         let result = run_experiment(&cfg, Strategy::AllSmall, &split);
-        // serde round-trip through the binary-friendly JSON representation
-        // used when snapshotting experiment outputs.
-        let json = serde_json_like(&result);
-        assert!(json.contains("All Small"));
-    }
-
-    /// Minimal serialisation smoke (we avoid a serde_json dependency; the
-    /// Debug representation exercises every Serialize-adjacent field).
-    fn serde_json_like(r: &ExperimentResult) -> String {
-        format!("{r:?}")
+        let json = result.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"strategy\":\"All Small\""));
+        for key in [
+            "final_eval",
+            "overall",
+            "per_group",
+            "history",
+            "train_loss",
+            "collapse",
+            "comm",
+            "upload_bytes",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\"")),
+                "missing {key} in {json}"
+            );
+        }
     }
 }

@@ -18,9 +18,9 @@
 //! aggregation maintains (see DESIGN.md §5).
 
 use crate::config::KdConfig;
+use hf_tensor::rng::Rng;
 use hf_tensor::sim::{alignment_loss_grad, cosine_similarity_matrix, mean_of};
 use hf_tensor::Matrix;
-use rand::Rng;
 
 /// Samples `count` distinct item indices from `0..num_items` via a partial
 /// Fisher–Yates pass (deterministic given the RNG state).
@@ -112,7 +112,11 @@ mod tests {
     #[test]
     fn distillation_reduces_alignment_loss() {
         let mut t = tables(10);
-        let kd = KdConfig { items: 50, lr: 30.0, steps: 1 };
+        let kd = KdConfig {
+            items: 50,
+            lr: 30.0,
+            steps: 1,
+        };
         // Run several rounds on the same (full) subset; the reported
         // pre-update loss must shrink.
         let mut rng = stream(3, SeedStream::Distill);
@@ -128,7 +132,11 @@ mod tests {
     #[test]
     fn distillation_pulls_tier_geometries_together() {
         let mut t = tables(11);
-        let kd = KdConfig { items: 50, lr: 30.0, steps: 2 };
+        let kd = KdConfig {
+            items: 50,
+            lr: 30.0,
+            steps: 2,
+        };
         let spread = |t: &[Matrix; 3]| -> f32 {
             let sims: Vec<Matrix> = t.iter().map(cosine_similarity_matrix).collect();
             let mean = sim::mean_of(&sims.iter().collect::<Vec<_>>());
@@ -147,7 +155,11 @@ mod tests {
     fn untouched_rows_are_unchanged() {
         let mut t = tables(12);
         let originals = t.clone();
-        let kd = KdConfig { items: 10, lr: 5.0, steps: 1 };
+        let kd = KdConfig {
+            items: 10,
+            lr: 5.0,
+            steps: 1,
+        };
         let mut rng = stream(5, SeedStream::Distill);
         let selected = {
             // Re-derive the same subset the round will use.
@@ -168,7 +180,11 @@ mod tests {
     fn degenerate_kd_is_noop() {
         let mut t = tables(13);
         let before = t.clone();
-        let kd = KdConfig { items: 1, lr: 0.1, steps: 1 };
+        let kd = KdConfig {
+            items: 1,
+            lr: 0.1,
+            steps: 1,
+        };
         let mut rng = stream(6, SeedStream::Distill);
         assert_eq!(distill_round(&mut t, &kd, &mut rng), 0.0);
         assert_eq!(t[0], before[0]);

@@ -8,9 +8,9 @@ use hf_dataset::Tier;
 use hf_fedsim::transport::ClientUpdate;
 use hf_models::{paper_predictor_dims, Ffn, RowGradBuffer};
 use hf_tensor::adam::{Adam, AdamConfig, SparseRowAdam};
+use hf_tensor::rng::StdRng;
 use hf_tensor::rng::{stream, SeedStream};
 use hf_tensor::Matrix;
-use rand::rngs::StdRng;
 use std::collections::HashMap;
 
 /// The server's public parameters and optimiser state.
@@ -308,7 +308,13 @@ mod tests {
         ServerState::new(30, &cfg(), strategy)
     }
 
-    fn update(tier: Tier, row: u32, dim: usize, value: f32, theta_len: usize) -> (Tier, ClientUpdate) {
+    fn update(
+        tier: Tier,
+        row: u32,
+        dim: usize,
+        value: f32,
+        theta_len: usize,
+    ) -> (Tier, ClientUpdate) {
         (
             tier,
             ClientUpdate {
@@ -336,7 +342,10 @@ mod tests {
             let t = s.table(tier);
             let b = &before[tier.index()];
             for d in 0..4 {
-                assert!((t.get(3, d) - (b.get(3, d) + 1.0)).abs() < 1e-6, "{tier:?} dim {d}");
+                assert!(
+                    (t.get(3, d) - (b.get(3, d) + 1.0)).abs() < 1e-6,
+                    "{tier:?} dim {d}"
+                );
             }
             // ...and nowhere else.
             for d in 4..t.cols() {
@@ -362,13 +371,21 @@ mod tests {
             ];
             s.apply_round(&updates);
         }
-        assert!(s.eq10_violation() < 1e-6, "violation {}", s.eq10_violation());
+        assert!(
+            s.eq10_violation() < 1e-6,
+            "violation {}",
+            s.eq10_violation()
+        );
     }
 
     #[test]
     fn distillation_breaks_eq10_as_documented() {
         let mut s = server(Strategy::HeteFedRec(Ablation::FULL));
-        s.distill(&KdConfig { items: 20, lr: 20.0, steps: 2 });
+        s.distill(&KdConfig {
+            items: 20,
+            lr: 20.0,
+            steps: 2,
+        });
         assert!(s.eq10_violation() > 0.0);
     }
 

@@ -2,10 +2,9 @@
 //! of §V-C.
 
 use hf_dataset::{ClientGroups, DivisionRatio, SplitDataset, Tier};
-use serde::{Deserialize, Serialize};
 
 /// Ablation switches over HeteFedRec's three components (Table IV).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Ablation {
     /// Unified dual-task learning (Eq. 11).
     pub udl: bool,
@@ -17,17 +16,33 @@ pub struct Ablation {
 
 impl Ablation {
     /// Full HeteFedRec.
-    pub const FULL: Ablation = Ablation { udl: true, ddr: true, reskd: true };
+    pub const FULL: Ablation = Ablation {
+        udl: true,
+        ddr: true,
+        reskd: true,
+    };
     /// Table IV row "- RESKD".
-    pub const NO_RESKD: Ablation = Ablation { udl: true, ddr: true, reskd: false };
+    pub const NO_RESKD: Ablation = Ablation {
+        udl: true,
+        ddr: true,
+        reskd: false,
+    };
     /// Table IV row "- RESKD, DDR".
-    pub const NO_RESKD_DDR: Ablation = Ablation { udl: true, ddr: false, reskd: false };
+    pub const NO_RESKD_DDR: Ablation = Ablation {
+        udl: true,
+        ddr: false,
+        reskd: false,
+    };
     /// Table IV row "- RESKD, DDR, UDL" (equivalent to Directly Aggregate).
-    pub const NONE: Ablation = Ablation { udl: false, ddr: false, reskd: false };
+    pub const NONE: Ablation = Ablation {
+        udl: false,
+        ddr: false,
+        reskd: false,
+    };
 }
 
 /// A training strategy: HeteFedRec or one of the paper's baselines.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {
     /// The paper's method, with ablation switches (full = all on).
     HeteFedRec(Ablation),
@@ -196,7 +211,10 @@ mod tests {
     #[test]
     fn direct_aggregate_equals_fully_ablated_hetefedrec() {
         assert_eq!(Strategy::DirectlyAggregate.ablation(), Ablation::NONE);
-        assert_eq!(Strategy::HeteFedRec(Ablation::NONE).ablation(), Ablation::NONE);
+        assert_eq!(
+            Strategy::HeteFedRec(Ablation::NONE).ablation(),
+            Ablation::NONE
+        );
         assert!(Strategy::DirectlyAggregate.aggregates_across_tiers());
     }
 

@@ -21,10 +21,9 @@ use hf_fedsim::parallel::parallel_map;
 use hf_fedsim::scheduler::RoundScheduler;
 use hf_fedsim::transport::ClientUpdate;
 use hf_models::Ffn;
-use serde::{Deserialize, Serialize};
 
 /// Per-epoch record for convergence curves (Fig. 7).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct EpochRecord {
     /// 1-based epoch number.
     pub epoch: usize,
@@ -34,11 +33,27 @@ pub struct EpochRecord {
     pub eval: EvalOutput,
 }
 
+impl hf_tensor::ser::ToJson for EpochRecord {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("epoch", &self.epoch)
+                .field("train_loss", &self.train_loss)
+                .field("eval", &self.eval);
+        });
+    }
+}
+
 /// Metric history across a training run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct History {
     /// One record per completed epoch.
     pub epochs: Vec<EpochRecord>,
+}
+
+impl hf_tensor::ser::ToJson for History {
+    fn write_json(&self, out: &mut String) {
+        self.epochs.write_json(out);
+    }
 }
 
 impl History {
@@ -85,8 +100,8 @@ impl Trainer {
         let users = (0..split.num_users())
             .map(|u| {
                 let tier = model_groups.tier(u);
-                let standalone_theta = matches!(strategy, Strategy::Standalone)
-                    .then(|| server.theta(tier).clone());
+                let standalone_theta =
+                    matches!(strategy, Strategy::Standalone).then(|| server.theta(tier).clone());
                 UserState::init(u, cfg.dims.dim(tier), &cfg, standalone_theta)
             })
             .collect();
@@ -223,8 +238,10 @@ impl Trainer {
             let model_tier = self.model_groups.tier(uid);
             let data_tier = self.data_groups.tier(uid);
             // Download accounting: tier table + every downloaded predictor.
-            let theta_sizes: Vec<usize> =
-                tier_thetas[model_tier.index()].iter().map(Ffn::num_params).collect();
+            let theta_sizes: Vec<usize> = tier_thetas[model_tier.index()]
+                .iter()
+                .map(Ffn::num_params)
+                .collect();
             let download = RoundCost::dense(
                 self.split.num_items(),
                 self.cfg.dims.dim(model_tier),
@@ -271,7 +288,11 @@ impl Trainer {
         for epoch in 1..=self.cfg.epochs {
             let train_loss = self.run_epoch();
             let eval = self.evaluate();
-            self.history.epochs.push(EpochRecord { epoch, train_loss, eval });
+            self.history.epochs.push(EpochRecord {
+                epoch,
+                train_loss,
+                eval,
+            });
         }
         &self.history
     }

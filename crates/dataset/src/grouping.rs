@@ -9,10 +9,9 @@
 
 use crate::split::SplitDataset;
 use crate::types::UserId;
-use serde::{Deserialize, Serialize};
 
 /// Model-size tier of a client (paper's `Us`/`Um`/`Ul`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Tier {
     /// Small clients (`Us`): fewest interactions, smallest model.
     Small,
@@ -46,7 +45,7 @@ impl Tier {
 }
 
 /// A division ratio `x:y:z` over (small, medium, large).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DivisionRatio {
     /// Small-group weight.
     pub small: u32,
@@ -58,16 +57,32 @@ pub struct DivisionRatio {
 
 impl DivisionRatio {
     /// The paper's default conservative division.
-    pub const PAPER_DEFAULT: DivisionRatio = DivisionRatio { small: 5, medium: 3, large: 2 };
+    pub const PAPER_DEFAULT: DivisionRatio = DivisionRatio {
+        small: 5,
+        medium: 3,
+        large: 2,
+    };
     /// The neutral division studied in RQ4.
-    pub const NEUTRAL: DivisionRatio = DivisionRatio { small: 1, medium: 1, large: 1 };
+    pub const NEUTRAL: DivisionRatio = DivisionRatio {
+        small: 1,
+        medium: 1,
+        large: 1,
+    };
     /// The optimistic division studied in RQ4.
-    pub const OPTIMISTIC: DivisionRatio = DivisionRatio { small: 2, medium: 3, large: 5 };
+    pub const OPTIMISTIC: DivisionRatio = DivisionRatio {
+        small: 2,
+        medium: 3,
+        large: 5,
+    };
 
     /// Creates a ratio; at least one weight must be positive.
     pub fn new(small: u32, medium: u32, large: u32) -> Self {
         assert!(small + medium + large > 0, "ratio weights sum to zero");
-        Self { small, medium, large }
+        Self {
+            small,
+            medium,
+            large,
+        }
     }
 
     /// Paper-style display, e.g. `5:3:2`.
@@ -88,7 +103,7 @@ impl DivisionRatio {
 }
 
 /// The result of dividing clients into tiers.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClientGroups {
     tiers: Vec<Tier>,
     /// Interaction-count thresholds `(p_small_max, p_medium_max)` implied
@@ -124,14 +139,20 @@ impl ClientGroups {
         }
         let t_small = if cut1 > 0 { counts[order[cut1 - 1]] } else { 0 };
         let t_medium = if cut2 > 0 { counts[order[cut2 - 1]] } else { 0 };
-        Self { tiers, thresholds: (t_small, t_medium) }
+        Self {
+            tiers,
+            thresholds: (t_small, t_medium),
+        }
     }
 
     /// Assigns every client to one tier (used by the `All Small` /
     /// `All Large` homogeneous baselines, which the paper describes as the
     /// `10:0:0` and `0:0:10` divisions).
     pub fn uniform(num_users: usize, tier: Tier) -> Self {
-        Self { tiers: vec![tier; num_users], thresholds: (0, 0) }
+        Self {
+            tiers: vec![tier; num_users],
+            thresholds: (0, 0),
+        }
     }
 
     /// Tier of one client.
@@ -196,7 +217,12 @@ mod tests {
                 DivisionRatio::OPTIMISTIC,
             ] {
                 let g = ClientGroups::divide_by_counts(&counts, ratio);
-                assert_eq!(g.sizes().iter().sum::<usize>(), n, "n={n} ratio={:?}", ratio);
+                assert_eq!(
+                    g.sizes().iter().sum::<usize>(),
+                    n,
+                    "n={n} ratio={:?}",
+                    ratio
+                );
             }
         }
     }

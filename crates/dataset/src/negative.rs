@@ -8,7 +8,7 @@
 
 use crate::split::UserSplit;
 use crate::types::ItemId;
-use rand::Rng;
+use hf_tensor::rng::Rng;
 
 /// Uniform negative sampler over the item universe with rejection against
 /// a user's local positives.
@@ -25,7 +25,10 @@ impl NegativeSampler {
     /// # Panics
     /// Panics if the universe is empty or the ratio is zero.
     pub fn new(num_items: usize, ratio: usize) -> Self {
-        assert!(num_items > 1, "cannot sample negatives from a universe of {num_items}");
+        assert!(
+            num_items > 1,
+            "cannot sample negatives from a universe of {num_items}"
+        );
         assert!(ratio > 0, "ratio must be positive");
         Self { num_items, ratio }
     }
@@ -61,11 +64,7 @@ impl NegativeSampler {
 
     /// Builds the full `(item, label)` training stream for one user's
     /// epoch: every train positive followed by `ratio` negatives.
-    pub fn build_epoch(
-        &self,
-        user: &UserSplit,
-        rng: &mut impl Rng,
-    ) -> (Vec<ItemId>, Vec<f32>) {
+    pub fn build_epoch(&self, user: &UserSplit, rng: &mut impl Rng) -> (Vec<ItemId>, Vec<f32>) {
         let n = user.train.len() * (1 + self.ratio);
         let mut items = Vec::with_capacity(n);
         let mut labels = Vec::with_capacity(n);
@@ -90,7 +89,11 @@ mod tests {
     use hf_tensor::rng::{stream, SeedStream};
 
     fn user(train: Vec<ItemId>, valid: Vec<ItemId>) -> UserSplit {
-        UserSplit { train, valid, test: vec![] }
+        UserSplit {
+            train,
+            valid,
+            test: vec![],
+        }
     }
 
     #[test]

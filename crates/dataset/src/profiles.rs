@@ -14,10 +14,9 @@
 //! all distributional shape parameters.
 
 use crate::synthetic::SyntheticConfig;
-use serde::{Deserialize, Serialize};
 
 /// The three evaluation datasets of the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DatasetProfile {
     /// MovieLens-1M: movie ratings.
     MovieLens,
@@ -29,8 +28,11 @@ pub enum DatasetProfile {
 
 impl DatasetProfile {
     /// All profiles, in the paper's column order.
-    pub const ALL: [DatasetProfile; 3] =
-        [DatasetProfile::MovieLens, DatasetProfile::Anime, DatasetProfile::Douban];
+    pub const ALL: [DatasetProfile; 3] = [
+        DatasetProfile::MovieLens,
+        DatasetProfile::Anime,
+        DatasetProfile::Douban,
+    ];
 
     /// Human-readable name matching the paper's tables.
     pub fn name(self) -> &'static str {
@@ -116,7 +118,10 @@ impl DatasetProfile {
     /// # Panics
     /// Panics unless `0 < fraction <= 1`.
     pub fn config_scaled(self, fraction: f64) -> SyntheticConfig {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         // At reduced item-universe sizes, very large per-user counts would
         // exhaust the universe and be clamped, distorting the calibrated
         // mean. A mild fourth-root shrink keeps per-user counts close to
@@ -197,7 +202,12 @@ mod tests {
             let (mu, sigma) = p.config().lognormal_params();
             let p80 = (mu + 0.841_621 * sigma).exp();
             let rel = (p80 - p.paper_p80()).abs() / p.paper_p80();
-            assert!(rel < 0.25, "{}: implied p80 {p80} vs paper {}", p.name(), p.paper_p80());
+            assert!(
+                rel < 0.25,
+                "{}: implied p80 {p80} vs paper {}",
+                p.name(),
+                p.paper_p80()
+            );
         }
     }
 

@@ -8,10 +8,9 @@
 
 use crate::types::{ImplicitDataset, ItemId, UserId};
 use hf_tensor::rng::{substream, SeedStream};
-use serde::{Deserialize, Serialize};
 
 /// A user's split interaction data.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct UserSplit {
     /// Training positives (sorted).
     pub train: Vec<ItemId>,
@@ -35,7 +34,7 @@ impl UserSplit {
 }
 
 /// Dataset with per-user train/valid/test splits.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SplitDataset {
     num_items: usize,
     users: Vec<UserSplit>,
@@ -68,14 +67,21 @@ impl SplitDataset {
                 let n_valid = n_valid.min(items.len().saturating_sub(1));
                 let valid: Vec<ItemId> = items.drain(..n_valid).collect();
 
-                let mut split = UserSplit { train: items, valid, test };
+                let mut split = UserSplit {
+                    train: items,
+                    valid,
+                    test,
+                };
                 split.train.sort_unstable();
                 split.valid.sort_unstable();
                 split.test.sort_unstable();
                 split
             })
             .collect();
-        Self { num_items: dataset.num_items(), users }
+        Self {
+            num_items: dataset.num_items(),
+            users,
+        }
     }
 
     /// Paper-default split: 80/20 train/test, 10% of train as validation.
@@ -156,7 +162,10 @@ mod tests {
         let test_frac = test as f64 / total;
         let valid_frac = valid as f64 / (train + valid) as f64;
         assert!((test_frac - 0.2).abs() < 0.05, "test fraction {test_frac}");
-        assert!((valid_frac - 0.1).abs() < 0.05, "valid fraction {valid_frac}");
+        assert!(
+            (valid_frac - 0.1).abs() < 0.05,
+            "valid fraction {valid_frac}"
+        );
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Dataset statistics: Table I rows and Fig. 1 histograms.
 
 use crate::types::ImplicitDataset;
-use serde::{Deserialize, Serialize};
 
 /// The statistics reported per dataset in the paper's Table I.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DatasetStats {
     /// Number of users.
     pub users: usize,
@@ -29,9 +28,17 @@ impl DatasetStats {
         counts.sort_unstable();
         let n = counts.len();
         let interactions: usize = counts.iter().sum();
-        let mean = if n > 0 { interactions as f64 / n as f64 } else { 0.0 };
+        let mean = if n > 0 {
+            interactions as f64 / n as f64
+        } else {
+            0.0
+        };
         let var = if n > 0 {
-            counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n as f64
+            counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n as f64
         } else {
             0.0
         };
@@ -65,7 +72,7 @@ fn percentile(sorted: &[usize], q: f64) -> usize {
 }
 
 /// Histogram of per-user interaction counts — the data behind Fig. 1.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct InteractionHistogram {
     /// Inclusive lower edge of each bin.
     pub bin_edges: Vec<usize>,
@@ -121,7 +128,10 @@ mod tests {
 
     #[test]
     fn stats_on_toy_dataset() {
-        let d = ImplicitDataset::new(10, vec![vec![0], vec![1, 2], vec![3, 4, 5], vec![6, 7, 8, 9]]);
+        let d = ImplicitDataset::new(
+            10,
+            vec![vec![0], vec![1, 2], vec![3, 4, 5], vec![6, 7, 8, 9]],
+        );
         let s = DatasetStats::compute(&d);
         assert_eq!(s.users, 4);
         assert_eq!(s.items, 10);
@@ -147,10 +157,19 @@ mod tests {
         let d = cfg.generate(17);
         let s = DatasetStats::compute(&d);
         let rel_mean = (s.mean - cfg.mean_interactions).abs() / cfg.mean_interactions;
-        assert!(rel_mean < 0.25, "mean {} vs target {}", s.mean, cfg.mean_interactions);
-        let rel_p50 =
-            (s.p50 as f64 - cfg.median_interactions).abs() / cfg.median_interactions;
-        assert!(rel_p50 < 0.3, "p50 {} vs target {}", s.p50, cfg.median_interactions);
+        assert!(
+            rel_mean < 0.25,
+            "mean {} vs target {}",
+            s.mean,
+            cfg.mean_interactions
+        );
+        let rel_p50 = (s.p50 as f64 - cfg.median_interactions).abs() / cfg.median_interactions;
+        assert!(
+            rel_p50 < 0.3,
+            "p50 {} vs target {}",
+            s.p50,
+            cfg.median_interactions
+        );
     }
 
     #[test]
@@ -177,7 +196,11 @@ mod tests {
             .max_by_key(|(_, &c)| c)
             .map(|(i, _)| i)
             .unwrap();
-        assert!(peak_bin < h.counts.len() / 3, "peak bin {peak_bin} of {}", h.counts.len());
+        assert!(
+            peak_bin < h.counts.len() / 3,
+            "peak bin {peak_bin} of {}",
+            h.counts.len()
+        );
     }
 
     #[test]

@@ -20,12 +20,11 @@
 //! per user.
 
 use crate::types::{ImplicitDataset, ItemId};
+use hf_tensor::rng::Rng;
 use hf_tensor::rng::{stream, substream, SeedStream};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the synthetic generator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SyntheticConfig {
     /// Number of users (federated clients).
     pub num_users: usize,
@@ -84,7 +83,10 @@ impl SyntheticConfig {
 
     /// Generates the dataset deterministically from `seed`.
     pub fn generate(&self, seed: u64) -> ImplicitDataset {
-        assert!(self.num_users > 0 && self.num_items > 1, "degenerate universe");
+        assert!(
+            self.num_users > 0 && self.num_items > 1,
+            "degenerate universe"
+        );
         assert!(self.num_clusters > 0, "need at least one cluster");
         let mut rng = stream(seed, SeedStream::Dataset);
 
@@ -180,15 +182,12 @@ fn sample_lognormal_count(mu: f64, sigma: f64, rng: &mut impl Rng) -> usize {
 }
 
 fn standard_normal(rng: &mut impl Rng) -> f64 {
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    rng.standard_normal()
 }
 
 /// Standard Gumbel(0,1) draw.
 fn gumbel(rng: &mut impl Rng) -> f32 {
-    let u: f32 = rng.gen::<f32>().max(1e-9);
-    -(-u.ln()).ln()
+    rng.gumbel01()
 }
 
 #[cfg(test)]
@@ -219,7 +218,10 @@ mod tests {
     fn respects_minimum_interactions() {
         let cfg = SyntheticConfig::tiny();
         let d = cfg.generate(7);
-        assert!(d.interaction_counts().iter().all(|&c| c >= cfg.min_interactions));
+        assert!(d
+            .interaction_counts()
+            .iter()
+            .all(|&c| c >= cfg.min_interactions));
     }
 
     #[test]
@@ -230,8 +232,7 @@ mod tests {
         cfg.mean_interactions = 40.0;
         cfg.median_interactions = 25.0;
         let d = cfg.generate(3);
-        let mean =
-            d.num_interactions() as f64 / d.num_users() as f64;
+        let mean = d.num_interactions() as f64 / d.num_users() as f64;
         // Log-normal sampling + clamping: allow 20% tolerance.
         assert!((mean - 40.0).abs() < 8.0, "mean {mean}");
     }

@@ -7,8 +7,6 @@
 //! clients never see each other's data, so there is no benefit to a global
 //! interaction log.
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a user (== federated client id).
 pub type UserId = usize;
 /// Index of an item.
@@ -16,7 +14,7 @@ pub type ItemId = u32;
 
 /// A user's local interaction list. Item ids are kept sorted so membership
 /// checks are `O(log n)`.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct UserInteractions {
     items: Vec<ItemId>,
 }
@@ -52,7 +50,7 @@ impl UserInteractions {
 
 /// An implicit-feedback dataset: one interaction list per user over a fixed
 /// item universe.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ImplicitDataset {
     num_items: usize,
     users: Vec<UserInteractions>,
@@ -72,7 +70,10 @@ impl ImplicitDataset {
                 );
             }
         }
-        let users = per_user_items.into_iter().map(UserInteractions::new).collect();
+        let users = per_user_items
+            .into_iter()
+            .map(UserInteractions::new)
+            .collect();
         Self { num_items, users }
     }
 

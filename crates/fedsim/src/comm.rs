@@ -10,10 +10,8 @@
 //! accumulates actual measured bytes over a training run so experiments
 //! can report both views.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters moved by one client↔server transmission.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RoundCost {
     /// Item-embedding parameters (`|V| × N` under dense accounting).
     pub item_params: usize,
@@ -35,12 +33,26 @@ impl RoundCost {
     /// Cost of transmitting a dense `|V| x dim` table plus the given
     /// predictor sizes — the Table III formula `size(V_x) + size({Θ})`.
     pub fn dense(num_items: usize, dim: usize, theta_sizes: &[usize]) -> Self {
-        Self { item_params: num_items * dim, theta_params: theta_sizes.iter().sum() }
+        Self {
+            item_params: num_items * dim,
+            theta_params: theta_sizes.iter().sum(),
+        }
+    }
+}
+
+impl hf_tensor::ser::ToJson for RoundCost {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("item_params", &self.item_params)
+                .field("theta_params", &self.theta_params)
+                .field("total", &self.total())
+                .field("bytes", &self.bytes());
+        });
     }
 }
 
 /// Accumulates measured communication over a run, split by direction.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CommLedger {
     /// Bytes uploaded by clients (sparse wire format).
     pub upload_bytes: u64,
@@ -89,6 +101,17 @@ impl CommLedger {
         } else {
             self.download_bytes as f64 / self.downloads as f64
         }
+    }
+}
+
+impl hf_tensor::ser::ToJson for CommLedger {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("upload_bytes", &self.upload_bytes)
+                .field("download_bytes", &self.download_bytes)
+                .field("uploads", &self.uploads)
+                .field("downloads", &self.downloads);
+        });
     }
 }
 

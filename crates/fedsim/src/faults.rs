@@ -7,8 +7,8 @@
 //! a dropped client trains locally (its private state advances) but its
 //! upload never reaches the server.
 
+use hf_tensor::rng::Rng;
 use hf_tensor::rng::{substream, SeedStream};
-use rand::Rng;
 
 /// Deterministic client-drop injector.
 #[derive(Clone, Debug)]
@@ -30,7 +30,10 @@ impl FaultInjector {
 
     /// An injector that never drops (the paper's setting).
     pub fn disabled() -> Self {
-        Self { seed: 0, drop_prob: 0.0 }
+        Self {
+            seed: 0,
+            drop_prob: 0.0,
+        }
     }
 
     /// Configured drop probability.

@@ -3,17 +3,17 @@
 //! Clients selected in the same round train independently against the same
 //! downloaded snapshot of the public parameters, so their local work is
 //! embarrassingly parallel. [`parallel_map`] fans a slice of inputs over a
-//! bounded number of crossbeam-scoped threads and returns outputs in input
-//! order — determinism is preserved because each client's computation
+//! bounded number of `std::thread::scope` workers and returns outputs in
+//! input order — determinism is preserved because each client's computation
 //! derives its randomness from its own id, never from execution order.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Applies `f` to every element of `items`, using up to `threads` worker
 /// threads, returning results in input order.
 ///
-/// With `threads <= 1` (or one item) this degrades to a plain sequential
-/// map with zero thread overhead.
+/// Each worker maps one contiguous chunk of the input, so result order
+/// falls out of concatenation and no unsafe slot-pointer plumbing is
+/// needed. With `threads <= 1` (or one item) this degrades to a plain
+/// sequential map with zero thread overhead.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -24,41 +24,19 @@ where
         return items.iter().map(&f).collect();
     }
     let workers = threads.min(items.len());
-    let next = AtomicUsize::new(0);
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots: Vec<SendPtr<R>> =
-        out.iter_mut().map(|slot| SendPtr(slot as *mut Option<R>)).collect();
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            let next = &next;
-            let f = &f;
-            let slots = &slots;
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = f(&items[i]);
-                let slot = slots[i].0;
-                // SAFETY: index i is claimed exactly once via the atomic
-                // counter, so each slot pointer is written by one thread
-                // and the scope guarantees `out` outlives the workers.
-                unsafe { slot.write(Some(result)) };
-            });
-        }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     })
-    .expect("worker thread panicked");
-
-    out.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
-
-/// Raw-pointer wrapper asserting cross-thread transferability; safe here
-/// because the work-stealing counter hands each index to exactly one
-/// worker.
-struct SendPtr<R>(*mut Option<R>);
-unsafe impl<R: Send> Send for SendPtr<R> {}
-unsafe impl<R: Send> Sync for SendPtr<R> {}
 
 #[cfg(test)]
 mod tests {
@@ -108,6 +86,31 @@ mod tests {
         let c = parallel_map(&items, 8, f);
         assert_eq!(a, b);
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn float_results_are_bit_identical_across_thread_counts() {
+        // Guards the crossbeam → std::thread::scope rewrite: fan-out must
+        // not perturb results (no reduction-order effects, no reordering),
+        // down to the bit pattern of non-trivial f32 math.
+        let items: Vec<u64> = (0..1000).collect();
+        let f = |&x: &u64| -> f32 {
+            let mut acc = (x as f32).sin();
+            for k in 1..50 {
+                acc += ((x * k) as f32).sqrt().cos() / k as f32;
+            }
+            acc
+        };
+        let seq = parallel_map(&items, 1, f);
+        let par = parallel_map(&items, 8, f);
+        assert_eq!(seq.len(), par.len());
+        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "item {i}: {a} != {b}");
+        }
+        // Input order: recompute independently and compare positionally.
+        for (i, v) in par.iter().enumerate() {
+            assert_eq!(v.to_bits(), f(&items[i]).to_bits(), "item {i} out of order");
+        }
     }
 
     #[test]

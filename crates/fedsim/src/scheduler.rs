@@ -7,8 +7,8 @@
 //! reproduces exactly that: one shuffle per epoch, then contiguous chunks
 //! of the queue as rounds (the final round of an epoch may be smaller).
 
+use hf_tensor::rng::StdRng;
 use hf_tensor::rng::{stream, SeedStream};
-use rand::rngs::StdRng;
 
 /// Epoch/round scheduler over a fixed client population.
 #[derive(Clone, Debug)]
@@ -47,7 +47,10 @@ impl RoundScheduler {
     /// Shuffles the queue and returns this epoch's rounds.
     pub fn next_epoch(&mut self) -> Vec<Vec<usize>> {
         hf_tensor::rng::shuffle(&mut self.queue, &mut self.rng);
-        self.queue.chunks(self.clients_per_round).map(|c| c.to_vec()).collect()
+        self.queue
+            .chunks(self.clients_per_round)
+            .map(|c| c.to_vec())
+            .collect()
     }
 }
 

@@ -12,17 +12,66 @@
 //! and the Table III harness reports both the paper's dense accounting
 //! and the sparse bytes this format actually moves.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
+/// Little-endian read cursor over a borrowed byte slice — the std-only
+/// replacement for `bytes::Buf`, sufficient for this wire format.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
 
-/// Wraps raw bytes into the wire-format buffer type (helper for fuzz
-/// tests that should not depend on the `bytes` crate directly).
-pub fn wire_bytes(raw: Vec<u8>) -> Bytes {
-    Bytes::from(raw)
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn get_u8(&mut self) -> Option<u8> {
+        let (&b, rest) = self.buf.split_first()?;
+        self.buf = rest;
+        Some(b)
+    }
+
+    fn get_u32_le(&mut self) -> Option<u32> {
+        let (head, rest) = self.buf.split_first_chunk::<4>()?;
+        self.buf = rest;
+        Some(u32::from_le_bytes(*head))
+    }
+
+    fn get_f32_le(&mut self) -> Option<f32> {
+        self.get_u32_le().map(f32::from_bits)
+    }
+}
+
+/// Little-endian append-only writer — the std-only replacement for
+/// `bytes::BufMut`.
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    fn put_u32_le(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, x: f32) {
+        self.put_u32_le(x.to_bits());
+    }
 }
 
 /// Sparse row-keyed update to an embedding table.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SparseRowUpdate {
     /// Row width (the uploading tier's embedding dimension).
     pub dim: usize,
@@ -61,7 +110,7 @@ impl SparseRowUpdate {
 }
 
 /// One client's complete upload for a round.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ClientUpdate {
     /// Sparse item-embedding delta.
     pub items: SparseRowUpdate,
@@ -85,8 +134,8 @@ impl ClientUpdate {
     }
 
     /// Serialises to the binary wire format.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Writer::with_capacity(self.encoded_len());
         buf.put_u32_le(self.items.dim as u32);
         buf.put_u32_le(self.items.rows.len() as u32);
         for (row, delta) in &self.items.rows {
@@ -103,56 +152,52 @@ impl ClientUpdate {
                 buf.put_f32_le(x);
             }
         }
-        buf.freeze()
+        debug_assert_eq!(buf.buf.len(), self.encoded_len());
+        buf.buf
     }
 
     /// Parses the binary wire format.
     ///
     /// Returns `None` on truncated or malformed input (a real server must
     /// not panic on a hostile payload).
-    pub fn decode(mut buf: Bytes) -> Option<Self> {
-        if buf.remaining() < 8 {
-            return None;
-        }
-        let dim = buf.get_u32_le() as usize;
-        let n_rows = buf.get_u32_le() as usize;
+    pub fn decode(buf: impl AsRef<[u8]>) -> Option<Self> {
+        let mut buf = Reader::new(buf.as_ref());
+        let dim = buf.get_u32_le()? as usize;
+        let n_rows = buf.get_u32_le()? as usize;
         let row_bytes = n_rows.checked_mul(4 + 4 * dim)?;
         if buf.remaining() < row_bytes {
             return None;
         }
         let mut rows = Vec::with_capacity(n_rows);
         for _ in 0..n_rows {
-            let row = buf.get_u32_le();
+            let row = buf.get_u32_le()?;
             let mut delta = Vec::with_capacity(dim);
             for _ in 0..dim {
-                delta.push(buf.get_f32_le());
+                delta.push(buf.get_f32_le()?);
             }
             rows.push((row, delta));
         }
-        if buf.remaining() < 4 {
-            return None;
-        }
-        let n_thetas = buf.get_u32_le() as usize;
+        let n_thetas = buf.get_u32_le()? as usize;
         if n_thetas > 16 {
             return None; // sanity bound: no protocol has that many tiers
         }
         let mut thetas = Vec::with_capacity(n_thetas);
         for _ in 0..n_thetas {
-            if buf.remaining() < 5 {
-                return None;
-            }
-            let tier = buf.get_u8();
-            let len = buf.get_u32_le() as usize;
+            let tier = buf.get_u8()?;
+            let len = buf.get_u32_le()? as usize;
             if buf.remaining() < 4 * len {
                 return None;
             }
             let mut flat = Vec::with_capacity(len);
             for _ in 0..len {
-                flat.push(buf.get_f32_le());
+                flat.push(buf.get_f32_le()?);
             }
             thetas.push((tier, flat));
         }
-        Some(Self { items: SparseRowUpdate { dim, rows }, thetas })
+        Some(Self {
+            items: SparseRowUpdate { dim, rows },
+            thetas,
+        })
     }
 
     /// Upload size under the paper's *dense* accounting (Table III):
@@ -197,7 +242,7 @@ mod tests {
         let wire = sample().encode();
         for cut in [0, 3, 7, 9, wire.len() - 1] {
             assert!(
-                ClientUpdate::decode(wire.slice(..cut)).is_none(),
+                ClientUpdate::decode(&wire[..cut]).is_none(),
                 "cut at {cut} should fail"
             );
         }
@@ -205,11 +250,11 @@ mod tests {
 
     #[test]
     fn hostile_row_count_is_rejected() {
-        // Claim 2^31 rows with a tiny buffer: must fail cleanly.
-        let mut buf = BytesMut::new();
-        buf.put_u32_le(8);
-        buf.put_u32_le(u32::MAX);
-        assert!(ClientUpdate::decode(buf.freeze()).is_none());
+        // Claim 2^32-1 rows with a tiny buffer: must fail cleanly.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ClientUpdate::decode(buf).is_none());
     }
 
     #[test]

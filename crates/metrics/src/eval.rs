@@ -9,10 +9,9 @@
 
 use crate::ranking;
 use crate::topk::top_k_excluding;
-use serde::{Deserialize, Serialize};
 
 /// Metrics of a single user at one cutoff.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct UserEval {
     /// Recall@K.
     pub recall: f64,
@@ -27,7 +26,7 @@ pub struct UserEval {
 }
 
 /// Aggregated metrics over a user population.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct EvalResult {
     /// Mean Recall@K.
     pub recall: f64,
@@ -50,6 +49,19 @@ impl EvalResult {
             "Recall@K {:.5}  NDCG@K {:.5}  HR@K {:.4}  ({} users)",
             self.recall, self.ndcg, self.hit_rate, self.users
         )
+    }
+}
+
+impl hf_tensor::ser::ToJson for EvalResult {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("recall", &self.recall)
+                .field("ndcg", &self.ndcg)
+                .field("hit_rate", &self.hit_rate)
+                .field("precision", &self.precision)
+                .field("mrr", &self.mrr)
+                .field("users", &self.users);
+        });
     }
 }
 
@@ -123,7 +135,9 @@ pub struct GroupedEval {
 impl GroupedEval {
     /// Creates `num_groups` empty buckets.
     pub fn new(num_groups: usize) -> Self {
-        Self { buckets: vec![Vec::new(); num_groups] }
+        Self {
+            buckets: vec![Vec::new(); num_groups],
+        }
     }
 
     /// Records one user's evaluation under `group`.
@@ -136,7 +150,10 @@ impl GroupedEval {
 
     /// Per-group aggregates.
     pub fn per_group(&self) -> Vec<EvalResult> {
-        self.buckets.iter().map(|b| Evaluator::aggregate(b.iter().copied())).collect()
+        self.buckets
+            .iter()
+            .map(|b| Evaluator::aggregate(b.iter().copied()))
+            .collect()
     }
 
     /// Aggregate over all groups combined.
@@ -170,8 +187,20 @@ mod tests {
     #[test]
     fn aggregate_means() {
         let users = vec![
-            UserEval { recall: 1.0, ndcg: 1.0, hit_rate: 1.0, precision: 0.5, mrr: 1.0 },
-            UserEval { recall: 0.0, ndcg: 0.0, hit_rate: 0.0, precision: 0.0, mrr: 0.0 },
+            UserEval {
+                recall: 1.0,
+                ndcg: 1.0,
+                hit_rate: 1.0,
+                precision: 0.5,
+                mrr: 1.0,
+            },
+            UserEval {
+                recall: 0.0,
+                ndcg: 0.0,
+                hit_rate: 0.0,
+                precision: 0.0,
+                mrr: 0.0,
+            },
         ];
         let agg = Evaluator::aggregate(users);
         assert_eq!(agg.users, 2);
@@ -199,8 +228,26 @@ mod tests {
     #[test]
     fn grouped_eval_buckets_and_overall() {
         let mut g = GroupedEval::new(3);
-        g.push(0, UserEval { recall: 1.0, ndcg: 1.0, hit_rate: 1.0, precision: 1.0, mrr: 1.0 });
-        g.push(2, UserEval { recall: 0.0, ndcg: 0.0, hit_rate: 0.0, precision: 0.0, mrr: 0.0 });
+        g.push(
+            0,
+            UserEval {
+                recall: 1.0,
+                ndcg: 1.0,
+                hit_rate: 1.0,
+                precision: 1.0,
+                mrr: 1.0,
+            },
+        );
+        g.push(
+            2,
+            UserEval {
+                recall: 0.0,
+                ndcg: 0.0,
+                hit_rate: 0.0,
+                precision: 0.0,
+                mrr: 0.0,
+            },
+        );
         let per = g.per_group();
         assert_eq!(per[0].users, 1);
         assert_eq!(per[1].users, 0);
@@ -210,7 +257,14 @@ mod tests {
 
     #[test]
     fn summary_contains_metrics() {
-        let agg = EvalResult { recall: 0.1, ndcg: 0.2, hit_rate: 0.3, precision: 0.0, mrr: 0.0, users: 7 };
+        let agg = EvalResult {
+            recall: 0.1,
+            ndcg: 0.2,
+            hit_rate: 0.3,
+            precision: 0.0,
+            mrr: 0.0,
+            users: 7,
+        };
         let s = agg.summary();
         assert!(s.contains("0.10000") && s.contains("7 users"));
     }

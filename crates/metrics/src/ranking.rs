@@ -17,7 +17,11 @@ pub fn recall_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
     if relevant.is_empty() {
         return 0.0;
     }
-    let hits = ranked.iter().take(k).filter(|&&i| is_relevant(relevant, i)).count();
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|&&i| is_relevant(relevant, i))
+        .count();
     hits as f64 / relevant.len() as f64
 }
 
@@ -26,7 +30,11 @@ pub fn precision_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
     if k == 0 {
         return 0.0;
     }
-    let hits = ranked.iter().take(k).filter(|&&i| is_relevant(relevant, i)).count();
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|&&i| is_relevant(relevant, i))
+        .count();
     hits as f64 / k.min(ranked.len()).max(1) as f64
 }
 
@@ -52,8 +60,9 @@ pub fn ndcg_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
         .filter(|(_, &i)| is_relevant(relevant, i))
         .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
         .sum();
-    let ideal: f64 =
-        (0..relevant.len().min(k)).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    let ideal: f64 = (0..relevant.len().min(k))
+        .map(|pos| 1.0 / ((pos + 2) as f64).log2())
+        .sum();
     dcg / ideal
 }
 

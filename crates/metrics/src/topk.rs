@@ -57,8 +57,7 @@ pub fn top_k_excluding(scores: &[f32], k: usize, exclude: &[u32]) -> Vec<u32> {
         } else if let Some(worst) = heap.peek() {
             // Keep the candidate if it beats the current worst (or ties
             // with a smaller id).
-            let better = score > worst.score
-                || (score == worst.score && item < worst.item);
+            let better = score > worst.score || (score == worst.score && item < worst.item);
             if better {
                 heap.pop();
                 heap.push(Entry { score, item });
@@ -117,8 +116,9 @@ mod tests {
     #[test]
     fn matches_full_sort_reference() {
         // Pseudo-random scores; compare against a sort-everything oracle.
-        let scores: Vec<f32> =
-            (0..500).map(|i| ((i * 2_654_435_761_u64 as usize) % 1000) as f32 / 1000.0).collect();
+        let scores: Vec<f32> = (0..500)
+            .map(|i| ((i * 2_654_435_761_u64 as usize) % 1000) as f32 / 1000.0)
+            .collect();
         let exclude: Vec<u32> = (0..500).filter(|i| i % 7 == 0).map(|i| i as u32).collect();
         let got = top_k_excluding(&scores, 20, &exclude);
 

@@ -7,13 +7,12 @@
 //! (Table III) work on that flat form.
 
 use hf_tensor::ops::{relu, relu_grad};
+use hf_tensor::rng::Rng;
 use hf_tensor::Matrix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A multi-layer perceptron with ReLU hidden activations and a linear
 /// single-output head.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Ffn {
     dims: Vec<usize>,
     /// Per-layer weight matrices, `out_dim x in_dim`.
@@ -29,20 +28,31 @@ impl Ffn {
     /// # Panics
     /// Panics if fewer than two sizes are given.
     pub fn new(dims: &[usize], rng: &mut impl Rng) -> Self {
-        assert!(dims.len() >= 2, "an FFN needs at least input and output sizes");
+        assert!(
+            dims.len() >= 2,
+            "an FFN needs at least input and output sizes"
+        );
         let weights = dims
             .windows(2)
             .map(|w| hf_tensor::init::glorot_uniform(w[1], w[0], rng))
             .collect();
         let biases = dims[1..].iter().map(|&d| vec![0.0; d]).collect();
-        Self { dims: dims.to_vec(), weights, biases }
+        Self {
+            dims: dims.to_vec(),
+            weights,
+            biases,
+        }
     }
 
     /// Zero-valued FFN with the same shape (gradient accumulator).
     pub fn zeros_like(&self) -> Self {
         Self {
             dims: self.dims.clone(),
-            weights: self.weights.iter().map(|w| Matrix::zeros(w.rows(), w.cols())).collect(),
+            weights: self
+                .weights
+                .iter()
+                .map(|w| Matrix::zeros(w.rows(), w.cols()))
+                .collect(),
             biases: self.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
         }
     }
@@ -87,13 +97,14 @@ impl Ffn {
         assert!(dims.len() >= 2);
         let mut ffn = Self {
             dims: dims.to_vec(),
-            weights: dims
-                .windows(2)
-                .map(|w| Matrix::zeros(w[1], w[0]))
-                .collect(),
+            weights: dims.windows(2).map(|w| Matrix::zeros(w[1], w[0])).collect(),
             biases: dims[1..].iter().map(|&d| vec![0.0; d]).collect(),
         };
-        assert_eq!(flat.len(), ffn.num_params(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            ffn.num_params(),
+            "flat parameter length mismatch"
+        );
         let mut offset = 0;
         for (w, b) in ffn.weights.iter_mut().zip(ffn.biases.iter_mut()) {
             let wl = w.len();
@@ -144,7 +155,11 @@ impl Ffn {
             // `pre` and `post` are distinct fields, so reading the previous
             // layer's activations while writing this layer's borrows cleanly.
             {
-                let src: &[f32] = if l == 0 { &cache.input } else { &cache.post[l - 1] };
+                let src: &[f32] = if l == 0 {
+                    &cache.input
+                } else {
+                    &cache.post[l - 1]
+                };
                 let pre = &mut cache.pre[l];
                 for (o, out) in pre.iter_mut().enumerate() {
                     *out = hf_tensor::ops::dot(w.row(o), src) + b[o];
@@ -167,20 +182,18 @@ impl Ffn {
     /// `d_logit` is `∂L/∂logit`; gradients accumulate into `grads`
     /// (shape-matched, from [`Ffn::zeros_like`]) and the gradient with
     /// respect to the input is written into `d_input`.
-    pub fn backward(
-        &self,
-        d_logit: f32,
-        cache: &FfnCache,
-        grads: &mut Ffn,
-        d_input: &mut [f32],
-    ) {
+    pub fn backward(&self, d_logit: f32, cache: &FfnCache, grads: &mut Ffn, d_input: &mut [f32]) {
         assert_eq!(self.dims, grads.dims, "grad accumulator shape mismatch");
         assert_eq!(d_input.len(), self.dims[0], "d_input width mismatch");
         let last = self.num_layers() - 1;
         // delta holds ∂L/∂pre[l] as we walk backwards.
         let mut delta = vec![d_logit]; // output layer is linear
         for l in (0..=last).rev() {
-            let src: &[f32] = if l == 0 { &cache.input } else { &cache.post[l - 1] };
+            let src: &[f32] = if l == 0 {
+                &cache.input
+            } else {
+                &cache.post[l - 1]
+            };
             // Parameter gradients.
             let gw = &mut grads.weights[l];
             for (o, &d) in delta.iter().enumerate() {
@@ -211,7 +224,11 @@ impl Ffn {
 
     /// Largest absolute parameter (diagnostics / divergence guards).
     pub fn max_abs(&self) -> f32 {
-        let w = self.weights.iter().map(|w| w.max_abs()).fold(0.0_f32, f32::max);
+        let w = self
+            .weights
+            .iter()
+            .map(|w| w.max_abs())
+            .fold(0.0_f32, f32::max);
         let b = self
             .biases
             .iter()
@@ -313,7 +330,12 @@ mod tests {
         let logit = ffn.forward(&input, &mut cache);
         let mut grads = ffn.zeros_like();
         let mut d_input = vec![0.0; 5];
-        ffn.backward(bce_with_logits_grad(logit, target), &cache, &mut grads, &mut d_input);
+        ffn.backward(
+            bce_with_logits_grad(logit, target),
+            &cache,
+            &mut grads,
+            &mut d_input,
+        );
 
         let flat = ffn.to_flat();
         let gflat = grads.to_flat();
@@ -350,7 +372,12 @@ mod tests {
         let logit = ffn.forward(&input, &mut cache);
         let mut grads = ffn.zeros_like();
         let mut d_input = vec![0.0; 4];
-        ffn.backward(bce_with_logits_grad(logit, 0.0), &cache, &mut grads, &mut d_input);
+        ffn.backward(
+            bce_with_logits_grad(logit, 0.0),
+            &cache,
+            &mut grads,
+            &mut d_input,
+        );
 
         let eps = 1e-2;
         for i in 0..4 {
@@ -378,17 +405,17 @@ mod tests {
         let mut rng = stream(55, SeedStream::Custom(3));
         let samples: Vec<([f32; 2], f32)> = (0..200)
             .map(|_| {
-                let x: [f32; 2] = [
-                    rand::Rng::gen::<f32>(&mut rng) * 2.0 - 1.0,
-                    rand::Rng::gen::<f32>(&mut rng) * 2.0 - 1.0,
-                ];
+                let x: [f32; 2] = [rng.gen::<f32>() * 2.0 - 1.0, rng.gen::<f32>() * 2.0 - 1.0];
                 let y = if x[0] > x[1] { 1.0 } else { 0.0 };
                 (x, y)
             })
             .collect();
 
         let loss_of = |m: &Ffn, c: &mut FfnCache| -> f32 {
-            samples.iter().map(|(x, y)| bce_with_logits(m.forward(x, c), *y)).sum::<f32>()
+            samples
+                .iter()
+                .map(|(x, y)| bce_with_logits(m.forward(x, c), *y))
+                .sum::<f32>()
                 / samples.len() as f32
         };
         let before = loss_of(&model, &mut cache);

@@ -36,11 +36,9 @@ pub use lightgcn::{LightGcnEngine, LocalGraph};
 pub use ncf::NcfEngine;
 pub use sparse::RowGradBuffer;
 
-use serde::{Deserialize, Serialize};
-
 /// Which base recommendation model an experiment uses (paper: Fed-NCF or
 /// Fed-LightGCN).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// Neural collaborative filtering.
     Ncf,

@@ -26,8 +26,8 @@
 
 use crate::ffn::Ffn;
 use crate::ncf::{NcfEngine, NcfWorkspace};
+use hf_tensor::rng::Rng;
 use hf_tensor::Matrix;
-use rand::Rng;
 
 /// A client's local interaction graph: its training items plus the
 /// LightGCN normalisation coefficient `1/sqrt(|I_u|)`.
@@ -45,7 +45,10 @@ impl LocalGraph {
         } else {
             1.0 / (train_items.len() as f32).sqrt()
         };
-        Self { items: train_items.to_vec(), coeff }
+        Self {
+            items: train_items.to_vec(),
+            coeff,
+        }
     }
 
     /// The user's training items.
@@ -68,12 +71,16 @@ pub struct LightGcnEngine {
 impl LightGcnEngine {
     /// Creates an engine with the paper's predictor architecture.
     pub fn new(dim: usize, rng: &mut impl Rng) -> Self {
-        Self { inner: NcfEngine::new(dim, rng) }
+        Self {
+            inner: NcfEngine::new(dim, rng),
+        }
     }
 
     /// Wraps an existing predictor.
     pub fn from_ffn(dim: usize, ffn: Ffn) -> Self {
-        Self { inner: NcfEngine::from_ffn(dim, ffn) }
+        Self {
+            inner: NcfEngine::from_ffn(dim, ffn),
+        }
     }
 
     /// Embedding width.
@@ -139,7 +146,8 @@ impl LightGcnEngine {
         d_prop_user: &mut [f32],
         d_item: &mut [f32],
     ) {
-        self.inner.backward(d_logit, ws, theta_grads, d_prop_user, d_item);
+        self.inner
+            .backward(d_logit, ws, theta_grads, d_prop_user, d_item);
     }
 
     /// Distributes the propagated-user gradient:
@@ -249,7 +257,13 @@ mod tests {
         let mut tg = engine.ffn().zeros_like();
         let mut d_prop = vec![0.0; 3];
         let mut d_item = vec![0.0; 3];
-        engine.backward(bce_with_logits_grad(logit, y), &mut ws, &mut tg, &mut d_prop, &mut d_item);
+        engine.backward(
+            bce_with_logits_grad(logit, y),
+            &mut ws,
+            &mut tg,
+            &mut d_prop,
+            &mut d_item,
+        );
         let mut d_user = vec![0.0; 3];
         let mut graph_grads: Vec<(u32, f32)> = Vec::new();
         engine.backprop_through_propagation(&d_prop, &graph, &mut d_user, |i, s| {
@@ -264,7 +278,10 @@ mod tests {
             let mut um = user.clone();
             um[d] -= eps;
             let fd = (loss(&table, &up, &mut ws) - loss(&table, &um, &mut ws)) / (2.0 * eps);
-            assert!((fd - d_user[d]).abs() < 5e-3 * fd.abs().max(1.0), "d_user[{d}]");
+            assert!(
+                (fd - d_user[d]).abs() < 5e-3 * fd.abs().max(1.0),
+                "d_user[{d}]"
+            );
         }
         // Scored-item gradient.
         for d in 0..3 {
@@ -273,7 +290,10 @@ mod tests {
             let mut tm = table.clone();
             *tm.get_mut(item, d) -= eps;
             let fd = (loss(&tp, &user, &mut ws) - loss(&tm, &user, &mut ws)) / (2.0 * eps);
-            assert!((fd - d_item[d]).abs() < 5e-3 * fd.abs().max(1.0), "d_item[{d}]");
+            assert!(
+                (fd - d_item[d]).abs() < 5e-3 * fd.abs().max(1.0),
+                "d_item[{d}]"
+            );
         }
         // In-graph item gradient: scale * d_prop.
         let (gi, scale) = graph_grads[0];

@@ -6,7 +6,7 @@
 //! (`bce_with_logits`), so [`NcfEngine::forward`] returns logits.
 
 use crate::ffn::{Ffn, FfnCache};
-use rand::Rng;
+use hf_tensor::rng::Rng;
 
 /// NCF scoring engine for one embedding width.
 #[derive(Clone, Debug)]
@@ -19,7 +19,10 @@ impl NcfEngine {
     /// Creates an engine with the paper's predictor architecture
     /// `[2*dim, 8, 8] → 1`.
     pub fn new(dim: usize, rng: &mut impl Rng) -> Self {
-        Self { dim, ffn: Ffn::new(&crate::paper_predictor_dims(dim), rng) }
+        Self {
+            dim,
+            ffn: Ffn::new(&crate::paper_predictor_dims(dim), rng),
+        }
     }
 
     /// Wraps an existing predictor (used when `Θ` arrives from the server).
@@ -79,7 +82,8 @@ impl NcfEngine {
         d_user: &mut [f32],
         d_item: &mut [f32],
     ) {
-        self.ffn.backward(d_logit, &ws.cache, theta_grads, &mut ws.d_input);
+        self.ffn
+            .backward(d_logit, &ws.cache, theta_grads, &mut ws.d_input);
         d_user.copy_from_slice(&ws.d_input[..self.dim]);
         d_item.copy_from_slice(&ws.d_input[self.dim..]);
     }
@@ -126,7 +130,13 @@ mod tests {
         let mut tg = e.ffn().zeros_like();
         let mut du = vec![0.0; 4];
         let mut dv = vec![0.0; 4];
-        e.backward(bce_with_logits_grad(logit, y), &mut ws, &mut tg, &mut du, &mut dv);
+        e.backward(
+            bce_with_logits_grad(logit, y),
+            &mut ws,
+            &mut tg,
+            &mut du,
+            &mut dv,
+        );
 
         let eps = 1e-2;
         for i in 0..4 {
@@ -137,7 +147,11 @@ mod tests {
             let lp = bce_with_logits(e.forward(&up, &v, &mut ws), y);
             let lm = bce_with_logits(e.forward(&um, &v, &mut ws), y);
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - du[i]).abs() < 5e-3 * fd.abs().max(1.0), "du[{i}] {} vs {fd}", du[i]);
+            assert!(
+                (fd - du[i]).abs() < 5e-3 * fd.abs().max(1.0),
+                "du[{i}] {} vs {fd}",
+                du[i]
+            );
 
             let mut vp = v.clone();
             vp[i] += eps;
@@ -146,7 +160,11 @@ mod tests {
             let lp = bce_with_logits(e.forward(&u, &vp, &mut ws), y);
             let lm = bce_with_logits(e.forward(&u, &vm, &mut ws), y);
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - dv[i]).abs() < 5e-3 * fd.abs().max(1.0), "dv[{i}] {} vs {fd}", dv[i]);
+            assert!(
+                (fd - dv[i]).abs() < 5e-3 * fd.abs().max(1.0),
+                "dv[{i}] {} vs {fd}",
+                dv[i]
+            );
         }
     }
 
@@ -166,7 +184,13 @@ mod tests {
             let mut tg = e.ffn().zeros_like();
             for (v, y) in [(&v_pos, 1.0), (&v_neg, 0.0)] {
                 let logit = e.forward(&u, v, &mut ws);
-                e.backward(bce_with_logits_grad(logit, y), &mut ws, &mut tg, &mut du, &mut dv);
+                e.backward(
+                    bce_with_logits_grad(logit, y),
+                    &mut ws,
+                    &mut tg,
+                    &mut du,
+                    &mut dv,
+                );
                 hf_tensor::ops::axpy_slice(&mut u, -0.1, &du);
             }
             e.ffn_mut().add_scaled(-0.1, &tg);

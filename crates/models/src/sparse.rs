@@ -21,7 +21,12 @@ pub struct RowGradBuffer {
 impl RowGradBuffer {
     /// Creates a buffer for rows of width `dim`.
     pub fn new(dim: usize) -> Self {
-        Self { dim, slots: HashMap::new(), rows: Vec::new(), data: Vec::new() }
+        Self {
+            dim,
+            slots: HashMap::new(),
+            rows: Vec::new(),
+            data: Vec::new(),
+        }
     }
 
     /// Gradient width.
@@ -67,7 +72,9 @@ impl RowGradBuffer {
 
     /// Gradient for one row, if touched.
     pub fn get(&self, row: u32) -> Option<&[f32]> {
-        self.slots.get(&row).map(|&slot| &self.data[slot * self.dim..(slot + 1) * self.dim])
+        self.slots
+            .get(&row)
+            .map(|&slot| &self.data[slot * self.dim..(slot + 1) * self.dim])
     }
 
     /// Resets to empty, retaining allocations for reuse.
@@ -84,7 +91,12 @@ impl RowGradBuffer {
             .rows
             .iter()
             .enumerate()
-            .map(|(slot, &row)| (row, self.data[slot * self.dim..(slot + 1) * self.dim].to_vec()))
+            .map(|(slot, &row)| {
+                (
+                    row,
+                    self.data[slot * self.dim..(slot + 1) * self.dim].to_vec(),
+                )
+            })
             .collect();
         self.clear();
         out

@@ -12,10 +12,8 @@
 //!   per-row timestep is tracked individually so bias correction stays
 //!   exact for rarely-updated rows.
 
-use serde::{Deserialize, Serialize};
-
 /// Adam hyper-parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct AdamConfig {
     /// Learning rate (paper: 0.001).
     pub lr: f32,
@@ -29,19 +27,27 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
 impl AdamConfig {
     /// Convenience constructor overriding only the learning rate.
     pub fn with_lr(lr: f32) -> Self {
-        Self { lr, ..Self::default() }
+        Self {
+            lr,
+            ..Self::default()
+        }
     }
 }
 
 /// Dense Adam state over a flat parameter vector.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Adam {
     config: AdamConfig,
     m: Vec<f32>,
@@ -52,7 +58,12 @@ pub struct Adam {
 impl Adam {
     /// Creates state for `len` parameters.
     pub fn new(len: usize, config: AdamConfig) -> Self {
-        Self { config, m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+        Self {
+            config,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
     }
 
     /// Number of tracked parameters.
@@ -78,7 +89,12 @@ impl Adam {
         assert_eq!(params.len(), self.m.len(), "param length mismatch");
         assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
         self.t += 1;
-        let AdamConfig { lr, beta1, beta2, eps } = self.config;
+        let AdamConfig {
+            lr,
+            beta1,
+            beta2,
+            eps,
+        } = self.config;
         let bc1 = 1.0 - beta1.powi(self.t as i32);
         let bc2 = 1.0 - beta2.powi(self.t as i32);
         for i in 0..params.len() {
@@ -95,14 +111,14 @@ impl Adam {
 /// Adam state keyed by embedding-table row, for sparse updates.
 ///
 /// Rows never seen carry no memory cost beyond a `None` slot.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SparseRowAdam {
     config: AdamConfig,
     dim: usize,
     rows: Vec<Option<RowState>>,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct RowState {
     m: Vec<f32>,
     v: Vec<f32>,
@@ -112,7 +128,11 @@ struct RowState {
 impl SparseRowAdam {
     /// Creates state for a table of `num_rows` rows of width `dim`.
     pub fn new(num_rows: usize, dim: usize, config: AdamConfig) -> Self {
-        Self { config, dim, rows: vec![None; num_rows] }
+        Self {
+            config,
+            dim,
+            rows: vec![None; num_rows],
+        }
     }
 
     /// Embedding width this state was created for.
@@ -142,7 +162,12 @@ impl SparseRowAdam {
             t: 0,
         });
         state.t += 1;
-        let AdamConfig { lr, beta1, beta2, eps } = self.config;
+        let AdamConfig {
+            lr,
+            beta1,
+            beta2,
+            eps,
+        } = self.config;
         let bc1 = 1.0 - beta1.powi(state.t as i32);
         let bc2 = 1.0 - beta2.powi(state.t as i32);
         for i in 0..grad.len() {

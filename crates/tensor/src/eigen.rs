@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn degenerate_sizes() {
         assert!(symmetric_eigenvalues(&Matrix::zeros(0, 0), 1e-9, 8).is_empty());
-        assert_eq!(symmetric_eigenvalues(&Matrix::filled(1, 1, 4.5), 1e-9, 8), vec![4.5]);
+        assert_eq!(
+            symmetric_eigenvalues(&Matrix::filled(1, 1, 4.5), 1e-9, 8),
+            vec![4.5]
+        );
     }
 
     #[test]

@@ -9,8 +9,7 @@
 //! the widest one.
 
 use crate::matrix::Matrix;
-use rand::Rng;
-use rand_distr_shim::StandardNormalShim;
+use crate::rng::Rng;
 
 /// Glorot/Xavier-uniform initialised matrix: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`.
@@ -36,27 +35,9 @@ pub fn embedding_normal(rows: usize, dim: usize, rng: &mut impl Rng) -> Matrix {
     normal(rows, dim, 1.0 / (dim.max(1) as f32).sqrt(), rng)
 }
 
-/// Samples a standard normal via Box–Muller (keeps the dependency surface
-/// at plain `rand`, per the offline-crate constraint).
+/// Samples a standard normal from the workspace RNG's Box–Muller draw.
 fn sample_normal(rng: &mut impl Rng) -> f32 {
-    StandardNormalShim.sample(rng)
-}
-
-/// Minimal standard-normal sampler; lives in a private module so the
-/// Box–Muller plumbing does not leak into the public API.
-mod rand_distr_shim {
-    use rand::Rng;
-
-    pub struct StandardNormalShim;
-
-    impl StandardNormalShim {
-        pub fn sample(&self, rng: &mut impl Rng) -> f32 {
-            // Box–Muller: draw u1 in (0,1] to avoid ln(0).
-            let u1: f32 = 1.0 - rng.gen::<f32>();
-            let u2: f32 = rng.gen();
-            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
-        }
-    }
+    rng.standard_normal_f32()
 }
 
 #[cfg(test)]
@@ -78,7 +59,12 @@ mod tests {
         let m = normal(200, 50, 0.5, &mut rng);
         let n = m.len() as f64;
         let mean: f64 = m.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
-        let var: f64 = m.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
     }
@@ -88,9 +74,17 @@ mod tests {
         let mut rng = stream(3, SeedStream::ParamInit);
         let wide = embedding_normal(500, 64, &mut rng);
         let n = wide.len() as f64;
-        let var: f64 = wide.as_slice().iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / n;
+        let var: f64 = wide
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64).powi(2))
+            .sum::<f64>()
+            / n;
         let expected = 1.0 / 64.0;
-        assert!((var - expected).abs() < expected * 0.15, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.15,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   (Eq. 16–17).
 //! * [`adam`] — Adam optimiser state for dense parameter vectors and for
 //!   sparse row-subsets of embedding tables.
+//! * [`ser`] — minimal JSON emission ([`ser::ToJson`]) so experiment
+//!   results snapshot without a serde dependency (the build must succeed
+//!   with an empty cargo registry).
 //!
 //! The crate is intentionally framework-free: the repro band for this paper
 //! flags Rust ML frameworks as immature for distillation workflows, so all
@@ -38,9 +41,11 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod rng;
+pub mod ser;
 pub mod sim;
 pub mod stats;
 
 pub use adam::{Adam, AdamConfig, SparseRowAdam};
 pub use matrix::Matrix;
 pub use rng::{stream, SeedStream};
+pub use ser::ToJson;

@@ -11,12 +11,10 @@
 //!   in its local batch, so in-place row `axpy` must be cheap and
 //!   allocation-free.
 
-use serde::{Deserialize, Serialize};
-
 /// Row-major dense matrix of `f32`.
 ///
 /// Invariant: `data.len() == rows * cols` at all times.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -26,12 +24,20 @@ pub struct Matrix {
 impl Matrix {
     /// All-zero matrix of shape `rows x cols`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with a constant value.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -147,7 +153,11 @@ impl Matrix {
     /// Panics if `width > cols`.
     #[inline]
     pub fn row_prefix(&self, r: usize, width: usize) -> &[f32] {
-        assert!(width <= self.cols, "prefix width {width} exceeds {} columns", self.cols);
+        assert!(
+            width <= self.cols,
+            "prefix width {width} exceeds {} columns",
+            self.cols
+        );
         let start = r * self.cols;
         &self.data[start..start + width]
     }
@@ -155,7 +165,11 @@ impl Matrix {
     /// Mutable leading `width` entries of row `r`.
     #[inline]
     pub fn row_prefix_mut(&mut self, r: usize, width: usize) -> &mut [f32] {
-        assert!(width <= self.cols, "prefix width {width} exceeds {} columns", self.cols);
+        assert!(
+            width <= self.cols,
+            "prefix width {width} exceeds {} columns",
+            self.cols
+        );
         let start = r * self.cols;
         &mut self.data[start..start + width]
     }
@@ -163,7 +177,11 @@ impl Matrix {
     /// Copies the leading `width` columns into a new `rows x width` matrix
     /// (materialises the paper's `V[:N]` sub-table).
     pub fn prefix_columns(&self, width: usize) -> Matrix {
-        assert!(width <= self.cols, "prefix width {width} exceeds {} columns", self.cols);
+        assert!(
+            width <= self.cols,
+            "prefix width {width} exceeds {} columns",
+            self.cols
+        );
         let mut out = Vec::with_capacity(self.rows * width);
         for r in 0..self.rows {
             out.extend_from_slice(self.row_prefix(r, width));
@@ -288,7 +306,11 @@ impl Matrix {
 
     /// Frobenius norm `sqrt(sum of squares)`.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|x| (*x as f64) * (*x as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|x| (*x as f64) * (*x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Sum of squared elements (squared Frobenius norm) in f64 for accuracy.

@@ -1,0 +1,244 @@
+//! Minimal JSON emission — the workspace's replacement for serde derives.
+//!
+//! The workspace must build offline with an empty cargo registry, so
+//! result snapshotting cannot lean on `serde`/`serde_json`. This module
+//! provides the small surface the experiment harness actually needs:
+//! one-way, allocation-light JSON *emission* of report types ([`ToJson`]),
+//! with hand-written impls where a derive used to sit. There is
+//! deliberately no deserializer — nothing in the workspace reads these
+//! snapshots back; they exist for external tooling (plots, diffing runs).
+//!
+//! Emission rules:
+//! * floats print via Rust's shortest-roundtrip `Display`; non-finite
+//!   values become `null` (JSON has no NaN/Infinity);
+//! * strings are escaped per RFC 8259 (quote, backslash, control chars);
+//! * field order is the declaration order of the hand impl, making
+//!   snapshots stable across runs and suitable for textual diffing.
+
+/// Types that can write themselves as a JSON value.
+pub trait ToJson {
+    /// Appends this value's JSON representation to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Renders this value as a standalone JSON document.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Escapes and quotes `s` per RFC 8259.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Streaming object writer: `obj(out, |o| { o.field("a", &1); })`.
+pub struct ObjWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> ObjWriter<'a> {
+    /// Appends `"name": <value>` (with the separating comma as needed).
+    pub fn field(&mut self, name: &str, value: &dyn ToJson) -> &mut Self {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_escaped(self.out, name);
+        self.out.push(':');
+        value.write_json(self.out);
+        self
+    }
+}
+
+/// Writes one JSON object; fields are emitted inside the closure.
+pub fn obj(out: &mut String, fields: impl FnOnce(&mut ObjWriter)) {
+    out.push('{');
+    let mut w = ObjWriter { out, first: true };
+    fields(&mut w);
+    out.push('}');
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for f32 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(out, self);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(out, self);
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(3usize.to_json(), "3");
+        assert_eq!((-4i64).to_json(), "-4");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(0.5f64.to_json(), "0.5");
+        assert_eq!(1.25f32.to_json(), "1.25");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(f32::INFINITY.to_json(), "null");
+        assert_eq!(f64::NEG_INFINITY.to_json(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!("plain".to_json(), "\"plain\"");
+        assert_eq!("a\"b\\c".to_json(), "\"a\\\"b\\\\c\"");
+        assert_eq!("line\nbreak\ttab".to_json(), "\"line\\nbreak\\ttab\"");
+        assert_eq!("\u{1}".to_json(), "\"\\u0001\"");
+        assert_eq!("héllo →".to_json(), "\"héllo →\"");
+    }
+
+    #[test]
+    fn sequences_render() {
+        assert_eq!(vec![1u32, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!([0.5f32; 2].to_json(), "[0.5,0.5]");
+        let empty: Vec<u32> = vec![];
+        assert_eq!(empty.to_json(), "[]");
+    }
+
+    #[test]
+    fn options_render() {
+        assert_eq!(Some(7u32).to_json(), "7");
+        assert_eq!(None::<u32>.to_json(), "null");
+    }
+
+    #[test]
+    fn objects_render_in_field_order() {
+        struct P {
+            x: f32,
+            name: String,
+        }
+        impl ToJson for P {
+            fn write_json(&self, out: &mut String) {
+                obj(out, |o| {
+                    o.field("x", &self.x).field("name", &self.name);
+                });
+            }
+        }
+        let p = P {
+            x: 1.5,
+            name: "client".into(),
+        };
+        assert_eq!(p.to_json(), r#"{"x":1.5,"name":"client"}"#);
+    }
+
+    #[test]
+    fn nested_objects_render() {
+        struct Inner(u32);
+        impl ToJson for Inner {
+            fn write_json(&self, out: &mut String) {
+                obj(out, |o| {
+                    o.field("v", &self.0);
+                });
+            }
+        }
+        let xs = vec![Inner(1), Inner(2)];
+        assert_eq!(xs.to_json(), r#"[{"v":1},{"v":2}]"#);
+    }
+}

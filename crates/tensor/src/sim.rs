@@ -28,7 +28,11 @@ pub fn cosine_similarity_matrix(v: &Matrix) -> Matrix {
         s.set(i, i, 1.0);
         for j in i + 1..k {
             let denom = norms[i] * norms[j];
-            let value = if denom > NORM_EPS { dot(v.row(i), v.row(j)) / denom } else { 0.0 };
+            let value = if denom > NORM_EPS {
+                dot(v.row(i), v.row(j)) / denom
+            } else {
+                0.0
+            };
             s.set(i, j, value);
             s.set(j, i, value);
         }
@@ -55,7 +59,9 @@ pub fn alignment_loss_grad(v: &Matrix, target: &Matrix) -> (f32, Matrix) {
         "target must be {k}x{k}"
     );
     let s = cosine_similarity_matrix(v);
-    let norms: Vec<f32> = (0..k).map(|i| dot(v.row(i), v.row(i)).sqrt().max(NORM_EPS)) .collect();
+    let norms: Vec<f32> = (0..k)
+        .map(|i| dot(v.row(i), v.row(i)).sqrt().max(NORM_EPS))
+        .collect();
 
     let mut loss = 0.0_f64;
     let mut grad = Matrix::zeros(k, v.cols());

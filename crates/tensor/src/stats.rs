@@ -48,8 +48,10 @@ pub fn column_variances(m: &Matrix) -> Vec<f32> {
 pub fn standardize_columns(m: &Matrix, eps: f32) -> Matrix {
     let means = column_means(m);
     let vars = column_variances(m);
-    let inv_std: Vec<f32> =
-        vars.iter().map(|&v| if v > eps { 1.0 / v.sqrt() } else { 0.0 }).collect();
+    let inv_std: Vec<f32> = vars
+        .iter()
+        .map(|&v| if v > eps { 1.0 / v.sqrt() } else { 0.0 })
+        .collect();
     let mut out = m.clone();
     for r in 0..out.rows() {
         for ((x, &mu), &is) in out.row_mut(r).iter_mut().zip(&means).zip(&inv_std) {
@@ -121,7 +123,11 @@ mod tests {
         let mut rng = stream(11, SeedStream::Custom(0));
         let m = init::normal(300, 6, 2.5, &mut rng);
         let z = standardize_columns(&m, 1e-12);
-        for (j, (&mu, &var)) in column_means(&z).iter().zip(&column_variances(&z)).enumerate() {
+        for (j, (&mu, &var)) in column_means(&z)
+            .iter()
+            .zip(&column_variances(&z))
+            .enumerate()
+        {
             assert!(mu.abs() < 1e-4, "col {j} mean {mu}");
             assert!((var - 1.0).abs() < 1e-3, "col {j} var {var}");
         }
@@ -165,7 +171,11 @@ mod tests {
         let m = init::normal(400, 6, 3.0, &mut rng);
         let corr = correlation(&m, 1e-12);
         for j in 0..6 {
-            assert!((corr.get(j, j) - 1.0).abs() < 1e-3, "diag {}", corr.get(j, j));
+            assert!(
+                (corr.get(j, j) - 1.0).abs() < 1e-3,
+                "diag {}",
+                corr.get(j, j)
+            );
         }
     }
 

@@ -17,8 +17,7 @@ fn main() {
     cfg.epochs = 6;
     cfg.seed = seed;
 
-    let mut trainer =
-        Trainer::new(cfg.clone(), Strategy::HeteFedRec(Ablation::FULL), split);
+    let mut trainer = Trainer::new(cfg.clone(), Strategy::HeteFedRec(Ablation::FULL), split);
     println!(
         "{:>5} {:>12} {:>10} {:>10} {:>14} {:>12}",
         "epoch", "train loss", "Recall@20", "NDCG@20", "collapse(Vl)", "upload MiB"

@@ -13,7 +13,10 @@ fn main() {
     let data = DatasetProfile::MovieLens.config_scaled(0.03).generate(seed);
     let split = SplitDataset::paper_split(&data, seed);
 
-    println!("{:>10} {:>10} {:>10} {:>9}", "drop prob", "Recall@20", "NDCG@20", "uploads");
+    println!(
+        "{:>10} {:>10} {:>10} {:>9}",
+        "drop prob", "Recall@20", "NDCG@20", "uploads"
+    );
     for drop_prob in [0.0, 0.1, 0.3, 0.6] {
         let mut cfg = TrainConfig::paper_defaults(ModelKind::Ncf, DatasetProfile::MovieLens);
         cfg.epochs = 4;
@@ -22,9 +25,7 @@ fn main() {
         let result = run_experiment(&cfg, Strategy::HeteFedRec(Ablation::FULL), &split);
         println!(
             "{drop_prob:>10.1} {:>10.5} {:>10.5} {:>9}",
-            result.final_eval.overall.recall,
-            result.final_eval.overall.ndcg,
-            result.comm.uploads,
+            result.final_eval.overall.recall, result.final_eval.overall.ndcg, result.comm.uploads,
         );
     }
     println!(

@@ -48,11 +48,7 @@ fn main() {
         let g = &result.final_eval.per_group;
         println!(
             "{:<22} {:>9.5} {:>9.5} {:>9.5} {:>9.5}",
-            result.strategy,
-            g[0].ndcg,
-            g[1].ndcg,
-            g[2].ndcg,
-            result.final_eval.overall.ndcg
+            result.strategy, g[0].ndcg, g[1].ndcg, g[2].ndcg, result.final_eval.overall.ndcg
         );
     }
 

@@ -34,10 +34,21 @@ fn main() {
 
     for &u in users.iter().take(3) {
         let tier = trainer.model_groups().tier(u);
-        let top = recommend(trainer.server(), trainer_user(&trainer, u), &split, &cfg, u, tier, 10);
+        let top = recommend(
+            trainer.server(),
+            trainer_user(&trainer, u),
+            &split,
+            &cfg,
+            u,
+            tier,
+            10,
+        );
         let test = &split.user(u).test;
-        let hits: Vec<u32> =
-            top.iter().copied().filter(|i| test.binary_search(i).is_ok()).collect();
+        let hits: Vec<u32> = top
+            .iter()
+            .copied()
+            .filter(|i| test.binary_search(i).is_ok())
+            .collect();
         println!(
             "user {u} (tier {}, {} train / {} test movies)",
             tier.label(),

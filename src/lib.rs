@@ -33,23 +33,23 @@
 //! | [`metrics`] | Recall@K / NDCG@K and the ranking evaluator |
 //! | [`core`] | HeteFedRec itself: UDL, DDR, RESKD, baselines, trainer |
 
+pub use hetefedrec_core as core;
 pub use hf_dataset as dataset;
 pub use hf_fedsim as fedsim;
 pub use hf_metrics as metrics;
 pub use hf_models as models;
 pub use hf_tensor as tensor;
-pub use hetefedrec_core as core;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
+    pub use hetefedrec_core::{
+        run_experiment, Ablation, EvalOutput, ExperimentResult, History, ItemAggNorm, KdConfig,
+        ServerOpt, Strategy, TierDims, TrainConfig, Trainer,
+    };
     pub use hf_dataset::{
         ClientGroups, DatasetProfile, DivisionRatio, ImplicitDataset, SplitDataset,
         SyntheticConfig, Tier,
     };
     pub use hf_metrics::eval::EvalResult;
     pub use hf_models::ModelKind;
-    pub use hetefedrec_core::{
-        run_experiment, Ablation, EvalOutput, ExperimentResult, History, ItemAggNorm,
-        KdConfig, ServerOpt, Strategy, TierDims, TrainConfig, Trainer,
-    };
 }

@@ -50,8 +50,7 @@ fn both_base_models_improve_over_random_ranking() {
     let split = tiny_split(2);
     for model in ModelKind::ALL {
         let cfg = tiny_cfg(model);
-        let mut trainer =
-            Trainer::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split.clone());
+        let mut trainer = Trainer::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split.clone());
         for _ in 0..3 {
             trainer.run_epoch();
         }
@@ -77,7 +76,11 @@ fn full_runs_are_reproducible_across_processes_and_threads() {
     assert_eq!(a.final_eval.overall.ndcg, b.final_eval.overall.ndcg);
     assert_eq!(a.final_eval.overall.recall, b.final_eval.overall.recall);
     for (ea, eb) in a.history.epochs.iter().zip(&b.history.epochs) {
-        assert_eq!(ea.train_loss, eb.train_loss, "epoch {} loss differs", ea.epoch);
+        assert_eq!(
+            ea.train_loss, eb.train_loss,
+            "epoch {} loss differs",
+            ea.epoch
+        );
     }
 }
 
@@ -106,8 +109,10 @@ fn history_and_ledger_are_complete() {
     assert!(best_epoch >= 1 && best_epoch <= cfg.epochs);
     assert!(best >= result.history.epochs[0].eval.overall.ndcg - 1e-12);
     assert!(result.comm.uploads > 0 && result.comm.downloads > 0);
-    assert!(result.comm.upload_bytes < result.comm.download_bytes,
-        "sparse uploads should be cheaper than dense downloads");
+    assert!(
+        result.comm.upload_bytes < result.comm.download_bytes,
+        "sparse uploads should be cheaper than dense downloads"
+    );
 }
 
 #[test]
@@ -135,7 +140,10 @@ fn division_ratio_controls_group_sizes_end_to_end() {
     cfg.ratio = DivisionRatio::OPTIMISTIC; // 2:3:5
     let trainer = Trainer::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split);
     let sizes = trainer.model_groups().sizes();
-    assert!(sizes[2] > sizes[0], "optimistic ratio should maximise Ul: {sizes:?}");
+    assert!(
+        sizes[2] > sizes[0],
+        "optimistic ratio should maximise Ul: {sizes:?}"
+    );
 }
 
 #[test]
