@@ -22,6 +22,11 @@ cargo test -q --offline --workspace
 echo "==> bench smoke (std::time::Instant harness, no criterion)"
 cargo test -q --offline -p hf_bench --benches
 
+echo "==> smoke snapshot artefact (--json wiring)"
+cargo run -q --offline -p hf_bench --bin table1_stats -- \
+    --scale tiny --dataset ml --json target/ci-artifacts/table1_smoke.json
+test -s target/ci-artifacts/table1_smoke.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -114,6 +114,15 @@ fn bench_ddr(h: &Harness) {
             hetefedrec_core::ddr::decorrelation_loss_grad(black_box(&z))
         });
     }
+    // Threaded gradient product — the server-side / diagnostic path.
+    let mut rng = stream(2, SeedStream::ParamInit);
+    let z = init::normal(2048, 128, 1.0, &mut rng);
+    h.bench("ddr/loss_grad/2048x128", || {
+        hetefedrec_core::ddr::decorrelation_loss_grad(black_box(&z))
+    });
+    h.bench("ddr/loss_grad/2048x128/threads4", || {
+        hetefedrec_core::ddr::decorrelation_loss_grad_threaded(black_box(&z), 4)
+    });
 }
 
 fn bench_reskd(h: &Harness) {
@@ -132,7 +141,12 @@ fn bench_reskd(h: &Harness) {
         h.bench_with(
             &format!("reskd/distill_round/{items}"),
             || (tables.clone(), stream(4, SeedStream::Distill)),
-            |(mut t, mut rng)| distill_round(&mut t, &kd, &mut rng),
+            |(mut t, mut rng)| distill_round(&mut t, &kd, 1, &mut rng),
+        );
+        h.bench_with(
+            &format!("reskd/distill_round/{items}/threads4"),
+            || (tables.clone(), stream(4, SeedStream::Distill)),
+            |(mut t, mut rng)| distill_round(&mut t, &kd, 4, &mut rng),
         );
     }
 }
@@ -144,6 +158,9 @@ fn bench_eigen(h: &Harness) {
         let cov = hf_tensor::stats::covariance(&x);
         h.bench(&format!("eigen/jacobi/{n}"), || {
             hf_tensor::eigen::symmetric_eigenvalues(black_box(&cov), 1e-7, 64)
+        });
+        h.bench(&format!("eigen/jacobi_rescan_baseline/{n}"), || {
+            baseline::jacobi_full_rescan(black_box(&cov), 1e-7, 64)
         });
     }
 }
@@ -162,6 +179,149 @@ fn bench_aggregation_matrix(h: &Harness) {
     h.bench("tensor/gram_256x128", || black_box(&a).gram());
     let m = Matrix::from_fn(128, 128, |r, c| ((r * 131 + c * 17) as f32).sin());
     h.bench("tensor/matmul_128", || black_box(&a).matmul(black_box(&m)));
+    // Blocked vs seed-era naive kernel at 256x256 (the DDR/RESKD regime).
+    let b256 = init::normal(256, 256, 1.0, &mut rng);
+    let c256 = init::normal(256, 256, 1.0, &mut rng);
+    h.bench("tensor/matmul_256", || {
+        black_box(&b256).matmul(black_box(&c256))
+    });
+    h.bench("tensor/matmul_naive_baseline_256", || {
+        baseline::naive_matmul(black_box(&b256), black_box(&c256))
+    });
+    h.bench("tensor/par_matmul_256/threads4", || {
+        hf_fedsim::linalg::par_matmul(black_box(&b256), black_box(&c256), 4)
+    });
+}
+
+fn bench_parallel(h: &Harness) {
+    // Skewed per-item cost (proportional to index) — the heterogeneous-
+    // tier profile. Fixed chunking serialises on the last (most
+    // expensive) chunk; work stealing re-balances it.
+    let items: Vec<u64> = (0..256).collect();
+    let skewed = |&x: &u64| -> f32 {
+        let mut acc = (x as f32).sin();
+        for k in 1..(x * 64 + 2) {
+            acc += ((x * k) as f32).sqrt().cos() / k as f32;
+        }
+        acc
+    };
+    h.bench("parallel/skew_worksteal/threads8", || {
+        hf_fedsim::parallel::parallel_map(black_box(&items), 8, skewed)
+    });
+    h.bench("parallel/skew_chunked_baseline/threads8", || {
+        baseline::chunked_map(black_box(&items), 8, skewed)
+    });
+    h.bench("parallel/skew_sequential", || {
+        hf_fedsim::parallel::parallel_map(black_box(&items), 1, skewed)
+    });
+}
+
+/// Seed-era implementations kept verbatim so every `cargo bench` run
+/// reports the before/after delta of the PR's kernel rewrites next to the
+/// live numbers.
+mod baseline {
+    use hf_tensor::Matrix;
+
+    /// The naive zero-skipping ikj matmul `Matrix::matmul` replaced.
+    pub fn naive_matmul(a: &Matrix, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), other.cols());
+        for i in 0..a.rows() {
+            let a_row = a.row(i);
+            let out_row_start = i * other.cols();
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                let out_row = &mut out.as_mut_slice()[out_row_start..out_row_start + b_row.len()];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+        out
+    }
+
+    /// The full-rescan cyclic Jacobi `symmetric_eigenvalues` replaced.
+    pub fn jacobi_full_rescan(a: &Matrix, tol: f32, max_sweeps: usize) -> Vec<f32> {
+        let n = a.rows();
+        let mut m = a.clone();
+        let norm = m.frobenius_norm().max(f32::MIN_POSITIVE);
+        let stop = (tol * norm) as f64;
+        for _ in 0..max_sweeps {
+            let mut off = 0.0f64;
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        let x = m.get(i, j) as f64;
+                        off += x * x;
+                    }
+                }
+            }
+            if off.sqrt() <= stop {
+                break;
+            }
+            for p in 0..n - 1 {
+                for q in p + 1..n {
+                    rotate(&mut m, p, q);
+                }
+            }
+        }
+        let mut eig: Vec<f32> = (0..n).map(|i| m.get(i, i)).collect();
+        eig.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        eig
+    }
+
+    fn rotate(m: &mut Matrix, p: usize, q: usize) {
+        let apq = m.get(p, q) as f64;
+        if apq.abs() < 1e-30 {
+            return;
+        }
+        let app = m.get(p, p) as f64;
+        let aqq = m.get(q, q) as f64;
+        let theta = (aqq - app) / (2.0 * apq);
+        let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+        let c = 1.0 / (t * t + 1.0).sqrt();
+        let s = t * c;
+        let n = m.rows();
+        for k in 0..n {
+            let akp = m.get(k, p) as f64;
+            let akq = m.get(k, q) as f64;
+            m.set(k, p, (c * akp - s * akq) as f32);
+            m.set(k, q, (s * akp + c * akq) as f32);
+        }
+        for k in 0..n {
+            let apk = m.get(p, k) as f64;
+            let aqk = m.get(q, k) as f64;
+            m.set(p, k, (c * apk - s * aqk) as f32);
+            m.set(q, k, (s * apk + c * aqk) as f32);
+        }
+    }
+
+    /// The fixed contiguous chunking `parallel_map` replaced.
+    pub fn chunked_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if threads <= 1 || items.len() <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let workers = threads.min(items.len());
+        let chunk = items.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+    }
 }
 
 fn bench_federated_round(h: &Harness) {
@@ -209,5 +369,6 @@ fn main() {
     bench_eigen(&h);
     bench_topk(&h);
     bench_aggregation_matrix(&h);
+    bench_parallel(&h);
     bench_federated_round(&h);
 }

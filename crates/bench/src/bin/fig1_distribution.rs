@@ -5,12 +5,13 @@
 //! cargo run --release -p hf_bench --bin fig1_distribution -- --scale small
 //! ```
 
-use hf_bench::CliOptions;
+use hf_bench::{CliOptions, SnapshotRow};
 use hf_dataset::stats::InteractionHistogram;
 use hf_dataset::{DatasetProfile, DatasetStats};
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
     println!(
         "Fig. 1: distribution of users' item interaction numbers (scale={}, seed={})\n",
         opts.scale.name, opts.seed
@@ -35,5 +36,18 @@ fn main() {
         let hist = InteractionHistogram::compute(&data, 24);
         print!("{}", hist.render(48));
         println!();
+        snapshot.push(
+            SnapshotRow::new()
+                .label("dataset", profile.name())
+                .value("mean", stats.mean)
+                .value("std_dev", stats.std_dev)
+                .value("bin_width", hist.bin_width as f64)
+                .series(
+                    "bin_edges",
+                    hist.bin_edges.iter().map(|&e| e as f64).collect(),
+                )
+                .series("counts", hist.counts.iter().map(|&c| c as f64).collect()),
+        );
     }
+    opts.emit_json(&snapshot);
 }

@@ -6,11 +6,12 @@
 //! ```
 
 use hetefedrec_core::{run_experiment, Strategy};
-use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions};
+use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions, SnapshotRow};
 use hf_dataset::DatasetProfile;
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
     println!(
         "Fig. 6: per-group NDCG@20 (scale={}, seed={})\n",
         opts.scale.name, opts.seed
@@ -38,8 +39,19 @@ fn main() {
                     fmt5(g[2].ndcg),
                     fmt5(result.final_eval.overall.ndcg),
                 );
+                snapshot.push(
+                    SnapshotRow::new()
+                        .label("model", model.name())
+                        .label("dataset", profile.name())
+                        .label("method", &result.strategy)
+                        .value("ndcg_us", g[0].ndcg)
+                        .value("ndcg_um", g[1].ndcg)
+                        .value("ndcg_ul", g[2].ndcg)
+                        .value("ndcg_overall", result.final_eval.overall.ndcg),
+                );
             }
             println!();
         }
     }
+    opts.emit_json(&snapshot);
 }

@@ -6,11 +6,12 @@
 //! ```
 
 use hetefedrec_core::{run_experiment, Ablation, Strategy};
-use hf_bench::{make_split, CliOptions};
+use hf_bench::{make_split, CliOptions, SnapshotRow};
 use hf_dataset::DatasetProfile;
 
 fn main() {
     let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
     println!(
         "Fig. 7: convergence (NDCG@20 per epoch, scale={}, seed={})\n",
         opts.scale.name, opts.seed
@@ -52,8 +53,16 @@ fn main() {
                     print!(" {v:>7.4}");
                 }
                 println!();
+                snapshot.push(
+                    SnapshotRow::new()
+                        .label("model", model.name())
+                        .label("dataset", profile.name())
+                        .label("method", name)
+                        .series("ndcg_per_epoch", curve.clone()),
+                );
             }
             println!();
         }
     }
+    opts.emit_json(&snapshot);
 }

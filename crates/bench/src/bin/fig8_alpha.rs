@@ -6,11 +6,12 @@
 //! ```
 
 use hetefedrec_core::{run_experiment, Ablation, Strategy};
-use hf_bench::{fmt5, make_config_with, make_split, CliOptions};
+use hf_bench::{fmt5, make_config_with, make_split, CliOptions, SnapshotRow};
 use hf_dataset::DatasetProfile;
 
 fn main() {
     let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
     println!(
         "Fig. 8: NDCG@20 vs DDR weight alpha (scale={}, seed={})\n",
         opts.scale.name, opts.seed
@@ -37,8 +38,16 @@ fn main() {
             for (alpha, ndcg) in &points {
                 let bar = ((ndcg / peak) * 40.0).round() as usize;
                 println!("alpha {alpha:<5} {} |{}", fmt5(*ndcg), "#".repeat(bar));
+                snapshot.push(
+                    SnapshotRow::new()
+                        .label("model", model.name())
+                        .label("dataset", profile.name())
+                        .value("alpha", *alpha as f64)
+                        .value("ndcg", *ndcg),
+                );
             }
             println!();
         }
     }
+    opts.emit_json(&snapshot);
 }

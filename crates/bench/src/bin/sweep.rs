@@ -10,8 +10,9 @@
 //! ```
 
 use hetefedrec_core::{run_experiment, Ablation, Strategy, TrainConfig};
-use hf_bench::{fmt5, make_split, CliOptions};
+use hf_bench::{fmt5, make_split, CliOptions, SnapshotRow};
 use hf_dataset::DatasetProfile;
+use std::cell::RefCell;
 
 fn main() {
     let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
@@ -28,12 +29,23 @@ fn main() {
         opts.seed
     );
 
+    // RefCell so the shared `run` helper stays callable from every sweep
+    // loop below (a plain `mut` capture would make `run` itself `FnMut`).
+    let snapshot: RefCell<Vec<SnapshotRow>> = RefCell::new(Vec::new());
     let run = |label: &str, cfg: &TrainConfig, strategy: Strategy| {
         let r = run_experiment(cfg, strategy, &split);
         println!(
             "{label:<42} recall {}  ndcg {}",
             fmt5(r.final_eval.overall.recall),
             fmt5(r.final_eval.overall.ndcg)
+        );
+        snapshot.borrow_mut().push(
+            SnapshotRow::new()
+                .label("model", model.name())
+                .label("dataset", profile.name())
+                .label("setting", label)
+                .value("recall", r.final_eval.overall.recall)
+                .value("ndcg", r.final_eval.overall.ndcg),
         );
     };
 
@@ -95,4 +107,5 @@ fn main() {
             Strategy::HeteFedRec(Ablation::FULL),
         );
     }
+    opts.emit_json(&snapshot.into_inner());
 }

@@ -7,9 +7,26 @@
 
 use hf_bench::{rule, CliOptions};
 use hf_dataset::{DatasetProfile, DatasetStats};
+use hf_tensor::ser::{obj, ToJson};
+
+/// One `--json` snapshot row: profile name plus its measured statistics.
+struct StatsRow {
+    dataset: &'static str,
+    stats: DatasetStats,
+}
+
+impl ToJson for StatsRow {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("dataset", &self.dataset)
+                .field("stats", &self.stats);
+        });
+    }
+}
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);
+    let mut snapshot: Vec<StatsRow> = Vec::new();
     println!(
         "Table I: dataset statistics (scale={}, seed={})\n",
         opts.scale.name, opts.seed
@@ -42,7 +59,12 @@ fn main() {
             profile.paper_p50(),
             profile.paper_p80(),
         );
+        snapshot.push(StatsRow {
+            dataset: profile.name(),
+            stats: s,
+        });
     }
+    opts.emit_json(&snapshot);
     println!(
         "\n(At scale={} the generated counts are the paper's scaled by the\n\
          user/item fraction {:.2} and count factor {:.2}; at --scale paper they\n\

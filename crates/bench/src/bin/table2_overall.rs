@@ -6,11 +6,12 @@
 //! ```
 
 use hetefedrec_core::{run_experiment, Strategy};
-use hf_bench::{fmt5, make_split, rule, CliOptions};
+use hf_bench::{fmt5, make_split, rule, CliOptions, SnapshotRow};
 use hf_dataset::DatasetProfile;
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
     println!(
         "Table II: overall performance (scale={}, seed={})\n",
         opts.scale.name, opts.seed
@@ -43,8 +44,19 @@ fn main() {
                     kind,
                     result.history.epochs.len(),
                 );
+                snapshot.push(
+                    SnapshotRow::new()
+                        .label("model", model.name())
+                        .label("dataset", profile.name())
+                        .label("method", &result.strategy)
+                        .label("type", kind)
+                        .value("recall", result.final_eval.overall.recall)
+                        .value("ndcg", result.final_eval.overall.ndcg)
+                        .value("epochs", result.history.epochs.len() as f64),
+                );
             }
         }
         println!();
     }
+    opts.emit_json(&snapshot);
 }

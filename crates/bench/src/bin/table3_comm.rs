@@ -7,7 +7,7 @@
 //! ```
 
 use hetefedrec_core::{Ablation, Strategy, Trainer};
-use hf_bench::{make_config_with, make_split, rule, CliOptions};
+use hf_bench::{make_config_with, make_split, rule, CliOptions, SnapshotRow};
 use hf_dataset::{DatasetProfile, Tier};
 use hf_fedsim::comm::RoundCost;
 use hf_models::{paper_predictor_dims, Ffn};
@@ -15,6 +15,7 @@ use hf_tensor::rng::{stream, SeedStream};
 
 fn main() {
     let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
     println!(
         "Table III: one-time transmission cost per client type (scale={}, seed={})\n",
         opts.scale.name, opts.seed
@@ -56,6 +57,14 @@ fn main() {
                 format!("{} = V+{}", all_large.total(), all_large.theta_params),
                 format!("{} = V+{}", hete.total(), hete.theta_params),
             );
+            snapshot.push(
+                SnapshotRow::new()
+                    .label("dataset", profile.name())
+                    .label("client", tier.label())
+                    .value("all_small_params", all_small.total() as f64)
+                    .value("all_large_params", all_large.total() as f64)
+                    .value("hetefedrec_params", hete.total() as f64),
+            );
         }
 
         // Measured traffic over one epoch of actual training.
@@ -74,6 +83,16 @@ fn main() {
             ledger.uploads,
             ledger.downloads,
         );
+        snapshot.push(
+            SnapshotRow::new()
+                .label("dataset", profile.name())
+                .label("client", "measured_epoch")
+                .value("mean_download_bytes", ledger.mean_download())
+                .value("mean_upload_bytes", ledger.mean_upload())
+                .value("uploads", ledger.uploads as f64)
+                .value("downloads", ledger.downloads as f64),
+        );
         println!();
     }
+    opts.emit_json(&snapshot);
 }

@@ -6,11 +6,12 @@
 //! ```
 
 use hetefedrec_core::{run_experiment, Ablation, Strategy};
-use hf_bench::{fmt5, make_split, rule, CliOptions};
+use hf_bench::{fmt5, make_split, rule, CliOptions, SnapshotRow};
 use hf_dataset::DatasetProfile;
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
     println!(
         "Table IV: ablation study (scale={}, seed={})\n",
         opts.scale.name, opts.seed
@@ -39,8 +40,17 @@ fn main() {
                     fmt5(result.final_eval.overall.recall),
                     fmt5(result.final_eval.overall.ndcg),
                 );
+                snapshot.push(
+                    SnapshotRow::new()
+                        .label("model", model.name())
+                        .label("dataset", profile.name())
+                        .label("variant", label)
+                        .value("recall", result.final_eval.overall.recall)
+                        .value("ndcg", result.final_eval.overall.ndcg),
+                );
             }
         }
         println!();
     }
+    opts.emit_json(&snapshot);
 }

@@ -7,11 +7,12 @@
 //! ```
 
 use hetefedrec_core::{Ablation, Strategy, Trainer};
-use hf_bench::{make_config_with, make_split, rule, CliOptions};
+use hf_bench::{make_config_with, make_split, rule, CliOptions, SnapshotRow};
 use hf_dataset::{DatasetProfile, Tier};
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
     println!(
         "Table V: variance of singular values of cov(Vl) ± DDR (scale={}, seed={})\n",
         opts.scale.name, opts.seed
@@ -49,7 +50,15 @@ fn main() {
                 with,
                 100.0 * (1.0 - with / without.max(1e-12)),
             );
+            snapshot.push(
+                SnapshotRow::new()
+                    .label("model", model.name())
+                    .label("dataset", profile.name())
+                    .value("without_ddr", without as f64)
+                    .value("with_ddr", with as f64),
+            );
         }
         println!();
     }
+    opts.emit_json(&snapshot);
 }

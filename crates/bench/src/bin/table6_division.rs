@@ -7,11 +7,12 @@
 //! ```
 
 use hetefedrec_core::{run_experiment, Ablation, Strategy};
-use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions};
+use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions, SnapshotRow};
 use hf_dataset::{DatasetProfile, DivisionRatio};
 
 fn main() {
     let opts = CliOptions::parse(&DatasetProfile::ALL);
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
     println!(
         "Table VI: client-division ratios (scale={}, seed={})\n",
         opts.scale.name, opts.seed
@@ -68,7 +69,25 @@ fn main() {
                 fmt5(cells[2].final_eval.overall.ndcg),
                 fmt5(large.final_eval.overall.ndcg),
             );
+            let settings = [
+                ("All Small", &small),
+                ("5:3:2", &cells[0]),
+                ("1:1:1", &cells[1]),
+                ("2:3:5", &cells[2]),
+                ("All Large", &large),
+            ];
+            for (setting, result) in settings {
+                snapshot.push(
+                    SnapshotRow::new()
+                        .label("model", model.name())
+                        .label("dataset", profile.name())
+                        .label("division", setting)
+                        .value("recall", result.final_eval.overall.recall)
+                        .value("ndcg", result.final_eval.overall.ndcg),
+                );
+            }
         }
         println!();
     }
+    opts.emit_json(&snapshot);
 }

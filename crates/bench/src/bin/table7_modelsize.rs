@@ -6,11 +6,12 @@
 //! ```
 
 use hetefedrec_core::{run_experiment, Ablation, Strategy, TierDims};
-use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions};
+use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions, SnapshotRow};
 use hf_dataset::DatasetProfile;
 
 fn main() {
     let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
     println!(
         "Table VII: model-size settings (NDCG@20, scale={}, seed={})\n",
         opts.scale.name, opts.seed
@@ -45,8 +46,18 @@ fn main() {
                     fmt5(large.final_eval.overall.ndcg),
                     fmt5(hete.final_eval.overall.ndcg),
                 );
+                snapshot.push(
+                    SnapshotRow::new()
+                        .label("model", model.name())
+                        .label("dataset", profile.name())
+                        .label("dims", dims.label())
+                        .value("all_small_ndcg", small.final_eval.overall.ndcg)
+                        .value("all_large_ndcg", large.final_eval.overall.ndcg)
+                        .value("hetefedrec_ndcg", hete.final_eval.overall.ndcg),
+                );
             }
             println!();
         }
     }
+    opts.emit_json(&snapshot);
 }

@@ -86,6 +86,8 @@ pub struct CliOptions {
     pub seed: u64,
     /// Raw `--set key=value` overrides applied to every config.
     pub overrides: Vec<(String, String)>,
+    /// Path to write a JSON snapshot of the run's results (`--json`).
+    pub json: Option<String>,
 }
 
 impl CliOptions {
@@ -99,6 +101,7 @@ impl CliOptions {
         let mut datasets = default_datasets.to_vec();
         let mut seed = 42u64;
         let mut overrides = Vec::new();
+        let mut json = None;
 
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -135,6 +138,9 @@ impl CliOptions {
                         .parse()
                         .unwrap_or_else(|_| usage("seed must be a u64"));
                 }
+                "--json" => {
+                    json = Some(value().to_string());
+                }
                 "--set" => {
                     let kv = value();
                     let (k, v) = kv
@@ -153,6 +159,17 @@ impl CliOptions {
             datasets,
             seed,
             overrides,
+            json,
+        }
+    }
+
+    /// Writes `report` to the `--json` path, if one was given.
+    ///
+    /// Convenience wrapper over [`write_json_snapshot`] so a binary's main
+    /// can end with `opts.emit_json(&report)`.
+    pub fn emit_json(&self, report: &dyn hf_tensor::ser::ToJson) {
+        if let Some(path) = &self.json {
+            write_json_snapshot(path, report);
         }
     }
 
@@ -214,9 +231,90 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale tiny|small|medium|paper] [--model ncf|lightgcn|both]\n\
-         \x20             [--dataset ml|anime|douban|all] [--seed <u64>]"
+         \x20             [--dataset ml|anime|douban|all] [--seed <u64>]\n\
+         \x20             [--json <path>] [--set key=value]..."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 })
+}
+
+/// Serialises `report` and writes it to `path`, creating parent
+/// directories as needed. Exits with an error message on I/O failure
+/// (snapshots are an explicit user request; failing silently would lose
+/// the run's results). I/O failures exit 1 without the usage banner —
+/// the arguments were fine, the filesystem was not.
+pub fn write_json_snapshot(path: &str, report: &dyn hf_tensor::ser::ToJson) {
+    fn io_fail(msg: String) -> ! {
+        eprintln!("error: {msg}");
+        std::process::exit(1)
+    }
+    let path = std::path::Path::new(path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                io_fail(format!("cannot create {}: {e}", parent.display()));
+            }
+        }
+    }
+    let mut doc = report.to_json();
+    doc.push('\n');
+    if let Err(e) = std::fs::write(path, doc) {
+        io_fail(format!("cannot write {}: {e}", path.display()));
+    }
+    eprintln!("json snapshot written to {}", path.display());
+}
+
+/// One generic `--json` snapshot row: string labels identifying the
+/// setting (model, dataset, method, …) followed by named numeric
+/// results, and optionally named numeric series (per-epoch curves,
+/// histogram counts). Binaries whose output maps onto labels + scalars
+/// use this; binaries with richer structure (Table I stats, Table V
+/// diagnostics) define bespoke row types instead.
+#[derive(Default)]
+pub struct SnapshotRow {
+    labels: Vec<(&'static str, String)>,
+    values: Vec<(&'static str, f64)>,
+    series: Vec<(&'static str, Vec<f64>)>,
+}
+
+impl SnapshotRow {
+    /// An empty row; chain [`Self::label`]/[`Self::value`]/[`Self::series`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field (emitted in insertion order, before values).
+    pub fn label(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.labels.push((name, value.into()));
+        self
+    }
+
+    /// Adds a numeric field.
+    pub fn value(mut self, name: &'static str, value: f64) -> Self {
+        self.values.push((name, value));
+        self
+    }
+
+    /// Adds a numeric-array field.
+    pub fn series(mut self, name: &'static str, values: Vec<f64>) -> Self {
+        self.series.push((name, values));
+        self
+    }
+}
+
+impl hf_tensor::ser::ToJson for SnapshotRow {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            for (name, value) in &self.labels {
+                o.field(name, value);
+            }
+            for (name, value) in &self.values {
+                o.field(name, value);
+            }
+            for (name, values) in &self.series {
+                o.field(name, values);
+            }
+        });
+    }
 }
 
 /// Generates and splits a profile at the given scale, deterministically.
@@ -298,5 +396,19 @@ mod tests {
     #[test]
     fn fmt5_matches_paper_style() {
         assert_eq!(fmt5(0.026_62), "0.02662");
+    }
+
+    #[test]
+    fn json_snapshot_roundtrips_through_the_filesystem() {
+        // Pid-suffixed so concurrent test runs on one machine don't race
+        // on the same path.
+        let dir =
+            std::env::temp_dir().join(format!("hf_bench_snapshot_test_{}", std::process::id()));
+        let path = dir.join("nested").join("snap.json");
+        let path_str = path.to_str().expect("utf-8 temp path");
+        write_json_snapshot(path_str, &vec![1u32, 2, 3]);
+        let contents = std::fs::read_to_string(&path).expect("snapshot written");
+        assert_eq!(contents, "[1,2,3]\n");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -36,7 +36,23 @@ const VAR_EPS: f32 = 1e-8;
 /// Returns `(loss, gradient)`; the gradient has `z`'s shape. For inputs
 /// with fewer than 2 rows or columns the loss is 0 with a zero gradient
 /// (a single embedding row carries no correlation signal).
+///
+/// This single-threaded form is what the client hot path uses — client
+/// training already runs fanned out across the round's worker pool, so
+/// nesting another pool inside it would oversubscribe. Server-side and
+/// diagnostic callers with large `B` should prefer
+/// [`decorrelation_loss_grad_threaded`].
 pub fn decorrelation_loss_grad(z: &Matrix) -> (f32, Matrix) {
+    decorrelation_loss_grad_threaded(z, 1)
+}
+
+/// [`decorrelation_loss_grad`] with the gradient product `Ẑ · K_off`
+/// fanned over up to `threads` workers (`hf_fedsim::linalg::par_matmul`).
+///
+/// Bit-identical to the single-threaded form for every thread count: the
+/// parallel driver partitions output rows without changing any per-row
+/// accumulation order.
+pub fn decorrelation_loss_grad_threaded(z: &Matrix, threads: usize) -> (f32, Matrix) {
     let (b, n) = (z.rows(), z.cols());
     if b < 2 || n < 2 {
         return (0.0, Matrix::zeros(b, n));
@@ -76,7 +92,7 @@ pub fn decorrelation_loss_grad(z: &Matrix) -> (f32, Matrix) {
     }
 
     // ∂L/∂Ẑ = (2/B) Ẑ K_off / (N ‖K_off‖_F); then divide by σ per column.
-    let mut grad = zhat.matmul(&k);
+    let mut grad = hf_fedsim::linalg::par_matmul(&zhat, &k, threads);
     grad.scale(2.0 / (b as f32 * n as f32 * norm));
     for r in 0..b {
         for (g, &is) in grad.row_mut(r).iter_mut().zip(&inv_std) {
@@ -198,6 +214,20 @@ mod tests {
         }
         let after = spectrum_spread(&z);
         assert!(after < before * 0.8, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn threaded_gradient_is_bit_identical() {
+        let mut rng = stream(4, SeedStream::Custom(44));
+        let z = init::normal(300, 32, 1.0, &mut rng);
+        let (l1, g1) = decorrelation_loss_grad_threaded(&z, 1);
+        for threads in [2, 8] {
+            let (lt, gt) = decorrelation_loss_grad_threaded(&z, threads);
+            assert_eq!(l1.to_bits(), lt.to_bits());
+            for (a, b) in g1.as_slice().iter().zip(gt.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
     }
 
     #[test]

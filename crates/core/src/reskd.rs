@@ -40,7 +40,19 @@ pub fn sample_items(num_items: usize, count: usize, rng: &mut impl Rng) -> Vec<u
 /// `tables` are the post-aggregation `{Vs, Vm, Vl}` (any widths). Returns
 /// the summed alignment loss *before* the update — the quantity that
 /// shrinks round over round when distillation works.
-pub fn distill_round(tables: &mut [Matrix; 3], kd: &KdConfig, rng: &mut impl Rng) -> f32 {
+///
+/// The three per-tier alignment descents are independent once the
+/// ensemble target is fixed, and their costs are skewed by tier width
+/// (the large tier pays ~4x the small tier per step), so they fan out
+/// over the work-stealing pool when `threads > 1`. Each tier's descent is
+/// a self-contained computation, so results are bit-identical for every
+/// thread count.
+pub fn distill_round(
+    tables: &mut [Matrix; 3],
+    kd: &KdConfig,
+    threads: usize,
+    rng: &mut impl Rng,
+) -> f32 {
     let num_items = tables[0].rows();
     debug_assert!(tables.iter().all(|t| t.rows() == num_items));
     if kd.items < 2 || num_items < 2 {
@@ -59,15 +71,20 @@ pub fn distill_round(tables: &mut [Matrix; 3], kd: &KdConfig, rng: &mut impl Rng
     // count makes `kd.lr` scale-free in `kd.items`.
     let k = selected.len() as f32;
     let pair_norm = 1.0 / (k * (k - 1.0)).max(1.0);
-    let mut total_loss = 0.0;
-    for (table, mut subset) in tables.iter_mut().zip(subsets) {
+    let distilled = hf_fedsim::parallel::parallel_map(&subsets, threads, |subset| {
+        let mut subset = subset.clone();
         let mut first_loss = None;
         for _ in 0..kd.steps.max(1) {
             let (loss, grad) = alignment_loss_grad(&subset, &target);
             first_loss.get_or_insert(loss * pair_norm);
             subset.axpy(-kd.lr * pair_norm, &grad);
         }
-        total_loss += first_loss.unwrap_or(0.0);
+        (subset, first_loss.unwrap_or(0.0))
+    });
+
+    let mut total_loss = 0.0;
+    for (table, (subset, loss)) in tables.iter_mut().zip(distilled) {
+        total_loss += loss;
         // Write the distilled rows back.
         for (slot, &item) in selected.iter().enumerate() {
             table.row_mut(item).copy_from_slice(subset.row(slot));
@@ -120,11 +137,11 @@ mod tests {
         // Run several rounds on the same (full) subset; the reported
         // pre-update loss must shrink.
         let mut rng = stream(3, SeedStream::Distill);
-        let first = distill_round(&mut t, &kd, &mut rng);
+        let first = distill_round(&mut t, &kd, 1, &mut rng);
         let mut last = first;
         for _ in 0..20 {
             let mut rng = stream(3, SeedStream::Distill); // same subset each time
-            last = distill_round(&mut t, &kd, &mut rng);
+            last = distill_round(&mut t, &kd, 1, &mut rng);
         }
         assert!(last < first * 0.5, "first {first}, last {last}");
     }
@@ -145,7 +162,7 @@ mod tests {
         let before = spread(&t);
         for _ in 0..30 {
             let mut rng = stream(4, SeedStream::Distill);
-            distill_round(&mut t, &kd, &mut rng);
+            distill_round(&mut t, &kd, 1, &mut rng);
         }
         let after = spread(&t);
         assert!(after < before * 0.6, "before {before}, after {after}");
@@ -166,12 +183,31 @@ mod tests {
             let mut probe = stream(5, SeedStream::Distill);
             sample_items(50, 10, &mut probe)
         };
-        distill_round(&mut t, &kd, &mut rng);
+        distill_round(&mut t, &kd, 1, &mut rng);
         for (table, original) in t.iter().zip(&originals) {
             for row in 0..50 {
                 if !selected.contains(&row) {
                     assert_eq!(table.row(row), original.row(row), "row {row} moved");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn distillation_is_bit_identical_across_thread_counts() {
+        let kd = KdConfig {
+            items: 30,
+            lr: 10.0,
+            steps: 2,
+        };
+        let mut reference = tables(15);
+        let loss_ref = distill_round(&mut reference, &kd, 1, &mut stream(8, SeedStream::Distill));
+        for threads in [2, 8] {
+            let mut t = tables(15);
+            let loss = distill_round(&mut t, &kd, threads, &mut stream(8, SeedStream::Distill));
+            assert_eq!(loss.to_bits(), loss_ref.to_bits(), "threads = {threads}");
+            for (a, b) in t.iter().zip(&reference) {
+                assert_eq!(a, b, "threads = {threads}");
             }
         }
     }
@@ -186,7 +222,7 @@ mod tests {
             steps: 1,
         };
         let mut rng = stream(6, SeedStream::Distill);
-        assert_eq!(distill_round(&mut t, &kd, &mut rng), 0.0);
+        assert_eq!(distill_round(&mut t, &kd, 1, &mut rng), 0.0);
         assert_eq!(t[0], before[0]);
     }
 
@@ -195,8 +231,8 @@ mod tests {
         let mut a = tables(14);
         let mut b = tables(14);
         let kd = KdConfig::default();
-        let la = distill_round(&mut a, &kd, &mut stream(7, SeedStream::Distill));
-        let lb = distill_round(&mut b, &kd, &mut stream(7, SeedStream::Distill));
+        let la = distill_round(&mut a, &kd, 1, &mut stream(7, SeedStream::Distill));
+        let lb = distill_round(&mut b, &kd, 1, &mut stream(7, SeedStream::Distill));
         assert_eq!(la, lb);
         assert_eq!(a[1], b[1]);
     }

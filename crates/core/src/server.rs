@@ -254,9 +254,10 @@ impl ServerState {
     }
 
     /// Runs one relation-based ensemble self-distillation round (Eq. 16–17)
-    /// and returns the pre-update alignment loss.
-    pub fn distill(&mut self, kd: &KdConfig) -> f32 {
-        reskd::distill_round(&mut self.tables, kd, &mut self.kd_rng)
+    /// with up to `threads` workers and returns the pre-update alignment
+    /// loss. Results are identical for every thread count.
+    pub fn distill(&mut self, kd: &KdConfig, threads: usize) -> f32 {
+        reskd::distill_round(&mut self.tables, kd, threads, &mut self.kd_rng)
     }
 
     /// Variance of the singular values of `cov(V_tier)` — the Table V
@@ -381,11 +382,14 @@ mod tests {
     #[test]
     fn distillation_breaks_eq10_as_documented() {
         let mut s = server(Strategy::HeteFedRec(Ablation::FULL));
-        s.distill(&KdConfig {
-            items: 20,
-            lr: 20.0,
-            steps: 2,
-        });
+        s.distill(
+            &KdConfig {
+                items: 20,
+                lr: 20.0,
+                steps: 2,
+            },
+            1,
+        );
         assert!(s.eq10_violation() > 0.0);
     }
 

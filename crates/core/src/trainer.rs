@@ -264,7 +264,7 @@ impl Trainer {
 
         self.server.apply_round(&accepted);
         if self.strategy.ablation().reskd {
-            self.server.distill(&self.cfg.kd);
+            self.server.distill(&self.cfg.kd, self.cfg.threads);
         }
         (loss_sum, sample_sum)
     }

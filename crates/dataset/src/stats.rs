@@ -62,6 +62,20 @@ impl DatasetStats {
     }
 }
 
+impl hf_tensor::ser::ToJson for DatasetStats {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("users", &self.users)
+                .field("items", &self.items)
+                .field("interactions", &self.interactions)
+                .field("mean", &self.mean)
+                .field("p50", &self.p50)
+                .field("p80", &self.p80)
+                .field("std_dev", &self.std_dev);
+        });
+    }
+}
+
 /// Value at quantile `q` of an ascending-sorted slice (nearest-rank).
 fn percentile(sorted: &[usize], q: f64) -> usize {
     if sorted.is_empty() {

@@ -12,8 +12,10 @@
 //!   selected clients.
 //! * [`comm`] — communication-cost bookkeeping per client tier, the
 //!   quantities behind Table III.
-//! * [`parallel`] — crossbeam-scoped worker pool running independent
+//! * [`parallel`] — work-stealing scoped worker pool running independent
 //!   client computations within a round.
+//! * [`linalg`] — threaded dense-kernel drivers (row-partitioned matmul)
+//!   built on the same pool.
 //! * [`faults`] — seeded client-failure injection (dropped updates) for
 //!   robustness experiments beyond the paper's happy path.
 
@@ -21,6 +23,7 @@
 
 pub mod comm;
 pub mod faults;
+pub mod linalg;
 pub mod parallel;
 pub mod scheduler;
 pub mod transport;

@@ -1,0 +1,88 @@
+//! Threaded dense-kernel drivers built on [`crate::parallel`].
+//!
+//! `hf_tensor` keeps its kernels single-threaded (it sits below the
+//! fan-out layer in the crate graph); this module fans the row-blocked
+//! matmul over the work-stealing pool for the shapes where threading pays
+//! — the DDR gradient (`Ẑ · K_off`, Eq. 13) and RESKD alignment step
+//! (Eq. 17) both reduce to `(rows x d) · (d x d)` products whose row
+//! blocks are independent.
+
+use crate::parallel::parallel_map;
+use hf_tensor::Matrix;
+
+/// Below this many output elements the spawn overhead exceeds the kernel
+/// time and the single-threaded path is used directly.
+const PAR_MIN_ELEMS: usize = 64 * 64;
+
+/// Matrix product `a * b` computed with up to `threads` workers.
+///
+/// The output is split into contiguous row blocks, each computed by
+/// [`Matrix::matmul_rows`] — the same blocked kernel [`Matrix::matmul`]
+/// uses — and concatenated in input order, so the result is **bit
+/// identical** to the single-threaded product for every thread count.
+/// Small shapes (or `threads <= 1`) fall through to `a.matmul(b)`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn par_matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    let (m, n) = (a.rows(), b.cols());
+    if threads <= 1 || m * n < PAR_MIN_ELEMS || m < 2 {
+        return a.matmul(b);
+    }
+    // More blocks than workers so the work-stealing pool can re-balance
+    // if some blocks are served from warmer caches than others.
+    let workers = threads.min(m);
+    let block = m.div_ceil(workers * 2).max(8.min(m));
+    let ranges: Vec<(usize, usize)> = (0..m)
+        .step_by(block)
+        .map(|start| (start, (start + block).min(m)))
+        .collect();
+    let blocks = parallel_map(&ranges, threads, |&(start, end)| {
+        a.matmul_rows(b, start, end)
+    });
+    let mut out = Vec::with_capacity(m * n);
+    for piece in blocks {
+        out.extend_from_slice(piece.as_slice());
+    }
+    Matrix::from_vec(m, n, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn small_shapes_match_single_threaded() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let b = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32 * 0.5);
+        assert_eq!(bits(&par_matmul(&a, &b, 8)), bits(&a.matmul(&b)));
+    }
+
+    #[test]
+    fn large_product_is_bit_identical_across_thread_counts() {
+        let a = Matrix::from_fn(200, 96, |r, c| ((r * 96 + c) as f32 * 0.13).sin());
+        let b = Matrix::from_fn(96, 120, |r, c| ((r * 120 + c) as f32 * 0.29).cos());
+        let reference = a.matmul(&b);
+        for threads in [1, 2, 3, 8] {
+            let got = par_matmul(&a, &b, threads);
+            assert_eq!(got.rows(), 200);
+            assert_eq!(got.cols(), 120);
+            assert_eq!(bits(&got), bits(&reference), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn odd_row_counts_partition_cleanly() {
+        // Row counts that do not divide evenly into blocks must still
+        // cover every row exactly once.
+        for m in [65usize, 127, 128, 131] {
+            let a = Matrix::from_fn(m, 64, |r, c| ((r + c) as f32).sin());
+            let b = Matrix::from_fn(64, 64, |r, c| ((r * 3 + c) as f32).cos());
+            assert_eq!(bits(&par_matmul(&a, &b, 4)), bits(&a.matmul(&b)), "m = {m}");
+        }
+    }
+}

@@ -6,14 +6,34 @@
 //! bounded number of `std::thread::scope` workers and returns outputs in
 //! input order — determinism is preserved because each client's computation
 //! derives its randomness from its own id, never from execution order.
+//!
+//! Work is claimed from a shared atomic index in small batches rather than
+//! pre-split into fixed contiguous chunks. Heterogeneous tiers make
+//! per-client cost skewed (large-tier clients train wider models), and with
+//! fixed chunking the round serialises on whichever worker drew the most
+//! expensive chunk; with atomic claiming, workers that finish early steal
+//! the remaining items instead of idling. Which worker computes an item
+//! never affects its value, so results stay bit-identical across thread
+//! counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on the number of items a worker claims per atomic fetch.
+/// Small enough to keep stealing effective on skewed workloads, large
+/// enough that the shared counter is not contended for cheap items.
+const MAX_CLAIM: usize = 16;
 
 /// Applies `f` to every element of `items`, using up to `threads` worker
 /// threads, returning results in input order.
 ///
-/// Each worker maps one contiguous chunk of the input, so result order
-/// falls out of concatenation and no unsafe slot-pointer plumbing is
-/// needed. With `threads <= 1` (or one item) this degrades to a plain
-/// sequential map with zero thread overhead.
+/// Workers repeatedly claim the next batch of items from a shared atomic
+/// cursor (work stealing via self-scheduling), so skewed per-item costs
+/// re-balance automatically. Each worker records `(index, value)` pairs
+/// that are scattered back into input order after the join — `f(items[i])`
+/// is computed exactly once, by exactly one worker, so the output is
+/// bit-identical regardless of `threads`. With `threads <= 1` (or one
+/// item) this degrades to a plain sequential map with zero thread or
+/// atomic overhead.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -24,18 +44,45 @@ where
         return items.iter().map(&f).collect();
     }
     let workers = threads.min(items.len());
-    let chunk = items.len().div_ceil(workers);
+    // Batch size: fine-grained enough that `workers * 4` claims exist even
+    // if every item were uniform, capped so cheap items amortise the
+    // atomic traffic.
+    let claim = (items.len() / (workers * 4)).clamp(1, MAX_CLAIM);
+    let cursor = AtomicUsize::new(0);
     let f = &f;
+    let cursor = &cursor;
+
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(claim, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + claim).min(items.len());
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            produced.push((start + i, f(item)));
+                        }
+                    }
+                    produced
+                })
+            })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
+        for handle in handles {
+            for (i, value) in handle.join().expect("worker thread panicked") {
+                debug_assert!(slots[i].is_none(), "item {i} computed twice");
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item claimed exactly once"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -90,27 +137,56 @@ mod tests {
 
     #[test]
     fn float_results_are_bit_identical_across_thread_counts() {
-        // Guards the crossbeam → std::thread::scope rewrite: fan-out must
-        // not perturb results (no reduction-order effects, no reordering),
-        // down to the bit pattern of non-trivial f32 math.
+        // Guards the fan-out rewrite (fixed chunks → work stealing): the
+        // pool must not perturb results (no reduction-order effects, no
+        // reordering), down to the bit pattern of non-trivial f32 math.
+        // Per-item cost grows linearly with the index — the skewed-cost
+        // profile of heterogeneous tiers — so late items land on whichever
+        // worker steals them, exercising out-of-order claiming.
         let items: Vec<u64> = (0..1000).collect();
         let f = |&x: &u64| -> f32 {
             let mut acc = (x as f32).sin();
-            for k in 1..50 {
+            // Skew: item i costs ~i inner iterations.
+            for k in 1..(x + 2) {
                 acc += ((x * k) as f32).sqrt().cos() / k as f32;
             }
             acc
         };
         let seq = parallel_map(&items, 1, f);
-        let par = parallel_map(&items, 8, f);
-        assert_eq!(seq.len(), par.len());
-        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
-            assert_eq!(a.to_bits(), b.to_bits(), "item {i}: {a} != {b}");
+        for threads in [2, 8] {
+            let par = parallel_map(&items, threads, f);
+            assert_eq!(seq.len(), par.len());
+            for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{threads} threads, item {i}: {a} != {b}"
+                );
+            }
         }
         // Input order: recompute independently and compare positionally.
+        let par = parallel_map(&items, 8, f);
         for (i, v) in par.iter().enumerate() {
             assert_eq!(v.to_bits(), f(&items[i]).to_bits(), "item {i} out of order");
         }
+    }
+
+    #[test]
+    fn extreme_skew_completes_and_matches() {
+        // One item dwarfs the rest: fixed chunking would strand all other
+        // items of that chunk behind it, work stealing must not deadlock
+        // or misplace results.
+        let items: Vec<u64> = (0..64).collect();
+        let f = |&x: &u64| -> u64 {
+            let iters = if x == 0 { 200_000 } else { 10 };
+            let mut h = x + 1;
+            for _ in 0..iters {
+                h = h.rotate_left(7).wrapping_mul(0x2545_f491_4f6c_dd1d);
+            }
+            h
+        };
+        let seq: Vec<u64> = items.iter().map(f).collect();
+        assert_eq!(parallel_map(&items, 8, f), seq);
     }
 
     #[test]

@@ -36,13 +36,29 @@ impl Ord for Entry {
     }
 }
 
-/// Selects the `k` highest-scoring items, skipping any in the **sorted**
-/// `exclude` mask. Ties break toward the smaller item id so results are
+/// Selects the `k` highest-scoring items, skipping any in the `exclude`
+/// mask. Ties break toward the smaller item id so results are
 /// deterministic. NaN scores are skipped.
+///
+/// The mask lookup binary-searches, which requires sorted input; callers
+/// normally pass the pre-sorted training positives. An unsorted mask used
+/// to be accepted silently and produced wrong rankings (the binary search
+/// missed members, so "known" items leaked into the top-K). It is now
+/// detected with one `O(|exclude|)` scan and sorted into a local copy
+/// before use.
 pub fn top_k_excluding(scores: &[f32], k: usize, exclude: &[u32]) -> Vec<u32> {
     if k == 0 {
         return Vec::new();
     }
+    let sorted_fallback: Vec<u32>;
+    let exclude = if exclude.windows(2).all(|w| w[0] <= w[1]) {
+        exclude
+    } else {
+        let mut copy = exclude.to_vec();
+        copy.sort_unstable();
+        sorted_fallback = copy;
+        &sorted_fallback
+    };
     let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
     for (i, &score) in scores.iter().enumerate() {
         if score.is_nan() {
@@ -111,6 +127,30 @@ mod tests {
     fn nan_scores_are_skipped() {
         let scores = [f32::NAN, 0.5, f32::NAN, 0.7];
         assert_eq!(top_k_excluding(&scores, 3, &[]), vec![3, 1]);
+    }
+
+    #[test]
+    fn unsorted_exclude_mask_is_handled() {
+        // Regression: an unsorted mask used to defeat the binary search,
+        // so masked items leaked into the ranking. The sort-detect
+        // fallback must produce exactly the sorted-mask result.
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.3, 0.8];
+        assert_eq!(
+            top_k_excluding(&scores, 3, &[5, 1, 3]),
+            top_k_excluding(&scores, 3, &[1, 3, 5]),
+        );
+        assert_eq!(top_k_excluding(&scores, 3, &[5, 1, 3]), vec![2, 4, 0]);
+        // Larger pseudo-random case against the oracle with a shuffled mask.
+        let scores: Vec<f32> = (0..300)
+            .map(|i| ((i * 48_271_usize) % 997) as f32 / 997.0)
+            .collect();
+        let mut exclude: Vec<u32> = (0..300).filter(|i| i % 5 == 0).map(|i| i as u32).collect();
+        exclude.reverse(); // decidedly unsorted
+        let got = top_k_excluding(&scores, 15, &exclude);
+        let mut sorted = exclude.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, top_k_excluding(&scores, 15, &sorted));
+        assert!(got.iter().all(|i| !sorted.contains(i)));
     }
 
     #[test]

@@ -243,29 +243,109 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Straightforward ikj-ordered triple loop; the workspace's matrices are
-    /// small (≤ a few hundred columns) so cache-friendly ordering is all the
-    /// optimisation needed.
+    /// Blocked kernel tiled over i/k/j: `MR x NR` output tiles are
+    /// accumulated in an f32 register panel by an outer-product
+    /// micro-kernel, so each loaded slice of `other` feeds `MR` output
+    /// rows and the k-loop issues `MR` independent fma chains with no
+    /// stores. Every `a_ik * b_kj` product is accumulated — there is
+    /// deliberately no zero-skip, so non-finite values (NaN/Inf) propagate
+    /// into the product exactly as IEEE 754 dictates. Each output element
+    /// sums its `k` terms in ascending order, keeping results bit-identical
+    /// to a naive ikj loop and independent of the tiling.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_rows(other, 0, self.rows)
+    }
+
+    /// Product of the row slice `self[row_start..row_end]` with `other`,
+    /// as a `(row_end - row_start) x other.cols` matrix.
+    ///
+    /// This is the unit of work a threaded driver fans out (see
+    /// `hf_fedsim::linalg::par_matmul`): concatenating the blocks for a
+    /// partition of `0..rows` reproduces [`Matrix::matmul`] bit for bit,
+    /// because each output row is computed identically in isolation.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows` or the row range is out of
+    /// bounds or reversed.
+    pub fn matmul_rows(&self, other: &Matrix, row_start: usize, row_end: usize) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row_start = i * other.cols;
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
+        assert!(
+            row_start <= row_end && row_end <= self.rows,
+            "row range {row_start}..{row_end} out of bounds for {} rows",
+            self.rows
+        );
+        // Micro-kernel tile: MR rows of `self` against NR columns of
+        // `other`, with the MR x NR f32 accumulator panel living in
+        // registers across the whole k loop (the only stores happen at
+        // write-back). One loaded NR-wide slice of `other` feeds MR fma
+        // chains, cutting B traffic MR-fold versus the row-at-a-time loop.
+        const MR: usize = 4;
+        const NR: usize = 16;
+        let (kd, n) = (self.cols, other.cols);
+        let m = row_end - row_start;
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 || kd == 0 {
+            return out;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        let full_i = m - m % MR;
+        let full_j = n - n % NR;
+        for ii in (0..full_i).step_by(MR) {
+            let a_rows: [&[f32]; MR] = std::array::from_fn(|r| {
+                let start = (row_start + ii + r) * kd;
+                &a[start..start + kd]
+            });
+            for jj in (0..full_j).step_by(NR) {
+                let mut acc = [[0.0f32; NR]; MR];
+                for k in 0..kd {
+                    // Fixed-size view so the inner loops fully unroll.
+                    let b_tile: &[f32; NR] =
+                        b[k * n + jj..k * n + jj + NR].try_into().expect("NR slice");
+                    for r in 0..MR {
+                        let a_rk = a_rows[r][k];
+                        for (o, &b_kj) in acc[r].iter_mut().zip(b_tile) {
+                            *o += a_rk * b_kj;
+                        }
+                    }
                 }
-                let b_row = other.row(k);
-                let out_row = &mut out.data[out_row_start..out_row_start + other.cols];
-                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                for (r, acc_row) in acc.iter().enumerate() {
+                    out.data[(ii + r) * n + jj..][..NR].copy_from_slice(acc_row);
+                }
+            }
+            if full_j < n {
+                // Column tail: same panel accumulation over a short tile.
+                let nb = n - full_j;
+                let mut acc = [[0.0f32; NR]; MR];
+                for k in 0..kd {
+                    let b_tile = &b[k * n + full_j..][..nb];
+                    for r in 0..MR {
+                        let a_rk = a_rows[r][k];
+                        for (o, &b_kj) in acc[r][..nb].iter_mut().zip(b_tile) {
+                            *o += a_rk * b_kj;
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    out.data[(ii + r) * n + full_j..][..nb].copy_from_slice(&acc_row[..nb]);
+                }
+            }
+        }
+        // Row tail (m % MR rows): plain ikj axpy, still skip-free and in
+        // ascending k order, so elements match the micro-kernel bitwise.
+        for i in full_i..m {
+            let a_row = &a[(row_start + i) * kd..][..kd];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                let b_row = &b[k * n..(k + 1) * n];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
                     *o += a_ik * b_kj;
                 }
             }
@@ -275,19 +355,48 @@ impl Matrix {
 
     /// `self^T * self` without materialising the transpose — the Gram matrix
     /// used by covariance/correlation computations.
+    ///
+    /// Accumulates rank-1 updates on the upper triangle only (the result is
+    /// symmetric by construction) and mirrors at the end, halving the work
+    /// of a full accumulation. Like [`Matrix::matmul`] there is no
+    /// zero-skip, so NaN/Inf in any row poisons the affected entries.
     pub fn gram(&self) -> Matrix {
         let n = self.cols;
         let mut out = Matrix::zeros(n, n);
         for r in 0..self.rows {
             let row = self.row(r);
             for (i, &xi) in row.iter().enumerate() {
-                if xi == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &xj) in out_row.iter_mut().zip(row.iter()) {
+                let out_row = &mut out.data[i * n + i..(i + 1) * n];
+                for (o, &xj) in out_row.iter_mut().zip(&row[i..]) {
                     *o += xi * xj;
                 }
+            }
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                out.data[j * n + i] = out.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// `self * self^T` — the row-Gram matrix (`rows x rows`) of pairwise
+    /// row dot products, the kernel behind pairwise-similarity matrices.
+    ///
+    /// Computes the upper triangle of contiguous-slice dot products and
+    /// mirrors it; no zero-skip, so non-finite rows poison their entries.
+    pub fn row_gram(&self) -> Matrix {
+        let m = self.rows;
+        let mut out = Matrix::zeros(m, m);
+        for i in 0..m {
+            let ri = self.row(i);
+            for j in i..m {
+                let mut acc = 0.0f32;
+                for (&x, &y) in ri.iter().zip(self.row(j)) {
+                    acc += x * y;
+                }
+                out.data[i * m + j] = acc;
+                out.data[j * m + i] = acc;
             }
         }
         out
@@ -429,6 +538,103 @@ mod tests {
         let g2 = a.transpose().matmul(&a);
         for (x, y) in g.as_slice().iter().zip(g2.as_slice()) {
             assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_rows_blocks_concatenate_to_full_product() {
+        let a = Matrix::from_fn(37, 23, |r, c| ((r * 23 + c) as f32).sin());
+        let b = Matrix::from_fn(23, 41, |r, c| ((r * 41 + c) as f32).cos());
+        let full = a.matmul(&b);
+        for split in [0, 1, 17, 37] {
+            let top = a.matmul_rows(&b, 0, split);
+            let bottom = a.matmul_rows(&b, split, 37);
+            let mut joined = top.into_vec();
+            joined.extend_from_slice(bottom.as_slice());
+            // Bit-identical, not just close: row blocks must reproduce the
+            // full kernel exactly so threaded fan-out stays deterministic.
+            let joined: Vec<u32> = joined.iter().map(|x| x.to_bits()).collect();
+            let expect: Vec<u32> = full.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(joined, expect, "split {split}");
+        }
+    }
+
+    #[test]
+    fn matmul_handles_non_tile_aligned_shapes() {
+        // Shapes straddling the MR x NR (4 x 16) micro-kernel tile exercise
+        // every edge branch; verify against a plain triple loop.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (33, 65, 66),
+            (64, 64, 64),
+            (5, 130, 3),
+        ] {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * k + c) as f32 * 0.37).sin());
+            let b = Matrix::from_fn(k, n, |r, c| ((r * n + c) as f32 * 0.61).cos());
+            let got = a.matmul(&b);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut want = 0.0f32;
+                    for kk in 0..k {
+                        want += a.get(i, kk) * b.get(kk, j);
+                    }
+                    assert_eq!(
+                        got.get(i, j).to_bits(),
+                        want.to_bits(),
+                        "({i},{j}) {m}x{k}x{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_nan_despite_zero_operand() {
+        // Regression: the old kernel skipped a_ik == 0.0, so 0 * NaN was
+        // silently dropped instead of poisoning the output (IEEE 754 says
+        // 0 * NaN = NaN). A diverged operand must be visible in the result.
+        let mut a = Matrix::zeros(2, 3);
+        a.set(0, 0, 1.0); // row 0 multiplies b row 0 only (rest are zeros)
+        let mut b = Matrix::filled(3, 2, 1.0);
+        b.set(2, 0, f32::NAN); // reached only through a's zero entries
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0*NaN must poison the row");
+        assert!(c.get(1, 0).is_nan(), "all-zero row still sees 0*NaN");
+        assert_eq!(c.get(1, 1), 0.0, "finite column stays finite");
+
+        // NaN on the right reached only through a zero in the left operand.
+        let a2 = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let mut b2 = Matrix::identity(2);
+        b2.set(1, 1, f32::NAN);
+        let c2 = a2.matmul(&b2);
+        assert!(c2.get(0, 1).is_nan(), "0*NaN in column must propagate");
+    }
+
+    #[test]
+    fn gram_propagates_nan_rows() {
+        let mut x = Matrix::filled(4, 3, 0.0);
+        x.set(2, 1, f32::NAN);
+        let g = x.gram();
+        for j in 0..3 {
+            assert!(g.get(1, j).is_nan(), "gram row 1 col {j} must be NaN");
+            assert!(g.get(j, 1).is_nan(), "gram col 1 row {j} must be NaN");
+        }
+    }
+
+    #[test]
+    fn row_gram_matches_matmul_with_transpose() {
+        let a = Matrix::from_fn(9, 5, |r, c| ((r * 5 + c) as f32).sin());
+        let g = a.row_gram();
+        let g2 = a.matmul(&a.transpose());
+        assert_eq!(g.rows(), 9);
+        for (x, y) in g.as_slice().iter().zip(g2.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+        // Symmetry is exact by construction.
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(g.get(i, j).to_bits(), g.get(j, i).to_bits());
+            }
         }
     }
 

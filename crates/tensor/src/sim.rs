@@ -20,16 +20,20 @@ const NORM_EPS: f32 = 1e-12;
 /// Pairwise cosine-similarity matrix of the rows of `v` (`k x k` for a
 /// `k x d` input). Zero rows yield zero similarity against everything and
 /// 1 on their own diagonal entry by convention.
+///
+/// The pairwise dot products come from the blocked [`Matrix::row_gram`]
+/// kernel (one `V·Vᵀ` product) rather than `k²/2` scalar-dot calls; the
+/// Gram diagonal doubles as the squared row norms.
 pub fn cosine_similarity_matrix(v: &Matrix) -> Matrix {
     let k = v.rows();
-    let norms: Vec<f32> = (0..k).map(|i| dot(v.row(i), v.row(i)).sqrt()).collect();
-    let mut s = Matrix::zeros(k, k);
+    let mut s = v.row_gram();
+    let norms: Vec<f32> = (0..k).map(|i| s.get(i, i).sqrt()).collect();
     for i in 0..k {
         s.set(i, i, 1.0);
         for j in i + 1..k {
             let denom = norms[i] * norms[j];
             let value = if denom > NORM_EPS {
-                dot(v.row(i), v.row(j)) / denom
+                s.get(i, j) / denom
             } else {
                 0.0
             };
@@ -44,10 +48,25 @@ pub fn cosine_similarity_matrix(v: &Matrix) -> Matrix {
 /// respect to `V`'s rows.
 ///
 /// Uses `∂cos(v_i,v_j)/∂v_i = v_j/(‖v_i‖‖v_j‖) − cos(v_i,v_j)·v_i/‖v_i‖²`,
-/// accumulated over all ordered off-diagonal pairs (which handles the
-/// symmetric double-counting exactly). Diagonal entries are constant 1 and
-/// contribute no gradient; targets should carry 1 on the diagonal so they
-/// contribute no loss either.
+/// summed over both orientations of every off-diagonal pair. Collecting
+/// the scalar weights into a `k x k` coefficient matrix `P` reduces the
+/// whole accumulation to one blocked product `grad = P · V`:
+///
+/// ```text
+/// D = S − T
+/// P_ij = 2·(D_ij + D_ji)/(‖v_i‖‖v_j‖)             (i ≠ j)
+/// P_ii = −(2/‖v_i‖²)·Σ_{j≠i} (D_ij + D_ji)·S_ij
+/// ```
+///
+/// `S` is symmetric by construction but `target` need not be — both
+/// orientations of each pair are summed, so an asymmetric target gets
+/// the exact gradient of the reported loss (which also sums both
+/// triangles). For a symmetric target `D_ij + D_ji = 2·D_ij` exactly, so
+/// the coefficients reduce to `4·D_ij/(‖v_i‖‖v_j‖)`.
+///
+/// Diagonal entries of `S` are constant 1 and contribute no gradient;
+/// targets should carry 1 on the diagonal so they contribute no loss
+/// either.
 ///
 /// # Panics
 /// Panics if `target` is not `v.rows() x v.rows()`.
@@ -64,26 +83,22 @@ pub fn alignment_loss_grad(v: &Matrix, target: &Matrix) -> (f32, Matrix) {
         .collect();
 
     let mut loss = 0.0_f64;
-    let mut grad = Matrix::zeros(k, v.cols());
+    let mut p = Matrix::zeros(k, k);
     for i in 0..k {
+        let mut diag = 0.0f32;
         for j in 0..k {
             let diff = s.get(i, j) - target.get(i, j);
             loss += (diff as f64) * (diff as f64);
             if i == j {
                 continue; // S_ii ≡ 1: no gradient flows.
             }
-            let coeff = 2.0 * diff;
-            let inv = 1.0 / (norms[i] * norms[j]);
-            // grad_i += coeff * ∂S_ij/∂v_i
-            //         = coeff * (v_j/(|vi||vj|) - S_ij * v_i/|vi|²)
-            grad.row_axpy(i, coeff * inv, v.row(j));
-            grad.row_axpy(i, -coeff * s.get(i, j) / (norms[i] * norms[i]), v.row(i));
-            // grad_j += coeff * ∂S_ij/∂v_j (S_ij depends on both endpoints)
-            grad.row_axpy(j, coeff * inv, v.row(i));
-            grad.row_axpy(j, -coeff * s.get(i, j) / (norms[j] * norms[j]), v.row(j));
+            let both = diff + (s.get(j, i) - target.get(j, i));
+            p.set(i, j, 2.0 * both / (norms[i] * norms[j]));
+            diag += both * s.get(i, j);
         }
+        p.set(i, i, -2.0 * diag / (norms[i] * norms[i]));
     }
-    (loss as f32, grad)
+    (loss as f32, p.matmul(v))
 }
 
 /// Elementwise mean of several equally shaped matrices — the ensemble
@@ -166,6 +181,35 @@ mod tests {
         let v = init::normal(5, 3, 1.0, &mut rng);
         let t_src = init::normal(5, 3, 1.0, &mut rng);
         let target = cosine_similarity_matrix(&t_src);
+        let (_, grad) = alignment_loss_grad(&v, &target);
+
+        let eps = 1e-3;
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                let mut plus = v.clone();
+                *plus.get_mut(r, c) += eps;
+                let mut minus = v.clone();
+                *minus.get_mut(r, c) -= eps;
+                let (lp, _) = alignment_loss_grad(&plus, &target);
+                let (lm, _) = alignment_loss_grad(&minus, &target);
+                let fd = (lp - lm) / (2.0 * eps);
+                let g = grad.get(r, c);
+                assert!(
+                    (fd - g).abs() < 2e-2 * fd.abs().max(g.abs()).max(1.0),
+                    "({r},{c}): analytic {g} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_for_asymmetric_target() {
+        // Regression: the P-matrix refactor briefly read only D_ij, which
+        // silently symmetrised the target; the gradient must stay exact
+        // for targets where T_ij != T_ji.
+        let mut rng = stream(35, SeedStream::Custom(24));
+        let v = init::normal(4, 3, 1.0, &mut rng);
+        let target = init::normal(4, 4, 0.5, &mut rng); // not symmetric
         let (_, grad) = alignment_loss_grad(&v, &target);
 
         let eps = 1e-3;
