@@ -27,6 +27,17 @@ cargo run -q --offline -p hf_bench --bin table1_stats -- \
     --scale tiny --dataset ml --json target/ci-artifacts/table1_smoke.json
 test -s target/ci-artifacts/table1_smoke.json
 
+echo "==> checkpoint/resume smoke (movie_recommendation example)"
+# The example checkpoints mid-run, restores, and asserts the restored
+# evaluation is bit-identical to the uninterrupted run (it exits non-zero
+# on mismatch). The checkpoint document is archived as a CI artefact.
+mkdir -p target/ci-artifacts
+HF_CHECKPOINT_PATH=target/ci-artifacts/movie_recommendation_checkpoint.json \
+    cargo run -q --offline --release --example movie_recommendation \
+    > target/ci-artifacts/movie_recommendation_smoke.log
+grep -q "resume verified" target/ci-artifacts/movie_recommendation_smoke.log
+test -s target/ci-artifacts/movie_recommendation_checkpoint.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

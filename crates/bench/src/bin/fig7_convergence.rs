@@ -1,11 +1,15 @@
 //! **Fig. 7** — convergence curves (NDCG@20 per epoch) for All Small,
 //! All Large, and HeteFedRec on ML.
 //!
+//! Consumes the session event stream directly: each strategy's curve is
+//! built from the [`EpochReport`]s as they are produced, rather than from
+//! a post-hoc history dump.
+//!
 //! ```text
 //! cargo run --release -p hf_bench --bin fig7_convergence -- --scale small
 //! ```
 
-use hetefedrec_core::{run_experiment, Ablation, Strategy};
+use hetefedrec_core::{Ablation, EpochReport, SessionBuilder, SessionEvent, Strategy};
 use hf_bench::{make_split, CliOptions, SnapshotRow};
 use hf_dataset::DatasetProfile;
 
@@ -32,14 +36,19 @@ fn main() {
 
             let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
             for strategy in strategies {
-                let result = run_experiment(&cfg, strategy, &split);
-                let curve: Vec<f64> = result
-                    .history
-                    .epochs
-                    .iter()
-                    .map(|e| e.eval.overall.ndcg)
-                    .collect();
-                curves.push((result.strategy, curve));
+                let mut session = SessionBuilder::new(cfg.clone(), strategy, split.clone())
+                    .build()
+                    .expect("valid experiment configuration");
+                let mut curve: Vec<f64> = Vec::with_capacity(cfg.epochs);
+                for event in session.events() {
+                    if let SessionEvent::Epoch(EpochReport {
+                        eval: Some(eval), ..
+                    }) = event
+                    {
+                        curve.push(eval.overall.ndcg);
+                    }
+                }
+                curves.push((strategy.name().to_string(), curve));
             }
 
             print!("{:<22}", "epoch");

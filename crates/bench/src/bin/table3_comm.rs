@@ -6,7 +6,7 @@
 //! cargo run --release -p hf_bench --bin table3_comm -- --scale small --dataset ml
 //! ```
 
-use hetefedrec_core::{Ablation, Strategy, Trainer};
+use hetefedrec_core::{Ablation, SessionBuilder, Strategy};
 use hf_bench::{make_config_with, make_split, rule, CliOptions, SnapshotRow};
 use hf_dataset::{DatasetProfile, Tier};
 use hf_fedsim::comm::RoundCost;
@@ -68,13 +68,16 @@ fn main() {
         }
 
         // Measured traffic over one epoch of actual training.
-        let mut trainer = Trainer::new(
+        let mut session = SessionBuilder::new(
             cfg.clone(),
             Strategy::HeteFedRec(Ablation::FULL),
             split.clone(),
-        );
-        trainer.run_epoch();
-        let ledger = trainer.ledger();
+        )
+        .eval_every(0)
+        .build()
+        .expect("valid experiment configuration");
+        session.run_epoch();
+        let ledger = session.ledger();
         println!(
             "\nMeasured (1 epoch of HeteFedRec): mean download {:.1} KiB (dense),\n\
              mean upload {:.1} KiB (sparse wire format), {} uploads / {} downloads",

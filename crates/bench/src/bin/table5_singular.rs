@@ -6,7 +6,7 @@
 //! cargo run --release -p hf_bench --bin table5_singular -- --scale small --dataset all
 //! ```
 
-use hetefedrec_core::{Ablation, Strategy, Trainer};
+use hetefedrec_core::{Ablation, SessionBuilder, Strategy};
 use hf_bench::{make_config_with, make_split, rule, CliOptions, SnapshotRow};
 use hf_dataset::{DatasetProfile, Tier};
 
@@ -31,12 +31,15 @@ fn main() {
             let cfg = make_config_with(&opts, *model, *profile);
 
             let variance_of = |ablation: Ablation| -> f32 {
-                let mut t =
-                    Trainer::new(cfg.clone(), Strategy::HeteFedRec(ablation), split.clone());
-                for _ in 0..cfg.epochs {
-                    t.run_epoch();
-                }
-                t.server().collapse_metric(Tier::Large)
+                // Table V needs only the trained tables, so skip per-epoch
+                // evaluation entirely (`eval_every(0)`).
+                let mut s =
+                    SessionBuilder::new(cfg.clone(), Strategy::HeteFedRec(ablation), split.clone())
+                        .eval_every(0)
+                        .build()
+                        .expect("valid experiment configuration");
+                s.run();
+                s.server().collapse_metric(Tier::Large)
             };
 
             // "- DDR": UDL without the regulariser (Table V isolates DDR;

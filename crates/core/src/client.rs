@@ -74,6 +74,70 @@ impl UserState {
     }
 }
 
+impl hf_tensor::ser::ToJson for UserState {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("emb", &self.emb)
+                .field("adam", &self.adam)
+                .field("standalone", &self.standalone);
+        });
+    }
+}
+
+impl hf_tensor::ser::ToJson for StandaloneState {
+    fn write_json(&self, out: &mut String) {
+        // Rows emit sorted by item id so snapshots are stable across runs
+        // (HashMap iteration order is not).
+        struct Rows<'a>(&'a HashMap<u32, Vec<f32>>);
+        impl hf_tensor::ser::ToJson for Rows<'_> {
+            fn write_json(&self, out: &mut String) {
+                let mut items: Vec<u32> = self.0.keys().copied().collect();
+                items.sort_unstable();
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    hf_tensor::ser::obj(out, |o| {
+                        o.field("item", item).field("row", &self.0[item]);
+                    });
+                }
+                out.push(']');
+            }
+        }
+        hf_tensor::ser::obj(out, |o| {
+            o.field("rows", &Rows(&self.rows))
+                .field("theta", &self.theta);
+        });
+    }
+}
+
+impl UserState {
+    /// Restores a checkpointed client state.
+    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+        let standalone = match v.get("standalone")? {
+            s if s.is_null() => None,
+            s => {
+                let mut rows = HashMap::new();
+                for entry in s.get("rows")?.as_arr()? {
+                    let item = u32::try_from(entry.get("item")?.as_u64()?)
+                        .map_err(|_| hf_tensor::ser::JsonError::msg("item id overflows u32"))?;
+                    rows.insert(item, entry.get("row")?.as_f32_vec()?);
+                }
+                Some(StandaloneState {
+                    rows,
+                    theta: Ffn::from_json(s.get("theta")?)?,
+                })
+            }
+        };
+        Ok(Self {
+            emb: v.get("emb")?.as_f32_vec()?,
+            adam: Adam::from_json(v.get("adam")?)?,
+            standalone,
+        })
+    }
+}
+
 /// Everything a client needs for one round of local training.
 pub struct ClientCtx<'a> {
     /// Experiment configuration.

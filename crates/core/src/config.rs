@@ -2,6 +2,34 @@
 
 use hf_dataset::{DatasetProfile, DivisionRatio, Tier};
 use hf_models::ModelKind;
+use hf_tensor::ser::{obj, JsonError, JsonValue, ToJson};
+
+/// A rejected configuration field.
+///
+/// Produced by [`TrainConfig::validate`] — the session builder surfaces
+/// these as `Result`s instead of panicking deep inside the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field, e.g. `"local_lr"`.
+    pub field: &'static str,
+    /// Why the value was rejected.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config field `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn bad(field: &'static str, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        field,
+        message: message.into(),
+    }
+}
 
 /// The three tier embedding dimensions `{Ns, Nm, Nl}`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +83,26 @@ impl TierDims {
     pub fn label(&self) -> String {
         format!("{{{},{},{}}}", self.dims[0], self.dims[1], self.dims[2])
     }
+
+    /// Restores checkpointed tier dimensions (monotonicity re-checked).
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let dims = v.as_usize_vec()?;
+        let [s, m, l]: [usize; 3] = dims
+            .try_into()
+            .map_err(|_| JsonError::msg("tier dims must have 3 entries"))?;
+        if !(s > 0 && s < m && m < l) {
+            return Err(JsonError::msg(format!(
+                "tier dims must satisfy 0 < Ns < Nm < Nl, got {s},{m},{l}"
+            )));
+        }
+        Ok(Self { dims: [s, m, l] })
+    }
+}
+
+impl ToJson for TierDims {
+    fn write_json(&self, out: &mut String) {
+        self.dims.write_json(out);
+    }
 }
 
 /// Relation-based ensemble self-distillation settings (Eq. 16–17).
@@ -75,6 +123,27 @@ impl Default for KdConfig {
             lr: 1.0,
             steps: 1,
         }
+    }
+}
+
+impl ToJson for KdConfig {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("items", &self.items)
+                .field("lr", &self.lr)
+                .field("steps", &self.steps);
+        });
+    }
+}
+
+impl KdConfig {
+    /// Restores a checkpointed distillation configuration.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Self {
+            items: v.get("items")?.as_usize()?,
+            lr: v.get("lr")?.as_f32()?,
+            steps: v.get("steps")?.as_usize()?,
+        })
     }
 }
 
@@ -107,6 +176,46 @@ pub enum ItemAggNorm {
     Mean,
     /// Divide each row's summed delta by sqrt(contributor count).
     SqrtCount,
+}
+
+impl ServerOpt {
+    /// Stable checkpoint tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ServerOpt::SgdSum => "sgd_sum",
+            ServerOpt::Adam => "adam",
+        }
+    }
+
+    /// Parses a [`ServerOpt::tag`] spelling.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "sgd_sum" => Some(ServerOpt::SgdSum),
+            "adam" => Some(ServerOpt::Adam),
+            _ => None,
+        }
+    }
+}
+
+impl ItemAggNorm {
+    /// Stable checkpoint tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ItemAggNorm::Sum => "sum",
+            ItemAggNorm::Mean => "mean",
+            ItemAggNorm::SqrtCount => "sqrt_count",
+        }
+    }
+
+    /// Parses an [`ItemAggNorm::tag`] spelling.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "sum" => Some(ItemAggNorm::Sum),
+            "mean" => Some(ItemAggNorm::Mean),
+            "sqrt_count" => Some(ItemAggNorm::SqrtCount),
+            _ => None,
+        }
+    }
 }
 
 /// Full configuration of one federated training run.
@@ -192,6 +301,104 @@ impl TrainConfig {
         }
     }
 
+    /// Checks every field for sanity, returning the first offending one.
+    ///
+    /// The session builder calls this before constructing any state, so a
+    /// bad configuration surfaces as a `Result` at the API boundary
+    /// instead of a panic (or NaN cascade) mid-run.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn positive_finite(field: &'static str, x: f32) -> Result<(), ConfigError> {
+            if x.is_finite() && x > 0.0 {
+                Ok(())
+            } else {
+                Err(bad(field, format!("must be finite and positive, got {x}")))
+            }
+        }
+        fn nonneg_finite(field: &'static str, x: f32) -> Result<(), ConfigError> {
+            if x.is_finite() && x >= 0.0 {
+                Ok(())
+            } else {
+                Err(bad(field, format!("must be finite and >= 0, got {x}")))
+            }
+        }
+        if self.epochs == 0 {
+            return Err(bad("epochs", "at least one epoch required"));
+        }
+        if self.clients_per_round == 0 {
+            return Err(bad("clients_per_round", "round size must be positive"));
+        }
+        if self.local_epochs == 0 {
+            return Err(bad("local_epochs", "at least one local pass required"));
+        }
+        if self.negatives == 0 {
+            return Err(bad("negatives", "at least one negative per positive"));
+        }
+        if self.eval_k == 0 {
+            return Err(bad("eval_k", "ranking cutoff must be positive"));
+        }
+        if self.threads == 0 {
+            return Err(bad("threads", "at least one worker thread required"));
+        }
+        if self.ddr_max_rows < 2 {
+            return Err(bad("ddr_max_rows", "correlation needs at least 2 rows"));
+        }
+        positive_finite("local_lr", self.local_lr)?;
+        positive_finite("user_lr", self.user_lr)?;
+        positive_finite("server_lr", self.server_lr)?;
+        nonneg_finite("alpha", self.alpha)?;
+        nonneg_finite("udl_aux_weight", self.udl_aux_weight)?;
+        if self.kd.items == 0 {
+            return Err(bad("kd.items", "distillation subset must be non-empty"));
+        }
+        if self.kd.steps == 0 {
+            return Err(bad("kd.steps", "at least one distillation step"));
+        }
+        positive_finite("kd.lr", self.kd.lr)?;
+        if !(0.0..1.0).contains(&self.drop_prob) {
+            return Err(bad(
+                "drop_prob",
+                format!("must lie in [0, 1), got {}", self.drop_prob),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Restores a checkpointed configuration (re-validated).
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let cfg = Self {
+            model: ModelKind::from_json(v.get("model")?)?,
+            dims: TierDims::from_json(v.get("dims")?)?,
+            ratio: DivisionRatio::from_json(v.get("ratio")?)?,
+            epochs: v.get("epochs")?.as_usize()?,
+            clients_per_round: v.get("clients_per_round")?.as_usize()?,
+            local_epochs: v.get("local_epochs")?.as_usize()?,
+            local_lr: v.get("local_lr")?.as_f32()?,
+            user_lr: v.get("user_lr")?.as_f32()?,
+            server_opt: {
+                let tag = v.get("server_opt")?.as_str()?;
+                ServerOpt::from_tag(tag)
+                    .ok_or_else(|| JsonError::msg(format!("unknown server_opt `{tag}`")))?
+            },
+            item_agg_norm: {
+                let tag = v.get("item_agg_norm")?.as_str()?;
+                ItemAggNorm::from_tag(tag)
+                    .ok_or_else(|| JsonError::msg(format!("unknown item_agg_norm `{tag}`")))?
+            },
+            server_lr: v.get("server_lr")?.as_f32()?,
+            negatives: v.get("negatives")?.as_usize()?,
+            alpha: v.get("alpha")?.as_f32()?,
+            udl_aux_weight: v.get("udl_aux_weight")?.as_f32()?,
+            ddr_max_rows: v.get("ddr_max_rows")?.as_usize()?,
+            kd: KdConfig::from_json(v.get("kd")?)?,
+            eval_k: v.get("eval_k")?.as_usize()?,
+            threads: v.get("threads")?.as_usize()?,
+            seed: v.get("seed")?.as_u64()?,
+            drop_prob: v.get("drop_prob")?.as_f64()?,
+        };
+        cfg.validate().map_err(|e| JsonError::msg(e.to_string()))?;
+        Ok(cfg)
+    }
+
     /// A fast configuration for unit tests: tiny tiers, few epochs.
     pub fn test_default(model: ModelKind) -> Self {
         Self {
@@ -220,6 +427,33 @@ impl TrainConfig {
             seed: 7,
             drop_prob: 0.0,
         }
+    }
+}
+
+impl ToJson for TrainConfig {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("model", &self.model)
+                .field("dims", &self.dims)
+                .field("ratio", &self.ratio)
+                .field("epochs", &self.epochs)
+                .field("clients_per_round", &self.clients_per_round)
+                .field("local_epochs", &self.local_epochs)
+                .field("local_lr", &self.local_lr)
+                .field("user_lr", &self.user_lr)
+                .field("server_opt", &self.server_opt.tag())
+                .field("item_agg_norm", &self.item_agg_norm.tag())
+                .field("server_lr", &self.server_lr)
+                .field("negatives", &self.negatives)
+                .field("alpha", &self.alpha)
+                .field("udl_aux_weight", &self.udl_aux_weight)
+                .field("ddr_max_rows", &self.ddr_max_rows)
+                .field("kd", &self.kd)
+                .field("eval_k", &self.eval_k)
+                .field("threads", &self.threads)
+                .field("seed", &self.seed)
+                .field("drop_prob", &self.drop_prob);
+        });
     }
 }
 
@@ -257,5 +491,73 @@ mod tests {
     fn ml_defaults_use_small_dims() {
         let cfg = TrainConfig::paper_defaults(ModelKind::LightGcn, DatasetProfile::MovieLens);
         assert_eq!(cfg.dims.as_array(), [8, 16, 32]);
+    }
+
+    #[test]
+    fn defaults_validate_cleanly() {
+        TrainConfig::paper_defaults(ModelKind::Ncf, DatasetProfile::Douban)
+            .validate()
+            .unwrap();
+        TrainConfig::test_default(ModelKind::LightGcn)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields_with_the_field_name() {
+        let base = TrainConfig::test_default(ModelKind::Ncf);
+        let cases: Vec<(&str, Box<dyn Fn(&mut TrainConfig)>)> = vec![
+            ("epochs", Box::new(|c| c.epochs = 0)),
+            ("clients_per_round", Box::new(|c| c.clients_per_round = 0)),
+            ("local_epochs", Box::new(|c| c.local_epochs = 0)),
+            ("negatives", Box::new(|c| c.negatives = 0)),
+            ("eval_k", Box::new(|c| c.eval_k = 0)),
+            ("threads", Box::new(|c| c.threads = 0)),
+            ("ddr_max_rows", Box::new(|c| c.ddr_max_rows = 1)),
+            ("local_lr", Box::new(|c| c.local_lr = 0.0)),
+            ("user_lr", Box::new(|c| c.user_lr = f32::NAN)),
+            ("server_lr", Box::new(|c| c.server_lr = -1.0)),
+            ("alpha", Box::new(|c| c.alpha = f32::INFINITY)),
+            ("udl_aux_weight", Box::new(|c| c.udl_aux_weight = -0.5)),
+            ("kd.items", Box::new(|c| c.kd.items = 0)),
+            ("kd.steps", Box::new(|c| c.kd.steps = 0)),
+            ("kd.lr", Box::new(|c| c.kd.lr = 0.0)),
+            ("drop_prob", Box::new(|c| c.drop_prob = 1.0)),
+        ];
+        for (field, mutate) in cases {
+            let mut cfg = base.clone();
+            mutate(&mut cfg);
+            let err = cfg.validate().expect_err(field);
+            assert_eq!(err.field, field, "{err}");
+        }
+    }
+
+    #[test]
+    fn config_json_roundtrips_exactly() {
+        use hf_tensor::ser::{parse_json, ToJson};
+        let mut cfg = TrainConfig::paper_defaults(ModelKind::LightGcn, DatasetProfile::Douban);
+        cfg.server_opt = ServerOpt::Adam;
+        cfg.item_agg_norm = ItemAggNorm::Mean;
+        cfg.drop_prob = 0.25;
+        cfg.local_lr = 1.0 / 3.0;
+        let back = TrainConfig::from_json(&parse_json(&cfg.to_json()).unwrap()).unwrap();
+        assert_eq!(back.model, cfg.model);
+        assert_eq!(back.dims, cfg.dims);
+        assert_eq!(back.ratio, cfg.ratio);
+        assert_eq!(back.epochs, cfg.epochs);
+        assert_eq!(back.server_opt, cfg.server_opt);
+        assert_eq!(back.item_agg_norm, cfg.item_agg_norm);
+        assert_eq!(back.local_lr.to_bits(), cfg.local_lr.to_bits());
+        assert_eq!(back.drop_prob.to_bits(), cfg.drop_prob.to_bits());
+        assert_eq!(back.seed, cfg.seed);
+    }
+
+    #[test]
+    fn config_from_json_revalidates() {
+        use hf_tensor::ser::{parse_json, ToJson};
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.epochs = 0;
+        let doc = parse_json(&cfg.to_json()).unwrap();
+        assert!(TrainConfig::from_json(&doc).is_err());
     }
 }

@@ -35,6 +35,24 @@ impl hf_tensor::ser::ToJson for EvalOutput {
 }
 
 impl EvalOutput {
+    /// Restores a checkpointed evaluation.
+    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+        let groups = v.get("per_group")?.as_arr()?;
+        if groups.len() != 3 {
+            return Err(hf_tensor::ser::JsonError::msg(
+                "per_group must have 3 entries",
+            ));
+        }
+        Ok(Self {
+            overall: EvalResult::from_json(v.get("overall")?)?,
+            per_group: [
+                EvalResult::from_json(&groups[0])?,
+                EvalResult::from_json(&groups[1])?,
+                EvalResult::from_json(&groups[2])?,
+            ],
+        })
+    }
+
     /// Paper-style one-line summary.
     pub fn summary(&self) -> String {
         format!(

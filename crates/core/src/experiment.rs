@@ -2,8 +2,8 @@
 
 use crate::config::TrainConfig;
 use crate::eval::EvalOutput;
+use crate::session::{History, SessionBuilder};
 use crate::strategy::Strategy;
-use crate::trainer::{History, Trainer};
 use hf_dataset::{SplitDataset, Tier};
 use hf_fedsim::comm::CommLedger;
 
@@ -34,27 +34,36 @@ impl hf_tensor::ser::ToJson for ExperimentResult {
     }
 }
 
-/// Trains `strategy` under `cfg` on `split` and collects the artefacts
-/// every table/figure binary consumes.
+/// Trains `strategy` under `cfg` on `split` to completion and collects
+/// the artefacts every table/figure binary consumes.
+///
+/// # Panics
+/// Panics on an invalid configuration; use [`SessionBuilder`] directly
+/// for `Result`-based handling, round events, or checkpointing.
 pub fn run_experiment(
     cfg: &TrainConfig,
     strategy: Strategy,
     split: &SplitDataset,
 ) -> ExperimentResult {
-    let mut trainer = Trainer::new(cfg.clone(), strategy, split.clone());
-    trainer.train();
-    let final_eval = trainer.evaluate();
+    let mut session = SessionBuilder::new(cfg.clone(), strategy, split.clone())
+        .build()
+        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+    session.run();
+    let final_eval = session
+        .final_eval()
+        .cloned()
+        .unwrap_or_else(|| session.evaluate());
     let collapse = [
-        trainer.server().collapse_metric(Tier::Small),
-        trainer.server().collapse_metric(Tier::Medium),
-        trainer.server().collapse_metric(Tier::Large),
+        session.server().collapse_metric(Tier::Small),
+        session.server().collapse_metric(Tier::Medium),
+        session.server().collapse_metric(Tier::Large),
     ];
     ExperimentResult {
         strategy: strategy.name().to_string(),
         final_eval,
-        history: trainer.history().clone(),
+        history: session.history().clone(),
         collapse,
-        comm: trainer.ledger().clone(),
+        comm: session.ledger().clone(),
     }
 }
 

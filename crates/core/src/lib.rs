@@ -22,8 +22,10 @@
 //!    dataset.
 //!
 //! [`strategy`] enumerates the paper's six baselines and the ablation
-//! switches of Table IV; [`trainer`] runs the full federated protocol and
-//! produces the metric histories every experiment binary consumes.
+//! switches of Table IV; [`session`] runs the full federated protocol as
+//! a resumable stepper of typed round/epoch events and produces the
+//! metric histories every experiment binary consumes ([`trainer`] is the
+//! deprecated blocking shim over it).
 
 #![warn(missing_docs)]
 
@@ -34,11 +36,17 @@ pub mod eval;
 pub mod experiment;
 pub mod reskd;
 pub mod server;
+pub mod session;
 pub mod strategy;
 pub mod trainer;
 
-pub use config::{ItemAggNorm, KdConfig, ServerOpt, TierDims, TrainConfig};
+pub use config::{ConfigError, ItemAggNorm, KdConfig, ServerOpt, TierDims, TrainConfig};
 pub use eval::EvalOutput;
 pub use experiment::{run_experiment, ExperimentResult};
+pub use session::{
+    EpochRecord, EpochReport, History, RoundReport, Session, SessionBuilder, SessionError,
+    SessionEvent, StopReason,
+};
 pub use strategy::{Ablation, Strategy};
-pub use trainer::{History, Trainer};
+#[allow(deprecated)]
+pub use trainer::Trainer;

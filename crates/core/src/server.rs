@@ -266,6 +266,103 @@ impl ServerState {
         hf_tensor::stats::singular_value_variance(&self.tables[tier.index()])
     }
 
+    /// Writes the server's *mutable* state (tables, predictors, optimiser
+    /// moments, distillation RNG) as JSON. Config-derived fields are not
+    /// repeated — [`ServerState::from_json`] rebuilds them from the
+    /// configuration stored alongside the snapshot.
+    pub fn snapshot_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("tables", &self.tables)
+                .field("thetas", &self.thetas)
+                .field("item_adam", &self.item_adam.as_ref().map(|a| a.as_slice()))
+                .field(
+                    "theta_adam",
+                    &self.theta_adam.as_ref().map(|a| a.as_slice()),
+                )
+                .field("kd_rng", &self.kd_rng);
+        });
+    }
+
+    /// Restores a server from a [`ServerState::snapshot_json`] snapshot
+    /// plus the run's configuration and strategy.
+    pub fn from_json(
+        v: &hf_tensor::ser::JsonValue,
+        num_items: usize,
+        cfg: &TrainConfig,
+        strategy: Strategy,
+    ) -> Result<Self, hf_tensor::ser::JsonError> {
+        use hf_tensor::ser::JsonError;
+        let read3 = |key: &str| -> Result<[&hf_tensor::ser::JsonValue; 3], JsonError> {
+            let arr = v.get(key)?.as_arr()?;
+            if arr.len() != 3 {
+                return Err(JsonError::msg(format!("`{key}` must have 3 tiers")));
+            }
+            Ok([&arr[0], &arr[1], &arr[2]])
+        };
+        let mut tables = Vec::with_capacity(3);
+        for (tier, t) in Tier::ALL.iter().zip(read3("tables")?) {
+            let m = Matrix::from_json(t)?;
+            if m.rows() != num_items || m.cols() != cfg.dims.dim(*tier) {
+                return Err(JsonError::msg(format!(
+                    "{tier:?} table is {}x{}, expected {num_items}x{}",
+                    m.rows(),
+                    m.cols(),
+                    cfg.dims.dim(*tier)
+                )));
+            }
+            tables.push(m);
+        }
+        let tables: [Matrix; 3] = tables.try_into().expect("length checked");
+
+        let mut thetas = Vec::with_capacity(3);
+        for (tier, t) in Tier::ALL.iter().zip(read3("thetas")?) {
+            let f = Ffn::from_json(t)?;
+            if f.dims() != paper_predictor_dims(cfg.dims.dim(*tier)) {
+                return Err(JsonError::msg(format!("{tier:?} predictor shape mismatch")));
+            }
+            thetas.push(f);
+        }
+        let thetas: [Ffn; 3] = thetas.try_into().expect("length checked");
+
+        let (item_adam, theta_adam) = match cfg.server_opt {
+            ServerOpt::SgdSum => {
+                if !v.get("item_adam")?.is_null() || !v.get("theta_adam")?.is_null() {
+                    return Err(JsonError::msg(
+                        "adam state present but server_opt is sgd_sum",
+                    ));
+                }
+                (None, None)
+            }
+            ServerOpt::Adam => {
+                let mut ia = Vec::with_capacity(3);
+                for t in read3("item_adam")? {
+                    ia.push(SparseRowAdam::from_json(t)?);
+                }
+                let mut ta = Vec::with_capacity(3);
+                for t in read3("theta_adam")? {
+                    ta.push(Adam::from_json(t)?);
+                }
+                let ia: [SparseRowAdam; 3] = ia.try_into().expect("length checked");
+                let ta: [Adam; 3] = ta.try_into().expect("length checked");
+                (Some(Box::new(ia)), Some(Box::new(ta)))
+            }
+        };
+
+        Ok(Self {
+            num_items,
+            dims: cfg.dims,
+            strategy,
+            server_opt: cfg.server_opt,
+            item_agg_norm: cfg.item_agg_norm,
+            server_lr: cfg.server_lr,
+            tables,
+            thetas,
+            item_adam,
+            theta_adam,
+            kd_rng: StdRng::from_json(v.get("kd_rng")?)?,
+        })
+    }
+
     /// Maximum absolute violation of the Eq. 10 prefix invariant
     /// (`Vs = Vm[:Ns] = Vl[:Ns]`, `Vm = Vl[:Nm]`). Exactly zero while
     /// distillation is disabled; grows once RESKD perturbs tiers

@@ -1,0 +1,1635 @@
+//! Session-driven federation API.
+//!
+//! The original `Trainer::train()` loop was closed: callers could not
+//! observe rounds, stop early, change evaluation cadence, or resume an
+//! interrupted run. This module redesigns the orchestration layer around
+//! three pieces:
+//!
+//! * [`SessionBuilder`] — fluent construction with up-front configuration
+//!   validation that returns [`SessionError`] instead of panicking deep
+//!   inside the run.
+//! * [`Session`] — the federation loop exposed as a *stepper* of typed
+//!   events: every [`Session::step`] (or iteration of
+//!   [`Session::events`]) yields a [`RoundReport`] or an [`EpochReport`],
+//!   with observer hooks, configurable eval cadence, and built-in early
+//!   stopping on an NDCG plateau.
+//! * Checkpoint/resume — [`Session::checkpoint`] writes a versioned JSON
+//!   snapshot of *all* mutable state (server tables and predictors,
+//!   optimiser moments, every client's private state, scheduler queue and
+//!   RNG, fault injector, communication ledger, round counter, mid-epoch
+//!   cohort queue, history) via `hf_tensor::ser`; restoring it resumes
+//!   the run **bit-identically** — a checkpointed-and-resumed run
+//!   produces exactly the same `EvalOutput` as an uninterrupted one.
+//!
+//! Observer hooks and eval/early-stop *settings* live on the builder and
+//! are not part of a checkpoint (closures cannot be serialised); re-apply
+//! them when resuming.
+
+use crate::client::{train_client, ClientCtx, ClientOutcome, UserState};
+use crate::config::{ConfigError, TrainConfig};
+use crate::eval::{evaluate, EvalOutput};
+use crate::server::ServerState;
+use crate::strategy::Strategy;
+use hf_dataset::{ClientGroups, SplitDataset, Tier};
+use hf_fedsim::comm::{CommLedger, RoundCost};
+use hf_fedsim::faults::FaultInjector;
+use hf_fedsim::parallel::parallel_map;
+use hf_fedsim::scheduler::RoundScheduler;
+use hf_fedsim::transport::ClientUpdate;
+use hf_models::Ffn;
+use hf_tensor::ser::{obj, parse_json, JsonError, JsonValue, ToJson};
+use std::collections::VecDeque;
+
+/// Checkpoint document identifier.
+const CHECKPOINT_FORMAT: &str = "hetefedrec.checkpoint";
+/// Current checkpoint schema version.
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// Why a [`SessionBuilder`] refused to produce a session, or a checkpoint
+/// refused to restore.
+#[derive(Clone, Debug)]
+pub enum SessionError {
+    /// A configuration field failed validation.
+    Config(ConfigError),
+    /// The split dataset has no clients to schedule.
+    EmptyPopulation,
+    /// An early-stopping patience of zero would stop after the first
+    /// evaluation regardless of its value.
+    ZeroPatience,
+    /// The checkpoint document is malformed, the wrong format/version, or
+    /// inconsistent with the configuration it carries.
+    Checkpoint(String),
+    /// The checkpoint was taken against a differently-shaped dataset.
+    DatasetMismatch {
+        /// Users recorded in the checkpoint.
+        expected_users: usize,
+        /// Users in the provided split.
+        actual_users: usize,
+        /// Items recorded in the checkpoint.
+        expected_items: usize,
+        /// Items in the provided split.
+        actual_items: usize,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Config(e) => write!(f, "{e}"),
+            SessionError::EmptyPopulation => write!(f, "split dataset has no clients"),
+            SessionError::ZeroPatience => {
+                write!(f, "early-stopping patience must be at least 1")
+            }
+            SessionError::Checkpoint(msg) => write!(f, "bad checkpoint: {msg}"),
+            SessionError::DatasetMismatch {
+                expected_users,
+                actual_users,
+                expected_items,
+                actual_items,
+            } => write!(
+                f,
+                "checkpoint was taken on {expected_users} users / {expected_items} items, \
+                 but the provided split has {actual_users} users / {actual_items} items"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ConfigError> for SessionError {
+    fn from(e: ConfigError) -> Self {
+        SessionError::Config(e)
+    }
+}
+
+impl From<JsonError> for SessionError {
+    fn from(e: JsonError) -> Self {
+        SessionError::Checkpoint(e.to_string())
+    }
+}
+
+/// One completed federation round (a cohort trained, aggregated, and —
+/// under full HeteFedRec — distilled).
+#[derive(Clone, Debug)]
+pub struct RoundReport {
+    /// Global 1-based round counter (monotone across epochs and resumes).
+    pub round: u64,
+    /// 1-based epoch this round belongs to.
+    pub epoch: usize,
+    /// 1-based position within the epoch.
+    pub round_in_epoch: usize,
+    /// Total rounds this epoch will run.
+    pub rounds_in_epoch: usize,
+    /// Clients selected this round.
+    pub cohort: usize,
+    /// Mean local training loss per sample this round (0 when no samples).
+    pub loss: f64,
+    /// (item, label) samples processed this round.
+    pub samples: usize,
+    /// Uploads accepted into aggregation (cohort minus strategy-filtered,
+    /// dropped, and empty updates).
+    pub accepted: usize,
+    /// Bytes downloaded by this round's cohort.
+    pub download_bytes: u64,
+    /// Bytes uploaded by this round's accepted clients.
+    pub upload_bytes: u64,
+}
+
+impl ToJson for RoundReport {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("round", &self.round)
+                .field("epoch", &self.epoch)
+                .field("round_in_epoch", &self.round_in_epoch)
+                .field("rounds_in_epoch", &self.rounds_in_epoch)
+                .field("cohort", &self.cohort)
+                .field("loss", &self.loss)
+                .field("samples", &self.samples)
+                .field("accepted", &self.accepted)
+                .field("download_bytes", &self.download_bytes)
+                .field("upload_bytes", &self.upload_bytes);
+        });
+    }
+}
+
+/// One completed epoch (a full traversal of the client queue).
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Mean local training loss across the epoch's client selections.
+    pub train_loss: f64,
+    /// Post-epoch evaluation — `Some` when the eval cadence hit this
+    /// epoch (always on the final configured epoch unless cadence is 0).
+    pub eval: Option<EvalOutput>,
+}
+
+impl ToJson for EpochReport {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("epoch", &self.epoch)
+                .field("train_loss", &self.train_loss)
+                .field("eval", &self.eval);
+        });
+    }
+}
+
+/// A typed event yielded by the session stepper.
+#[derive(Clone, Debug)]
+pub enum SessionEvent {
+    /// A federation round completed.
+    Round(RoundReport),
+    /// An epoch boundary was crossed.
+    Epoch(EpochReport),
+}
+
+/// Why a session stopped stepping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// All configured epochs ran.
+    Completed,
+    /// The NDCG plateau detector fired after `epoch`.
+    EarlyStopped {
+        /// Epoch after which training stopped.
+        epoch: usize,
+    },
+    /// [`Session::request_stop`] was honoured after `epoch`.
+    Requested {
+        /// Epoch after which training stopped.
+        epoch: usize,
+    },
+}
+
+impl ToJson for StopReason {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            match self {
+                StopReason::Completed => o.field("reason", &"completed"),
+                StopReason::EarlyStopped { epoch } => {
+                    o.field("reason", &"early_stopped").field("epoch", epoch)
+                }
+                StopReason::Requested { epoch } => {
+                    o.field("reason", &"requested").field("epoch", epoch)
+                }
+            };
+        });
+    }
+}
+
+impl StopReason {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v.get("reason")?.as_str()? {
+            "completed" => Ok(StopReason::Completed),
+            "early_stopped" => Ok(StopReason::EarlyStopped {
+                epoch: v.get("epoch")?.as_usize()?,
+            }),
+            "requested" => Ok(StopReason::Requested {
+                epoch: v.get("epoch")?.as_usize()?,
+            }),
+            other => Err(JsonError::msg(format!("unknown stop reason `{other}`"))),
+        }
+    }
+}
+
+/// Per-epoch record for convergence curves (Fig. 7).
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Mean local training loss across all client selections.
+    pub train_loss: f64,
+    /// Post-epoch evaluation.
+    pub eval: EvalOutput,
+}
+
+impl ToJson for EpochRecord {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("epoch", &self.epoch)
+                .field("train_loss", &self.train_loss)
+                .field("eval", &self.eval);
+        });
+    }
+}
+
+impl EpochRecord {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Self {
+            epoch: v.get("epoch")?.as_usize()?,
+            train_loss: v.get("train_loss")?.as_f64()?,
+            eval: EvalOutput::from_json(v.get("eval")?)?,
+        })
+    }
+}
+
+/// Metric history across a training run (one record per *evaluated*
+/// epoch; with the default cadence of 1 that is every epoch).
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    /// One record per evaluated epoch.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl ToJson for History {
+    fn write_json(&self, out: &mut String) {
+        self.epochs.write_json(out);
+    }
+}
+
+impl History {
+    /// The best NDCG reached and the epoch it occurred in. NaN entries
+    /// (diverged runs) rank lowest instead of aborting, so diagnostics
+    /// survive divergence; the result is NaN only when *every* epoch
+    /// diverged.
+    pub fn best_ndcg(&self) -> Option<(usize, f64)> {
+        self.epochs
+            .iter()
+            .map(|e| (e.epoch, e.eval.overall.ndcg))
+            .max_by(|a, b| {
+                // total_cmp ranks NaN above +inf; push it below -inf
+                // instead so a diverged epoch never wins.
+                match (a.1.is_nan(), b.1.is_nan()) {
+                    (true, true) => std::cmp::Ordering::Equal,
+                    (true, false) => std::cmp::Ordering::Less,
+                    (false, true) => std::cmp::Ordering::Greater,
+                    (false, false) => a.1.total_cmp(&b.1),
+                }
+            })
+    }
+
+    /// The final evaluated epoch's evaluation.
+    pub fn final_eval(&self) -> Option<&EvalOutput> {
+        self.epochs.last().map(|e| &e.eval)
+    }
+
+    /// Restores a checkpointed history.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let epochs = v
+            .as_arr()?
+            .iter()
+            .map(EpochRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { epochs })
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct EarlyStopConfig {
+    patience: usize,
+    min_delta: f64,
+}
+
+type RoundHook = Box<dyn FnMut(&RoundReport)>;
+type EpochHook = Box<dyn FnMut(&EpochReport)>;
+
+/// Fluent constructor for a [`Session`].
+///
+/// ```
+/// use hetefedrec_core::{Ablation, SessionBuilder, Strategy, TrainConfig};
+/// use hf_dataset::{SplitDataset, SyntheticConfig};
+/// use hf_models::ModelKind;
+///
+/// let data = SyntheticConfig::tiny().generate(7);
+/// let split = SplitDataset::paper_split(&data, 7);
+/// let cfg = TrainConfig::test_default(ModelKind::Ncf);
+/// let mut session = SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split)
+///     .eval_every(1)
+///     .build()
+///     .expect("valid configuration");
+/// let history = session.run();
+/// assert_eq!(history.epochs.len(), session.cfg().epochs);
+/// ```
+pub struct SessionBuilder {
+    cfg: TrainConfig,
+    strategy: Strategy,
+    split: SplitDataset,
+    eval_every: usize,
+    early_stop: Option<EarlyStopConfig>,
+    round_hooks: Vec<RoundHook>,
+    epoch_hooks: Vec<EpochHook>,
+    checkpoint: Option<JsonValue>,
+}
+
+impl SessionBuilder {
+    /// Starts a builder for a fresh run.
+    pub fn new(cfg: TrainConfig, strategy: Strategy, split: SplitDataset) -> Self {
+        Self {
+            cfg,
+            strategy,
+            split,
+            eval_every: 1,
+            early_stop: None,
+            round_hooks: Vec::new(),
+            epoch_hooks: Vec::new(),
+            checkpoint: None,
+        }
+    }
+
+    /// Starts a builder that will *resume* from a [`Session::checkpoint`]
+    /// document. Configuration and strategy come from the checkpoint; the
+    /// caller supplies the (identically generated) split dataset plus any
+    /// observers, cadence, or early-stopping settings, then calls
+    /// [`SessionBuilder::build`].
+    pub fn from_checkpoint(json: &str, split: SplitDataset) -> Result<Self, SessionError> {
+        let doc = parse_json(json)?;
+        let format = doc.get("format")?.as_str()?;
+        if format != CHECKPOINT_FORMAT {
+            return Err(SessionError::Checkpoint(format!(
+                "unknown format `{format}`"
+            )));
+        }
+        let version = doc.get("version")?.as_u64()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(SessionError::Checkpoint(format!(
+                "unsupported version {version} (this build reads {CHECKPOINT_VERSION})"
+            )));
+        }
+        let cfg = TrainConfig::from_json(doc.get("cfg")?)?;
+        let strategy = Strategy::from_json(doc.get("strategy")?)?;
+        Ok(Self {
+            cfg,
+            strategy,
+            split,
+            eval_every: 1,
+            early_stop: None,
+            round_hooks: Vec::new(),
+            epoch_hooks: Vec::new(),
+            checkpoint: Some(doc),
+        })
+    }
+
+    /// [`SessionBuilder::from_checkpoint`] reading the document from a
+    /// file.
+    pub fn from_checkpoint_file(
+        path: impl AsRef<std::path::Path>,
+        split: SplitDataset,
+    ) -> Result<Self, SessionError> {
+        let json = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| SessionError::Checkpoint(format!("cannot read checkpoint: {e}")))?;
+        Self::from_checkpoint(&json, split)
+    }
+
+    /// Evaluate every `n` epochs (default 1). The final configured epoch
+    /// is always evaluated so a completed run has a final eval; `0`
+    /// disables automatic evaluation entirely (callers can still call
+    /// [`Session::evaluate`]).
+    pub fn eval_every(mut self, n: usize) -> Self {
+        self.eval_every = n;
+        self
+    }
+
+    /// Stop after `patience` consecutive evaluations without an NDCG
+    /// improvement greater than `min_delta` over the best seen so far.
+    /// Requires `patience >= 1` (checked at build).
+    pub fn early_stopping(mut self, patience: usize, min_delta: f64) -> Self {
+        self.early_stop = Some(EarlyStopConfig {
+            patience,
+            min_delta,
+        });
+        self
+    }
+
+    /// Registers a per-round observer, called after every completed round.
+    pub fn on_round(mut self, hook: impl FnMut(&RoundReport) + 'static) -> Self {
+        self.round_hooks.push(Box::new(hook));
+        self
+    }
+
+    /// Registers a per-epoch observer, called at every epoch boundary.
+    pub fn on_epoch(mut self, hook: impl FnMut(&EpochReport) + 'static) -> Self {
+        self.epoch_hooks.push(Box::new(hook));
+        self
+    }
+
+    /// Overrides the worker-thread count (results are bit-identical for
+    /// every thread count, so this is always safe — including when
+    /// resuming a checkpoint taken under a different setting).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Validates the configuration and produces a [`Session`] — fresh, or
+    /// restored when the builder came from a checkpoint.
+    pub fn build(self) -> Result<Session, SessionError> {
+        self.cfg.validate()?;
+        if self.split.num_users() == 0 {
+            return Err(SessionError::EmptyPopulation);
+        }
+        if let Some(es) = &self.early_stop {
+            if es.patience == 0 {
+                return Err(SessionError::ZeroPatience);
+            }
+        }
+        let Self {
+            cfg,
+            strategy,
+            split,
+            eval_every,
+            early_stop,
+            round_hooks,
+            epoch_hooks,
+            checkpoint,
+        } = self;
+
+        let model_groups = strategy.assign_tiers(&split, cfg.ratio);
+        let data_groups = ClientGroups::divide(&split, cfg.ratio);
+
+        let mut session = match checkpoint {
+            None => {
+                let server = ServerState::new(split.num_items(), &cfg, strategy);
+                let users = (0..split.num_users())
+                    .map(|u| {
+                        let tier = model_groups.tier(u);
+                        let standalone_theta = matches!(strategy, Strategy::Standalone)
+                            .then(|| server.theta(tier).clone());
+                        UserState::init(u, cfg.dims.dim(tier), &cfg, standalone_theta)
+                    })
+                    .collect();
+                let scheduler =
+                    RoundScheduler::new(split.num_users(), cfg.clients_per_round, cfg.seed);
+                let faults = if cfg.drop_prob > 0.0 {
+                    FaultInjector::new(cfg.seed, cfg.drop_prob)
+                } else {
+                    FaultInjector::disabled()
+                };
+                Session {
+                    cfg,
+                    strategy,
+                    split,
+                    server,
+                    users,
+                    model_groups,
+                    data_groups,
+                    scheduler,
+                    faults,
+                    ledger: CommLedger::default(),
+                    round_counter: 0,
+                    history: History::default(),
+                    epoch: 0,
+                    in_epoch: false,
+                    pending: VecDeque::new(),
+                    rounds_in_epoch: 0,
+                    round_in_epoch: 0,
+                    epoch_loss_sum: 0.0,
+                    epoch_sample_sum: 0,
+                    finished: None,
+                    stop_requested: false,
+                    best_ndcg: None,
+                    evals_since_improvement: 0,
+                    eval_every: 1,
+                    early_stop: None,
+                    round_hooks: Vec::new(),
+                    epoch_hooks: Vec::new(),
+                }
+            }
+            Some(doc) => {
+                Session::restore_parts(&doc, cfg, strategy, split, model_groups, data_groups)?
+            }
+        };
+        session.eval_every = eval_every;
+        session.early_stop = early_stop;
+        session.round_hooks = round_hooks;
+        session.epoch_hooks = epoch_hooks;
+        Ok(session)
+    }
+}
+
+/// A resumable federated training run.
+///
+/// Construct via [`SessionBuilder`]; drive it with [`Session::step`] /
+/// [`Session::events`] for event-by-event control, [`Session::run_epoch`]
+/// for epoch-at-a-time control, or [`Session::run`] to completion.
+pub struct Session {
+    cfg: TrainConfig,
+    strategy: Strategy,
+    split: SplitDataset,
+    server: ServerState,
+    users: Vec<UserState>,
+    /// Tier each client's *model* has (strategy-dependent).
+    model_groups: ClientGroups,
+    /// Tier each client's *data volume* implies (always the ratio
+    /// division; drives Fig. 6 reporting and exclusive filtering).
+    data_groups: ClientGroups,
+    scheduler: RoundScheduler,
+    faults: FaultInjector,
+    ledger: CommLedger,
+    round_counter: u64,
+    history: History,
+    // --- stepper state (checkpointed) ---
+    /// 1-based epoch currently in progress (0 before the first step).
+    epoch: usize,
+    in_epoch: bool,
+    pending: VecDeque<Vec<usize>>,
+    rounds_in_epoch: usize,
+    round_in_epoch: usize,
+    epoch_loss_sum: f64,
+    epoch_sample_sum: usize,
+    finished: Option<StopReason>,
+    stop_requested: bool,
+    best_ndcg: Option<f64>,
+    evals_since_improvement: usize,
+    // --- observers (builder-side; not checkpointed) ---
+    eval_every: usize,
+    early_stop: Option<EarlyStopConfig>,
+    round_hooks: Vec<RoundHook>,
+    epoch_hooks: Vec<EpochHook>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Hooks are opaque closures; summarise the run state instead.
+        f.debug_struct("Session")
+            .field("strategy", &self.strategy.name())
+            .field("epoch", &self.epoch)
+            .field("round_counter", &self.round_counter)
+            .field("in_epoch", &self.in_epoch)
+            .field("finished", &self.finished)
+            .field("users", &self.users.len())
+            .field("history_epochs", &self.history.epochs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    // -- accessors ----------------------------------------------------------
+
+    /// The active configuration.
+    pub fn cfg(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Server state (public parameters).
+    pub fn server(&self) -> &ServerState {
+        &self.server
+    }
+
+    /// The split dataset this run trains on.
+    pub fn split(&self) -> &SplitDataset {
+        &self.split
+    }
+
+    /// Every client's private state.
+    pub fn users(&self) -> &[UserState] {
+        &self.users
+    }
+
+    /// One client's private state (user embedding and, in standalone
+    /// mode, its local model) — the serving path reads this.
+    pub fn user_state(&self, user: usize) -> &UserState {
+        &self.users[user]
+    }
+
+    /// The model-tier assignment.
+    pub fn model_groups(&self) -> &ClientGroups {
+        &self.model_groups
+    }
+
+    /// The data-size division (Fig. 6 buckets).
+    pub fn data_groups(&self) -> &ClientGroups {
+        &self.data_groups
+    }
+
+    /// Communication ledger accumulated so far.
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// History of evaluated epochs.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Global rounds executed so far.
+    pub fn rounds_completed(&self) -> u64 {
+        self.round_counter
+    }
+
+    /// Epochs fully completed so far.
+    pub fn epochs_completed(&self) -> usize {
+        if self.in_epoch {
+            self.epoch.saturating_sub(1)
+        } else {
+            self.epoch
+        }
+    }
+
+    /// Why the session stopped, once it has.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.finished
+    }
+
+    /// `true` once the event stream is exhausted.
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// The last evaluation recorded in the history, if any.
+    pub fn final_eval(&self) -> Option<&EvalOutput> {
+        self.history.final_eval()
+    }
+
+    // -- driving ------------------------------------------------------------
+
+    /// Executes the next unit of work and reports it: the next round, or
+    /// — when an epoch's cohorts are exhausted — the epoch boundary
+    /// (evaluation per cadence, history append, early-stop bookkeeping).
+    /// Returns `None` once the session has finished.
+    pub fn step(&mut self) -> Option<SessionEvent> {
+        if self.finished.is_some() {
+            return None;
+        }
+        if !self.in_epoch {
+            self.start_epoch();
+        }
+        if let Some(cohort) = self.pending.pop_front() {
+            self.round_counter += 1;
+            self.round_in_epoch += 1;
+            let (report, loss_sum) = self.run_round(&cohort);
+            self.epoch_loss_sum += loss_sum;
+            self.epoch_sample_sum += report.samples;
+            for hook in &mut self.round_hooks {
+                hook(&report);
+            }
+            return Some(SessionEvent::Round(report));
+        }
+        Some(SessionEvent::Epoch(self.finish_epoch()))
+    }
+
+    /// Iterator view over [`Session::step`] — `for event in session.events()`.
+    pub fn events(&mut self) -> Events<'_> {
+        Events { session: self }
+    }
+
+    /// Drives the session to completion (configured epochs, early stop,
+    /// or a requested stop) and returns the accumulated history.
+    pub fn run(&mut self) -> &History {
+        while self.step().is_some() {}
+        &self.history
+    }
+
+    /// Runs exactly one epoch and returns its mean training loss.
+    ///
+    /// Manual epoch driving deliberately ignores the `cfg.epochs` horizon
+    /// (and any previous stop): each call forces one more full epoch, so
+    /// exploratory callers can keep training past the configured end.
+    pub fn run_epoch(&mut self) -> f64 {
+        self.finished = None;
+        loop {
+            match self.step() {
+                Some(SessionEvent::Epoch(report)) => return report.train_loss,
+                Some(SessionEvent::Round(_)) => {}
+                // `finished` was just cleared and step() only yields None
+                // when it is set; the epoch report above returns first.
+                None => unreachable!("step() must produce an epoch report"),
+            }
+        }
+    }
+
+    /// Asks the session to stop at the next epoch boundary. The stepper
+    /// then reports [`StopReason::Requested`] and yields `None`.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Changes the evaluation cadence mid-run (see
+    /// [`SessionBuilder::eval_every`]). Lets long runs cheapen
+    /// intermediate epochs once the curve is understood — and lets
+    /// [`Trainer`](crate::trainer::Trainer) shim users opt out of the
+    /// session's default per-epoch evaluation
+    /// (`trainer.session().set_eval_every(0)`).
+    pub fn set_eval_every(&mut self, n: usize) {
+        self.eval_every = n;
+    }
+
+    /// Evaluates the current model state (does not advance the run).
+    pub fn evaluate(&self) -> EvalOutput {
+        evaluate(
+            &self.cfg,
+            self.strategy,
+            &self.split,
+            &self.server,
+            &self.users,
+            &self.model_groups,
+            &self.data_groups,
+        )
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    fn start_epoch(&mut self) {
+        self.epoch += 1;
+        let rounds = self.scheduler.next_epoch();
+        self.rounds_in_epoch = rounds.len();
+        self.round_in_epoch = 0;
+        self.pending = rounds.into();
+        self.epoch_loss_sum = 0.0;
+        self.epoch_sample_sum = 0;
+        self.in_epoch = true;
+    }
+
+    fn should_eval(&self) -> bool {
+        if self.eval_every == 0 {
+            return false;
+        }
+        // The final *configured* epoch always evaluates; epochs driven
+        // past the horizon via run_epoch follow the cadence alone.
+        self.epoch % self.eval_every == 0 || self.epoch == self.cfg.epochs
+    }
+
+    fn finish_epoch(&mut self) -> EpochReport {
+        let train_loss = if self.epoch_sample_sum == 0 {
+            0.0
+        } else {
+            self.epoch_loss_sum / self.epoch_sample_sum as f64
+        };
+        let eval = self.should_eval().then(|| self.evaluate());
+        if let Some(e) = &eval {
+            self.history.epochs.push(EpochRecord {
+                epoch: self.epoch,
+                train_loss,
+                eval: e.clone(),
+            });
+            self.note_eval(e.overall.ndcg);
+        }
+        self.in_epoch = false;
+
+        let plateaued = self
+            .early_stop
+            .is_some_and(|es| eval.is_some() && self.evals_since_improvement >= es.patience);
+        if self.stop_requested {
+            self.finished = Some(StopReason::Requested { epoch: self.epoch });
+        } else if plateaued {
+            self.finished = Some(StopReason::EarlyStopped { epoch: self.epoch });
+        } else if self.epoch >= self.cfg.epochs {
+            self.finished = Some(StopReason::Completed);
+        }
+
+        let report = EpochReport {
+            epoch: self.epoch,
+            train_loss,
+            eval,
+        };
+        for hook in &mut self.epoch_hooks {
+            hook(&report);
+        }
+        report
+    }
+
+    fn note_eval(&mut self, ndcg: f64) {
+        let min_delta = self.early_stop.map(|es| es.min_delta).unwrap_or(0.0);
+        // A NaN eval (diverged run) never counts as an improvement, and a
+        // NaN never becomes the best — otherwise `ndcg > NaN + δ` is false
+        // forever and one transient divergence would poison the plateau
+        // detector (and `Some(NaN)` would round-trip through a checkpoint
+        // as `None`, breaking resume bit-identity of the early-stop state).
+        let improved = !ndcg.is_nan()
+            && match self.best_ndcg {
+                None => true,
+                Some(best) => best.is_nan() || ndcg > best + min_delta,
+            };
+        if improved {
+            self.best_ndcg = Some(ndcg);
+            self.evals_since_improvement = 0;
+        } else {
+            self.evals_since_improvement += 1;
+        }
+    }
+
+    /// Executes one round over the given client cohort, returning the
+    /// report plus the raw loss sum (kept separate so the epoch mean
+    /// accumulates exactly the per-sample sums, in round order).
+    fn run_round(&mut self, cohort: &[usize]) -> (RoundReport, f64) {
+        let udl = self.strategy.ablation().udl;
+        // Per-tier download bundles, cloned once per round.
+        let tier_thetas: [Vec<Ffn>; 3] = [
+            self.server.thetas_for(Tier::Small, udl),
+            self.server.thetas_for(Tier::Medium, udl),
+            self.server.thetas_for(Tier::Large, udl),
+        ];
+        let tier_tags: [Vec<Tier>; 3] = [
+            theta_tiers(Tier::Small, udl),
+            theta_tiers(Tier::Medium, udl),
+            theta_tiers(Tier::Large, udl),
+        ];
+
+        let cfg = &self.cfg;
+        let strategy = self.strategy;
+        let split = &self.split;
+        let server = &self.server;
+        let users = &self.users;
+        let model_groups = &self.model_groups;
+        let round_key = self.round_counter;
+
+        let outcomes: Vec<ClientOutcome> = parallel_map(cohort, cfg.threads, |&uid| {
+            let tier = model_groups.tier(uid);
+            let ctx = ClientCtx {
+                cfg,
+                strategy,
+                split,
+                user_id: uid,
+                model_tier: tier,
+                table: server.table(tier),
+                thetas: &tier_thetas[tier.index()],
+                theta_tiers: &tier_tags[tier.index()],
+                round_key,
+            };
+            train_client(&ctx, &users[uid])
+        });
+
+        let mut accepted: Vec<(Tier, ClientUpdate)> = Vec::new();
+        let mut loss_sum = 0.0;
+        let mut sample_sum = 0usize;
+        let mut round_download = 0u64;
+        let mut round_upload = 0u64;
+        for (&uid, outcome) in cohort.iter().zip(outcomes) {
+            let model_tier = self.model_groups.tier(uid);
+            let data_tier = self.data_groups.tier(uid);
+            // Download accounting: tier table + every downloaded predictor.
+            let theta_sizes: Vec<usize> = tier_thetas[model_tier.index()]
+                .iter()
+                .map(Ffn::num_params)
+                .collect();
+            let download = RoundCost::dense(
+                self.split.num_items(),
+                self.cfg.dims.dim(model_tier),
+                &theta_sizes,
+            );
+            self.ledger.record_download(download.bytes());
+            round_download += download.bytes() as u64;
+
+            loss_sum += outcome.loss;
+            sample_sum += outcome.samples;
+            self.users[uid] = outcome.state;
+
+            if self.strategy.accepts_update(data_tier)
+                && !self.faults.drops(self.round_counter, uid)
+                && !(outcome.update.items.is_empty() && outcome.update.thetas.is_empty())
+            {
+                let bytes = outcome.update.encoded_len();
+                self.ledger.record_upload(bytes);
+                round_upload += bytes as u64;
+                accepted.push((model_tier, outcome.update));
+            }
+        }
+
+        let accepted_count = accepted.len();
+        self.server.apply_round(&accepted);
+        if self.strategy.ablation().reskd {
+            self.server.distill(&self.cfg.kd, self.cfg.threads);
+        }
+        let report = RoundReport {
+            round: self.round_counter,
+            epoch: self.epoch,
+            round_in_epoch: self.round_in_epoch,
+            rounds_in_epoch: self.rounds_in_epoch,
+            cohort: cohort.len(),
+            loss: if sample_sum == 0 {
+                0.0
+            } else {
+                loss_sum / sample_sum as f64
+            },
+            samples: sample_sum,
+            accepted: accepted_count,
+            download_bytes: round_download,
+            upload_bytes: round_upload,
+        };
+        (report, loss_sum)
+    }
+
+    // -- checkpointing ------------------------------------------------------
+
+    /// Serialises the session's complete mutable state as a versioned
+    /// JSON document. Restoring it (on an identically generated split)
+    /// resumes the run bit-identically — even mid-epoch, and regardless
+    /// of the thread count on either side.
+    pub fn checkpoint(&self) -> String {
+        struct Pending<'a>(&'a VecDeque<Vec<usize>>);
+        impl ToJson for Pending<'_> {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                for (i, cohort) in self.0.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    cohort.write_json(out);
+                }
+                out.push(']');
+            }
+        }
+        struct Server<'a>(&'a ServerState);
+        impl ToJson for Server<'_> {
+            fn write_json(&self, out: &mut String) {
+                self.0.snapshot_json(out);
+            }
+        }
+        let mut out = String::new();
+        obj(&mut out, |o| {
+            o.field("format", &CHECKPOINT_FORMAT)
+                .field("version", &CHECKPOINT_VERSION)
+                .field("cfg", &self.cfg)
+                .field("strategy", &self.strategy)
+                .field("num_users", &self.split.num_users())
+                .field("num_items", &self.split.num_items())
+                .field("round_counter", &self.round_counter)
+                .field("epoch", &self.epoch)
+                .field("in_epoch", &self.in_epoch)
+                .field("pending", &Pending(&self.pending))
+                .field("rounds_in_epoch", &self.rounds_in_epoch)
+                .field("round_in_epoch", &self.round_in_epoch)
+                .field("epoch_loss_sum", &self.epoch_loss_sum)
+                .field("epoch_sample_sum", &self.epoch_sample_sum)
+                .field("finished", &self.finished)
+                .field("stop_requested", &self.stop_requested)
+                .field("best_ndcg", &self.best_ndcg)
+                .field("evals_since_improvement", &self.evals_since_improvement)
+                .field("ledger", &self.ledger)
+                .field("scheduler", &self.scheduler)
+                .field("faults", &self.faults)
+                .field("server", &Server(&self.server))
+                .field("users", &self.users)
+                .field("history", &self.history);
+        });
+        out
+    }
+
+    /// Writes [`Session::checkpoint`] to a file, creating parent
+    /// directories as needed.
+    pub fn write_checkpoint(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut doc = self.checkpoint();
+        doc.push('\n');
+        std::fs::write(path, doc)
+    }
+
+    /// Restores a session from a [`Session::checkpoint`] document with
+    /// default observer settings. Use [`SessionBuilder::from_checkpoint`]
+    /// to re-attach hooks, cadence, or early stopping.
+    pub fn restore(json: &str, split: SplitDataset) -> Result<Self, SessionError> {
+        SessionBuilder::from_checkpoint(json, split)?.build()
+    }
+
+    fn restore_parts(
+        doc: &JsonValue,
+        cfg: TrainConfig,
+        strategy: Strategy,
+        split: SplitDataset,
+        model_groups: ClientGroups,
+        data_groups: ClientGroups,
+    ) -> Result<Self, SessionError> {
+        let expected_users = doc.get("num_users")?.as_usize()?;
+        let expected_items = doc.get("num_items")?.as_usize()?;
+        if expected_users != split.num_users() || expected_items != split.num_items() {
+            return Err(SessionError::DatasetMismatch {
+                expected_users,
+                actual_users: split.num_users(),
+                expected_items,
+                actual_items: split.num_items(),
+            });
+        }
+
+        let server = ServerState::from_json(doc.get("server")?, split.num_items(), &cfg, strategy)?;
+        let users_json = doc.get("users")?.as_arr()?;
+        if users_json.len() != split.num_users() {
+            return Err(SessionError::Checkpoint(format!(
+                "{} user states for {} users",
+                users_json.len(),
+                split.num_users()
+            )));
+        }
+        let mut users = Vec::with_capacity(users_json.len());
+        for (u, v) in users_json.iter().enumerate() {
+            let state = UserState::from_json(v)?;
+            let expected_dim = cfg.dims.dim(model_groups.tier(u));
+            if state.emb.len() != expected_dim {
+                return Err(SessionError::Checkpoint(format!(
+                    "user {u} embedding has width {}, expected {expected_dim}",
+                    state.emb.len()
+                )));
+            }
+            users.push(state);
+        }
+
+        let mut pending = VecDeque::new();
+        for cohort in doc.get("pending")?.as_arr()? {
+            let cohort = cohort.as_usize_vec()?;
+            if cohort.iter().any(|&u| u >= split.num_users()) {
+                return Err(SessionError::Checkpoint(
+                    "pending cohort references unknown client".into(),
+                ));
+            }
+            pending.push_back(cohort);
+        }
+
+        let finished = match doc.get("finished")? {
+            v if v.is_null() => None,
+            v => Some(StopReason::from_json(v)?),
+        };
+        let best = doc.get("best_ndcg")?;
+        let best_ndcg = if best.is_null() {
+            None
+        } else {
+            Some(best.as_f64()?)
+        };
+
+        Ok(Session {
+            scheduler: RoundScheduler::from_json(doc.get("scheduler")?)?,
+            faults: FaultInjector::from_json(doc.get("faults")?)?,
+            ledger: CommLedger::from_json(doc.get("ledger")?)?,
+            round_counter: doc.get("round_counter")?.as_u64()?,
+            history: History::from_json(doc.get("history")?)?,
+            epoch: doc.get("epoch")?.as_usize()?,
+            in_epoch: doc.get("in_epoch")?.as_bool()?,
+            pending,
+            rounds_in_epoch: doc.get("rounds_in_epoch")?.as_usize()?,
+            round_in_epoch: doc.get("round_in_epoch")?.as_usize()?,
+            epoch_loss_sum: doc.get("epoch_loss_sum")?.as_f64()?,
+            epoch_sample_sum: doc.get("epoch_sample_sum")?.as_usize()?,
+            finished,
+            stop_requested: doc.get("stop_requested")?.as_bool()?,
+            best_ndcg,
+            evals_since_improvement: doc.get("evals_since_improvement")?.as_usize()?,
+            cfg,
+            strategy,
+            split,
+            server,
+            users,
+            model_groups,
+            data_groups,
+            eval_every: 1,
+            early_stop: None,
+            round_hooks: Vec::new(),
+            epoch_hooks: Vec::new(),
+        })
+    }
+}
+
+/// Iterator adaptor over [`Session::step`].
+pub struct Events<'a> {
+    session: &'a mut Session,
+}
+
+impl Iterator for Events<'_> {
+    type Item = SessionEvent;
+
+    fn next(&mut self) -> Option<SessionEvent> {
+        self.session.step()
+    }
+}
+
+/// Tier tags for the predictors a client of `tier` holds.
+pub(crate) fn theta_tiers(tier: Tier, udl: bool) -> Vec<Tier> {
+    if udl {
+        Tier::ALL[..=tier.index()].to_vec()
+    } else {
+        vec![tier]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Ablation;
+    use hf_dataset::SyntheticConfig;
+    use hf_models::ModelKind;
+
+    fn tiny_split(seed: u64) -> SplitDataset {
+        let data = SyntheticConfig::tiny().generate(seed);
+        SplitDataset::paper_split(&data, seed)
+    }
+
+    fn session(strategy: Strategy, model: ModelKind) -> Session {
+        let cfg = TrainConfig::test_default(model);
+        SessionBuilder::new(cfg, strategy, tiny_split(9))
+            .build()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn one_epoch_trains_and_returns_finite_loss() {
+        let mut s = session(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf);
+        let loss = s.run_epoch();
+        assert!(loss.is_finite() && loss > 0.0, "loss {loss}");
+    }
+
+    #[test]
+    fn training_improves_over_random_init() {
+        let mut s = session(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf);
+        let before = s.evaluate();
+        for _ in 0..4 {
+            s.run_epoch();
+        }
+        let after = s.evaluate();
+        assert!(
+            after.overall.ndcg > before.overall.ndcg,
+            "before {:.5}, after {:.5}",
+            before.overall.ndcg,
+            after.overall.ndcg
+        );
+    }
+
+    #[test]
+    fn run_records_history_for_every_epoch() {
+        let mut s = session(Strategy::AllSmall, ModelKind::Ncf);
+        s.run();
+        assert_eq!(s.history().epochs.len(), s.cfg().epochs);
+        assert_eq!(s.stop_reason(), Some(StopReason::Completed));
+        assert!(s.history().best_ndcg().is_some());
+        assert!(s.final_eval().is_some());
+    }
+
+    #[test]
+    fn event_stream_has_the_expected_shape() {
+        let mut s = session(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf);
+        let epochs = s.cfg().epochs;
+        let mut rounds = 0usize;
+        let mut epoch_reports = Vec::new();
+        let mut last_round_global = 0u64;
+        for event in s.events() {
+            match event {
+                SessionEvent::Round(r) => {
+                    rounds += 1;
+                    assert!(r.round > last_round_global, "rounds must be monotone");
+                    last_round_global = r.round;
+                    assert!(r.round_in_epoch >= 1 && r.round_in_epoch <= r.rounds_in_epoch);
+                    assert!(r.cohort > 0);
+                    assert!(r.download_bytes > 0);
+                }
+                SessionEvent::Epoch(e) => epoch_reports.push(e),
+            }
+        }
+        assert_eq!(epoch_reports.len(), epochs);
+        assert!(rounds >= epochs, "at least one round per epoch");
+        assert!(epoch_reports.iter().all(|e| e.eval.is_some()));
+        // The stream is exhausted; further steps yield nothing.
+        assert!(s.step().is_none());
+    }
+
+    #[test]
+    fn eval_cadence_skips_intermediate_epochs() {
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.epochs = 5;
+        let mut s = SessionBuilder::new(cfg, Strategy::AllSmall, tiny_split(9))
+            .eval_every(2)
+            .build()
+            .unwrap();
+        let mut evaluated = Vec::new();
+        for event in s.events() {
+            if let SessionEvent::Epoch(e) = event {
+                if e.eval.is_some() {
+                    evaluated.push(e.epoch);
+                }
+            }
+        }
+        // Epochs 2 and 4 by cadence, 5 because it is final.
+        assert_eq!(evaluated, vec![2, 4, 5]);
+        assert_eq!(s.history().epochs.len(), 3);
+    }
+
+    #[test]
+    fn eval_cadence_zero_never_evaluates() {
+        let mut s = SessionBuilder::new(
+            TrainConfig::test_default(ModelKind::Ncf),
+            Strategy::AllSmall,
+            tiny_split(9),
+        )
+        .eval_every(0)
+        .build()
+        .unwrap();
+        s.run();
+        assert!(s.history().epochs.is_empty());
+        assert_eq!(s.stop_reason(), Some(StopReason::Completed));
+    }
+
+    #[test]
+    fn observer_hooks_fire_for_rounds_and_epochs() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let rounds = Rc::new(Cell::new(0usize));
+        let epochs = Rc::new(Cell::new(0usize));
+        let (r2, e2) = (rounds.clone(), epochs.clone());
+        let mut s = SessionBuilder::new(
+            TrainConfig::test_default(ModelKind::Ncf),
+            Strategy::AllSmall,
+            tiny_split(9),
+        )
+        .on_round(move |_| r2.set(r2.get() + 1))
+        .on_epoch(move |_| e2.set(e2.get() + 1))
+        .build()
+        .unwrap();
+        s.run();
+        assert_eq!(epochs.get(), s.cfg().epochs);
+        assert_eq!(rounds.get() as u64, s.rounds_completed());
+    }
+
+    #[test]
+    fn nan_evals_do_not_poison_the_plateau_detector() {
+        let mut s = SessionBuilder::new(
+            TrainConfig::test_default(ModelKind::Ncf),
+            Strategy::AllSmall,
+            tiny_split(9),
+        )
+        .early_stopping(2, 0.0)
+        .build()
+        .unwrap();
+        // A diverged eval is a non-improvement but never becomes "best".
+        s.note_eval(f64::NAN);
+        assert_eq!(s.best_ndcg, None);
+        assert_eq!(s.evals_since_improvement, 1);
+        // Recovery registers as an improvement and resets the counter.
+        s.note_eval(0.5);
+        assert_eq!(s.best_ndcg, Some(0.5));
+        assert_eq!(s.evals_since_improvement, 0);
+        // And best_ndcg being NaN-free means the checkpointed early-stop
+        // state round-trips without the null/NaN ambiguity.
+        s.note_eval(f64::NAN);
+        assert_eq!(s.best_ndcg, Some(0.5));
+    }
+
+    #[test]
+    fn eval_cadence_can_change_mid_run() {
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.epochs = 4;
+        let mut s = SessionBuilder::new(cfg, Strategy::AllSmall, tiny_split(9))
+            .build()
+            .unwrap();
+        s.run_epoch();
+        assert_eq!(s.history().epochs.len(), 1);
+        s.set_eval_every(0);
+        s.run_epoch();
+        assert_eq!(s.history().epochs.len(), 1, "cadence 0 skips evaluation");
+    }
+
+    #[test]
+    fn early_stopping_fires_on_a_plateau() {
+        // An impossible min_delta means no eval ever "improves" after the
+        // first, so the plateau detector must fire after `patience`
+        // further evals.
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.epochs = 50;
+        let mut s = SessionBuilder::new(cfg, Strategy::AllSmall, tiny_split(9))
+            .early_stopping(2, f64::MAX)
+            .build()
+            .unwrap();
+        s.run();
+        assert_eq!(s.stop_reason(), Some(StopReason::EarlyStopped { epoch: 3 }));
+        assert_eq!(s.history().epochs.len(), 3);
+    }
+
+    #[test]
+    fn request_stop_halts_at_the_epoch_boundary() {
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.epochs = 50;
+        let mut s = SessionBuilder::new(cfg, Strategy::AllSmall, tiny_split(9))
+            .build()
+            .unwrap();
+        while let Some(event) = s.step() {
+            if let SessionEvent::Epoch(e) = event {
+                if e.epoch == 2 {
+                    s.request_stop();
+                }
+            }
+        }
+        assert_eq!(s.stop_reason(), Some(StopReason::Requested { epoch: 3 }));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs_without_panicking() {
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.local_lr = f32::NAN;
+        let err = SessionBuilder::new(cfg, Strategy::AllSmall, tiny_split(9))
+            .build()
+            .expect_err("NaN learning rate must be rejected");
+        assert!(
+            matches!(err, SessionError::Config(ref c) if c.field == "local_lr"),
+            "{err}"
+        );
+
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.drop_prob = 1.5;
+        assert!(SessionBuilder::new(cfg, Strategy::AllSmall, tiny_split(9))
+            .build()
+            .is_err());
+
+        let cfg = TrainConfig::test_default(ModelKind::Ncf);
+        let err = SessionBuilder::new(cfg, Strategy::AllSmall, tiny_split(9))
+            .early_stopping(0, 0.0)
+            .build()
+            .expect_err("zero patience");
+        assert!(matches!(err, SessionError::ZeroPatience));
+    }
+
+    #[test]
+    fn eq10_holds_through_training_without_reskd() {
+        let mut s = session(Strategy::HeteFedRec(Ablation::NO_RESKD), ModelKind::Ncf);
+        s.run_epoch();
+        s.run_epoch();
+        assert!(
+            s.server().eq10_violation() < 1e-4,
+            "violation {}",
+            s.server().eq10_violation()
+        );
+    }
+
+    #[test]
+    fn standalone_never_changes_server_tables() {
+        let mut s = session(Strategy::Standalone, ModelKind::Ncf);
+        let before = s.server().table(Tier::Small).clone();
+        s.run_epoch();
+        assert_eq!(*s.server().table(Tier::Small), before);
+        // But private state advanced.
+        assert!(s.users().iter().any(|u| u
+            .standalone
+            .as_ref()
+            .map(|s| !s.rows.is_empty())
+            .unwrap_or(false)));
+    }
+
+    #[test]
+    fn ledger_accumulates_traffic() {
+        let mut s = session(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf);
+        s.run_epoch();
+        let ledger = s.ledger();
+        assert!(ledger.downloads as usize >= s.split().num_users());
+        assert!(ledger.uploads > 0);
+        assert!(ledger.upload_bytes > 0);
+    }
+
+    #[test]
+    fn round_reports_account_for_the_whole_ledger() {
+        let mut s = session(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf);
+        let mut up = 0u64;
+        let mut down = 0u64;
+        let mut accepted = 0u64;
+        for event in s.events() {
+            if let SessionEvent::Round(r) = event {
+                up += r.upload_bytes;
+                down += r.download_bytes;
+                accepted += r.accepted as u64;
+            }
+        }
+        assert_eq!(up, s.ledger().upload_bytes);
+        assert_eq!(down, s.ledger().download_bytes);
+        assert_eq!(accepted, s.ledger().uploads);
+    }
+
+    #[test]
+    fn exclusive_strategy_filters_small_data_clients() {
+        let mut s = session(Strategy::AllLargeExclusive, ModelKind::Ncf);
+        s.run_epoch();
+        // Uploads recorded only for Um ∪ Ul clients.
+        let expected = s.data_groups().sizes()[1] + s.data_groups().sizes()[2];
+        assert_eq!(s.ledger().uploads as usize, expected);
+    }
+
+    #[test]
+    fn fault_injection_drops_roughly_the_configured_fraction() {
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.drop_prob = 0.5;
+        let mut s = SessionBuilder::new(cfg, Strategy::AllSmall, tiny_split(9))
+            .build()
+            .unwrap();
+        s.run_epoch();
+        let uploads = s.ledger().uploads as f64;
+        let population = s.split().num_users() as f64;
+        let rate = uploads / population;
+        assert!((0.2..0.8).contains(&rate), "upload rate {rate}");
+    }
+
+    #[test]
+    fn training_is_deterministic_across_thread_counts() {
+        let cfg = TrainConfig::test_default(ModelKind::Ncf);
+        let mut a = SessionBuilder::new(
+            cfg.clone(),
+            Strategy::HeteFedRec(Ablation::FULL),
+            tiny_split(9),
+        )
+        .threads(1)
+        .build()
+        .unwrap();
+        let mut b = SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), tiny_split(9))
+            .threads(4)
+            .build()
+            .unwrap();
+        a.run_epoch();
+        b.run_epoch();
+        let ea = a.evaluate();
+        let eb = b.evaluate();
+        assert_eq!(ea.overall.ndcg, eb.overall.ndcg);
+        assert_eq!(ea.overall.recall, eb.overall.recall);
+    }
+
+    #[test]
+    fn lightgcn_trains_end_to_end() {
+        let mut s = session(Strategy::HeteFedRec(Ablation::FULL), ModelKind::LightGcn);
+        let loss = s.run_epoch();
+        assert!(loss.is_finite() && loss > 0.0);
+        let eval = s.evaluate();
+        assert!(eval.overall.users > 0);
+    }
+
+    #[test]
+    fn best_ndcg_survives_nan_entries() {
+        let mut s = session(Strategy::AllSmall, ModelKind::Ncf);
+        s.run();
+        let mut history = s.history().clone();
+        let mut poisoned = history.epochs[0].clone();
+        poisoned.eval.overall.ndcg = f64::NAN;
+        history.epochs.push(poisoned);
+        // Must not panic, and must not pick the NaN entry.
+        let (_, best) = history.best_ndcg().expect("non-empty");
+        assert!(best.is_finite());
+    }
+
+    // --- checkpoint / resume ---------------------------------------------
+
+    /// Drives `steps` stepper events, checkpoints, restores on a freshly
+    /// generated split, and asserts the resumed session finishes with an
+    /// EvalOutput bit-identical to the uninterrupted reference.
+    fn checkpoint_roundtrip(strategy: Strategy, steps: usize, restore_threads: usize) {
+        let cfg = TrainConfig::test_default(ModelKind::Ncf);
+
+        let mut reference = SessionBuilder::new(cfg.clone(), strategy, tiny_split(9))
+            .build()
+            .unwrap();
+        reference.run();
+
+        let mut interrupted = SessionBuilder::new(cfg, strategy, tiny_split(9))
+            .build()
+            .unwrap();
+        for _ in 0..steps {
+            interrupted.step();
+        }
+        let json = interrupted.checkpoint();
+        drop(interrupted);
+
+        let mut resumed = SessionBuilder::from_checkpoint(&json, tiny_split(9))
+            .unwrap()
+            .threads(restore_threads)
+            .build()
+            .unwrap();
+        resumed.run();
+
+        let a = reference.history().final_eval().expect("reference eval");
+        let b = resumed.history().final_eval().expect("resumed eval");
+        assert_eq!(a.overall.ndcg.to_bits(), b.overall.ndcg.to_bits());
+        assert_eq!(a.overall.recall.to_bits(), b.overall.recall.to_bits());
+        assert_eq!(a.overall.mrr.to_bits(), b.overall.mrr.to_bits());
+        for (ga, gb) in a.per_group.iter().zip(&b.per_group) {
+            assert_eq!(ga.ndcg.to_bits(), gb.ndcg.to_bits());
+            assert_eq!(ga.users, gb.users);
+        }
+        assert_eq!(
+            reference.history().epochs.len(),
+            resumed.history().epochs.len()
+        );
+        for (ea, eb) in reference
+            .history()
+            .epochs
+            .iter()
+            .zip(&resumed.history().epochs)
+        {
+            assert_eq!(ea.train_loss.to_bits(), eb.train_loss.to_bits());
+        }
+        assert_eq!(
+            reference.ledger().upload_bytes,
+            resumed.ledger().upload_bytes
+        );
+        assert_eq!(reference.rounds_completed(), resumed.rounds_completed());
+        // Server parameters themselves must agree bit-for-bit.
+        for tier in Tier::ALL {
+            assert_eq!(
+                reference.server().table(tier).as_slice(),
+                resumed.server().table(tier).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn mid_epoch_checkpoint_resumes_bit_identically() {
+        // 2 steps: one full round plus part of the first epoch — lands
+        // mid-epoch, exercising the pending-cohort queue.
+        checkpoint_roundtrip(Strategy::HeteFedRec(Ablation::FULL), 2, 1);
+    }
+
+    #[test]
+    fn epoch_boundary_checkpoint_resumes_bit_identically() {
+        // Enough steps to cross the first epoch boundary (the tiny split
+        // schedules a handful of rounds per epoch, then the epoch event).
+        checkpoint_roundtrip(Strategy::HeteFedRec(Ablation::NO_RESKD), 6, 1);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_thread_invariant() {
+        checkpoint_roundtrip(Strategy::HeteFedRec(Ablation::FULL), 3, 4);
+    }
+
+    #[test]
+    fn standalone_state_checkpoints() {
+        checkpoint_roundtrip(Strategy::Standalone, 2, 1);
+    }
+
+    #[test]
+    fn adam_server_state_checkpoints() {
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.server_opt = crate::config::ServerOpt::Adam;
+        cfg.server_lr = 0.01;
+        let mut reference = SessionBuilder::new(
+            cfg.clone(),
+            Strategy::HeteFedRec(Ablation::FULL),
+            tiny_split(9),
+        )
+        .build()
+        .unwrap();
+        reference.run();
+        let mut interrupted =
+            SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), tiny_split(9))
+                .build()
+                .unwrap();
+        interrupted.step();
+        interrupted.step();
+        let mut resumed = Session::restore(&interrupted.checkpoint(), tiny_split(9)).unwrap();
+        resumed.run();
+        assert_eq!(
+            reference.final_eval().unwrap().overall.ndcg.to_bits(),
+            resumed.final_eval().unwrap().overall.ndcg.to_bits()
+        );
+    }
+
+    #[test]
+    fn finished_sessions_checkpoint_and_stay_finished() {
+        let mut s = session(Strategy::AllSmall, ModelKind::Ncf);
+        s.run();
+        let mut resumed = Session::restore(&s.checkpoint(), tiny_split(9)).unwrap();
+        assert_eq!(resumed.stop_reason(), Some(StopReason::Completed));
+        assert!(resumed.step().is_none());
+        assert_eq!(resumed.history().epochs.len(), s.history().epochs.len());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_datasets_and_garbage() {
+        let mut s = session(Strategy::AllSmall, ModelKind::Ncf);
+        s.step();
+        let json = s.checkpoint();
+        let tiny = hf_dataset::ImplicitDataset::new(10, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+        let other = SplitDataset::paper_split(&tiny, 1);
+        let err = Session::restore(&json, other).expect_err("different dataset");
+        assert!(matches!(err, SessionError::DatasetMismatch { .. }), "{err}");
+
+        assert!(Session::restore("not json", tiny_split(9)).is_err());
+        assert!(Session::restore("{}", tiny_split(9)).is_err());
+        let wrong_version = json.replacen("\"version\":1", "\"version\":999", 1);
+        assert!(Session::restore(&wrong_version, tiny_split(9)).is_err());
+    }
+}

@@ -141,6 +141,64 @@ impl Strategy {
     }
 }
 
+impl hf_tensor::ser::ToJson for Ablation {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("udl", &self.udl)
+                .field("ddr", &self.ddr)
+                .field("reskd", &self.reskd);
+        });
+    }
+}
+
+impl Ablation {
+    /// Restores checkpointed ablation switches.
+    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+        Ok(Self {
+            udl: v.get("udl")?.as_bool()?,
+            ddr: v.get("ddr")?.as_bool()?,
+            reskd: v.get("reskd")?.as_bool()?,
+        })
+    }
+}
+
+impl hf_tensor::ser::ToJson for Strategy {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            match self {
+                Strategy::HeteFedRec(a) => o.field("kind", &"hetefedrec").field("ablation", a),
+                Strategy::AllSmall => o.field("kind", &"all_small"),
+                Strategy::AllLarge => o.field("kind", &"all_large"),
+                Strategy::AllLargeExclusive => o.field("kind", &"all_large_exclusive"),
+                Strategy::Standalone => o.field("kind", &"standalone"),
+                Strategy::ClusteredFedRec => o.field("kind", &"clustered_fedrec"),
+                Strategy::DirectlyAggregate => o.field("kind", &"directly_aggregate"),
+            };
+        });
+    }
+}
+
+impl Strategy {
+    /// Restores a checkpointed strategy.
+    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+        let kind = v.get("kind")?.as_str()?;
+        Ok(match kind {
+            "hetefedrec" => Strategy::HeteFedRec(Ablation::from_json(v.get("ablation")?)?),
+            "all_small" => Strategy::AllSmall,
+            "all_large" => Strategy::AllLarge,
+            "all_large_exclusive" => Strategy::AllLargeExclusive,
+            "standalone" => Strategy::Standalone,
+            "clustered_fedrec" => Strategy::ClusteredFedRec,
+            "directly_aggregate" => Strategy::DirectlyAggregate,
+            other => {
+                return Err(hf_tensor::ser::JsonError::msg(format!(
+                    "unknown strategy kind `{other}`"
+                )))
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +280,17 @@ mod tests {
     fn clustered_does_not_cross_tiers() {
         assert!(!Strategy::ClusteredFedRec.aggregates_across_tiers());
         assert!(Strategy::HeteFedRec(Ablation::FULL).aggregates_across_tiers());
+    }
+
+    #[test]
+    fn strategies_roundtrip_through_json() {
+        use hf_tensor::ser::{parse_json, ToJson};
+        let mut all = Strategy::ALL.to_vec();
+        all.push(Strategy::HeteFedRec(Ablation::NO_RESKD_DDR));
+        for s in all {
+            let back = Strategy::from_json(&parse_json(&s.to_json()).unwrap()).unwrap();
+            assert_eq!(back, s);
+        }
+        assert!(Strategy::from_json(&parse_json(r#"{"kind":"bogus"}"#).unwrap()).is_err());
     }
 }

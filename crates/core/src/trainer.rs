@@ -1,313 +1,126 @@
-//! The federated training loop (Algorithm 1).
+//! Legacy blocking training loop — a thin shim over [`crate::session`].
 //!
-//! One [`Trainer`] owns everything a single experiment run needs: the
-//! split dataset, the server's public parameters, every client's private
-//! state, the round scheduler, and the communication ledger. Each *epoch*
-//! shuffles the client queue and traverses it in rounds of
-//! `clients_per_round` (§V-D); each *round* trains the selected clients in
-//! parallel against a frozen snapshot of the public parameters, applies
-//! the heterogeneous aggregation, and (for full HeteFedRec) runs one
-//! server-side distillation step.
+//! [`Trainer`] predates the session API: it ran the federation loop as a
+//! closed `train()` call with no round observability, no early stopping,
+//! and no checkpoint/resume. It survives as a deprecated wrapper so
+//! out-of-tree callers keep compiling; everything it did (and more) now
+//! lives on [`Session`](crate::session::Session), built through
+//! [`SessionBuilder`](crate::session::SessionBuilder).
 
-use crate::client::{train_client, ClientCtx, ClientOutcome, UserState};
+pub use crate::session::{EpochRecord, History};
+
+use crate::client::UserState;
 use crate::config::TrainConfig;
-use crate::eval::{evaluate, EvalOutput};
+use crate::eval::EvalOutput;
 use crate::server::ServerState;
+use crate::session::{Session, SessionBuilder};
 use crate::strategy::Strategy;
-use hf_dataset::{ClientGroups, SplitDataset, Tier};
-use hf_fedsim::comm::{CommLedger, RoundCost};
-use hf_fedsim::faults::FaultInjector;
-use hf_fedsim::parallel::parallel_map;
-use hf_fedsim::scheduler::RoundScheduler;
-use hf_fedsim::transport::ClientUpdate;
-use hf_models::Ffn;
+use hf_dataset::{ClientGroups, SplitDataset};
+use hf_fedsim::comm::CommLedger;
 
-/// Per-epoch record for convergence curves (Fig. 7).
-#[derive(Clone, Debug)]
-pub struct EpochRecord {
-    /// 1-based epoch number.
-    pub epoch: usize,
-    /// Mean local training loss across all client selections.
-    pub train_loss: f64,
-    /// Post-epoch evaluation.
-    pub eval: EvalOutput,
-}
-
-impl hf_tensor::ser::ToJson for EpochRecord {
-    fn write_json(&self, out: &mut String) {
-        hf_tensor::ser::obj(out, |o| {
-            o.field("epoch", &self.epoch)
-                .field("train_loss", &self.train_loss)
-                .field("eval", &self.eval);
-        });
-    }
-}
-
-/// Metric history across a training run.
-#[derive(Clone, Debug, Default)]
-pub struct History {
-    /// One record per completed epoch.
-    pub epochs: Vec<EpochRecord>,
-}
-
-impl hf_tensor::ser::ToJson for History {
-    fn write_json(&self, out: &mut String) {
-        self.epochs.write_json(out);
-    }
-}
-
-impl History {
-    /// The best NDCG reached and the epoch it occurred in.
-    pub fn best_ndcg(&self) -> Option<(usize, f64)> {
-        self.epochs
-            .iter()
-            .map(|e| (e.epoch, e.eval.overall.ndcg))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("ndcg finite"))
-    }
-
-    /// The final epoch's evaluation.
-    pub fn final_eval(&self) -> Option<&EvalOutput> {
-        self.epochs.last().map(|e| &e.eval)
-    }
-}
-
-/// A full federated training run.
+/// A full federated training run (deprecated shim over `Session`).
+#[deprecated(
+    since = "0.5.0",
+    note = "use `SessionBuilder`/`Session`: typed round events, eval cadence, \
+            early stopping, and checkpoint/resume"
+)]
 pub struct Trainer {
-    cfg: TrainConfig,
-    strategy: Strategy,
-    split: SplitDataset,
-    server: ServerState,
-    users: Vec<UserState>,
-    /// Tier each client's *model* has (strategy-dependent).
-    model_groups: ClientGroups,
-    /// Tier each client's *data volume* implies (always the ratio
-    /// division; drives Fig. 6 reporting and exclusive filtering).
-    data_groups: ClientGroups,
-    scheduler: RoundScheduler,
-    faults: FaultInjector,
-    ledger: CommLedger,
-    round_counter: u64,
-    history: History,
+    session: Session,
 }
 
+#[allow(deprecated)]
 impl Trainer {
     /// Builds a run: initialises public parameters, divides clients, and
     /// creates every client's private state.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration — the historical behaviour.
+    /// [`SessionBuilder::build`] returns the error instead.
     pub fn new(cfg: TrainConfig, strategy: Strategy, split: SplitDataset) -> Self {
-        let server = ServerState::new(split.num_items(), &cfg, strategy);
-        let model_groups = strategy.assign_tiers(&split, cfg.ratio);
-        let data_groups = ClientGroups::divide(&split, cfg.ratio);
-        let users = (0..split.num_users())
-            .map(|u| {
-                let tier = model_groups.tier(u);
-                let standalone_theta =
-                    matches!(strategy, Strategy::Standalone).then(|| server.theta(tier).clone());
-                UserState::init(u, cfg.dims.dim(tier), &cfg, standalone_theta)
-            })
-            .collect();
-        let scheduler = RoundScheduler::new(split.num_users(), cfg.clients_per_round, cfg.seed);
-        let faults = if cfg.drop_prob > 0.0 {
-            FaultInjector::new(cfg.seed, cfg.drop_prob)
-        } else {
-            FaultInjector::disabled()
-        };
-        Self {
-            cfg,
-            strategy,
-            split,
-            server,
-            users,
-            model_groups,
-            data_groups,
-            scheduler,
-            faults,
-            ledger: CommLedger::default(),
-            round_counter: 0,
-            history: History::default(),
-        }
+        let session = SessionBuilder::new(cfg, strategy, split)
+            .build()
+            .unwrap_or_else(|e| panic!("invalid training configuration: {e}"));
+        Self { session }
     }
 
     /// The active configuration.
     pub fn cfg(&self) -> &TrainConfig {
-        &self.cfg
+        self.session.cfg()
     }
 
     /// The active strategy.
     pub fn strategy(&self) -> Strategy {
-        self.strategy
+        self.session.strategy()
     }
 
     /// Server state (public parameters).
     pub fn server(&self) -> &ServerState {
-        &self.server
+        self.session.server()
     }
 
     /// The data-size division (Fig. 6 buckets).
     pub fn data_groups(&self) -> &ClientGroups {
-        &self.data_groups
+        self.session.data_groups()
     }
 
     /// The model-tier assignment.
     pub fn model_groups(&self) -> &ClientGroups {
-        &self.model_groups
+        self.session.model_groups()
     }
 
     /// Communication ledger accumulated so far.
     pub fn ledger(&self) -> &CommLedger {
-        &self.ledger
+        self.session.ledger()
     }
 
-    /// One client's private state (user embedding and, in standalone
-    /// mode, its local model) — the serving path reads this.
+    /// One client's private state.
     pub fn user_state(&self, user: usize) -> &UserState {
-        &self.users[user]
+        self.session.user_state(user)
     }
 
     /// The split dataset this run trains on.
     pub fn split(&self) -> &SplitDataset {
-        &self.split
+        self.session.split()
     }
 
     /// History of completed epochs.
     pub fn history(&self) -> &History {
-        &self.history
+        self.session.history()
     }
 
-    /// Runs one global epoch (a full traversal of the client queue) and
-    /// returns the mean local training loss.
+    /// Runs one global epoch and returns the mean local training loss.
+    ///
+    /// Unlike the historical `Trainer`, the underlying session also
+    /// evaluates at its cadence (default: every epoch) and records the
+    /// history as it goes.
     pub fn run_epoch(&mut self) -> f64 {
-        let rounds = self.scheduler.next_epoch();
-        let mut loss_sum = 0.0;
-        let mut sample_sum = 0usize;
-        for round in rounds {
-            self.round_counter += 1;
-            let (loss, samples) = self.run_round(&round);
-            loss_sum += loss;
-            sample_sum += samples;
-        }
-        if sample_sum == 0 {
-            0.0
-        } else {
-            loss_sum / sample_sum as f64
-        }
-    }
-
-    /// Executes one round over the given client cohort.
-    fn run_round(&mut self, cohort: &[usize]) -> (f64, usize) {
-        let udl = self.strategy.ablation().udl;
-        // Per-tier download bundles, cloned once per round.
-        let tier_thetas: [Vec<Ffn>; 3] = [
-            self.server.thetas_for(Tier::Small, udl),
-            self.server.thetas_for(Tier::Medium, udl),
-            self.server.thetas_for(Tier::Large, udl),
-        ];
-        let tier_tags: [Vec<Tier>; 3] = [
-            theta_tiers(Tier::Small, udl),
-            theta_tiers(Tier::Medium, udl),
-            theta_tiers(Tier::Large, udl),
-        ];
-
-        let cfg = &self.cfg;
-        let strategy = self.strategy;
-        let split = &self.split;
-        let server = &self.server;
-        let users = &self.users;
-        let model_groups = &self.model_groups;
-        let round_key = self.round_counter;
-
-        let outcomes: Vec<ClientOutcome> = parallel_map(cohort, cfg.threads, |&uid| {
-            let tier = model_groups.tier(uid);
-            let ctx = ClientCtx {
-                cfg,
-                strategy,
-                split,
-                user_id: uid,
-                model_tier: tier,
-                table: server.table(tier),
-                thetas: &tier_thetas[tier.index()],
-                theta_tiers: &tier_tags[tier.index()],
-                round_key,
-            };
-            train_client(&ctx, &users[uid])
-        });
-
-        let mut accepted: Vec<(Tier, ClientUpdate)> = Vec::new();
-        let mut loss_sum = 0.0;
-        let mut sample_sum = 0usize;
-        for (&uid, outcome) in cohort.iter().zip(outcomes) {
-            let model_tier = self.model_groups.tier(uid);
-            let data_tier = self.data_groups.tier(uid);
-            // Download accounting: tier table + every downloaded predictor.
-            let theta_sizes: Vec<usize> = tier_thetas[model_tier.index()]
-                .iter()
-                .map(Ffn::num_params)
-                .collect();
-            let download = RoundCost::dense(
-                self.split.num_items(),
-                self.cfg.dims.dim(model_tier),
-                &theta_sizes,
-            );
-            self.ledger.record_download(download.bytes());
-
-            loss_sum += outcome.loss;
-            sample_sum += outcome.samples;
-            self.users[uid] = outcome.state;
-
-            if self.strategy.accepts_update(data_tier)
-                && !self.faults.drops(self.round_counter, uid)
-                && !(outcome.update.items.is_empty() && outcome.update.thetas.is_empty())
-            {
-                self.ledger.record_upload(outcome.update.encoded_len());
-                accepted.push((model_tier, outcome.update));
-            }
-        }
-
-        self.server.apply_round(&accepted);
-        if self.strategy.ablation().reskd {
-            self.server.distill(&self.cfg.kd, self.cfg.threads);
-        }
-        (loss_sum, sample_sum)
+        self.session.run_epoch()
     }
 
     /// Evaluates the current model state.
     pub fn evaluate(&self) -> EvalOutput {
-        evaluate(
-            &self.cfg,
-            self.strategy,
-            &self.split,
-            &self.server,
-            &self.users,
-            &self.model_groups,
-            &self.data_groups,
-        )
+        self.session.evaluate()
     }
 
     /// Runs `cfg.epochs` epochs, evaluating after each, and returns the
     /// accumulated history.
     pub fn train(&mut self) -> &History {
-        for epoch in 1..=self.cfg.epochs {
-            let train_loss = self.run_epoch();
-            let eval = self.evaluate();
-            self.history.epochs.push(EpochRecord {
-                epoch,
-                train_loss,
-                eval,
-            });
-        }
-        &self.history
+        self.session.run()
     }
-}
 
-/// Tier tags for the predictors a client of `tier` holds.
-fn theta_tiers(tier: Tier, udl: bool) -> Vec<Tier> {
-    if udl {
-        Tier::ALL[..=tier.index()].to_vec()
-    } else {
-        vec![tier]
+    /// The underlying session, for incremental migration.
+    pub fn session(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Consumes the shim, yielding the session.
+    pub fn into_session(self) -> Session {
+        self.session
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::strategy::Ablation;
@@ -319,122 +132,45 @@ mod tests {
         SplitDataset::paper_split(&data, seed)
     }
 
-    fn trainer(strategy: Strategy, model: ModelKind) -> Trainer {
-        let cfg = TrainConfig::test_default(model);
-        Trainer::new(cfg, strategy, tiny_split(9))
-    }
-
     #[test]
-    fn one_epoch_trains_and_returns_finite_loss() {
-        let mut t = trainer(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf);
-        let loss = t.run_epoch();
-        assert!(loss.is_finite() && loss > 0.0, "loss {loss}");
-    }
-
-    #[test]
-    fn training_improves_over_random_init() {
-        let mut t = trainer(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf);
-        let before = t.evaluate();
-        for _ in 0..4 {
-            t.run_epoch();
-        }
-        let after = t.evaluate();
-        assert!(
-            after.overall.ndcg > before.overall.ndcg,
-            "before {:.5}, after {:.5}",
-            before.overall.ndcg,
-            after.overall.ndcg
-        );
-    }
-
-    #[test]
-    fn history_records_every_epoch() {
-        let mut t = trainer(Strategy::AllSmall, ModelKind::Ncf);
+    fn shim_trains_like_the_session_it_wraps() {
+        let cfg = TrainConfig::test_default(ModelKind::Ncf);
+        let strategy = Strategy::HeteFedRec(Ablation::FULL);
+        let mut t = Trainer::new(cfg.clone(), strategy, tiny_split(9));
         t.train();
         assert_eq!(t.history().epochs.len(), t.cfg().epochs);
-        assert!(t.history().best_ndcg().is_some());
-        assert!(t.history().final_eval().is_some());
-    }
 
-    #[test]
-    fn eq10_holds_through_training_without_reskd() {
-        let mut t = trainer(Strategy::HeteFedRec(Ablation::NO_RESKD), ModelKind::Ncf);
-        t.run_epoch();
-        t.run_epoch();
-        assert!(
-            t.server().eq10_violation() < 1e-4,
-            "violation {}",
-            t.server().eq10_violation()
+        let mut s = SessionBuilder::new(cfg, strategy, tiny_split(9))
+            .build()
+            .unwrap();
+        s.run();
+        assert_eq!(
+            t.history().final_eval().unwrap().overall.ndcg,
+            s.final_eval().unwrap().overall.ndcg
         );
     }
 
     #[test]
-    fn standalone_never_changes_server_tables() {
-        let mut t = trainer(Strategy::Standalone, ModelKind::Ncf);
-        let before = t.server().table(Tier::Small).clone();
-        t.run_epoch();
-        assert_eq!(*t.server().table(Tier::Small), before);
-        // But private state advanced.
-        assert!(t.users.iter().any(|u| u
-            .standalone
-            .as_ref()
-            .map(|s| !s.rows.is_empty())
-            .unwrap_or(false)));
-    }
-
-    #[test]
-    fn ledger_accumulates_traffic() {
-        let mut t = trainer(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf);
-        t.run_epoch();
-        let ledger = t.ledger();
-        assert!(ledger.downloads as usize >= t.split.num_users());
-        assert!(ledger.uploads > 0);
-        assert!(ledger.upload_bytes > 0);
-    }
-
-    #[test]
-    fn exclusive_strategy_filters_small_data_clients() {
-        let mut t = trainer(Strategy::AllLargeExclusive, ModelKind::Ncf);
-        t.run_epoch();
-        // Uploads recorded only for Um ∪ Ul clients.
-        let expected = t.data_groups().sizes()[1] + t.data_groups().sizes()[2];
-        assert_eq!(t.ledger().uploads as usize, expected);
-    }
-
-    #[test]
-    fn fault_injection_drops_roughly_the_configured_fraction() {
-        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
-        cfg.drop_prob = 0.5;
-        let mut t = Trainer::new(cfg, Strategy::AllSmall, tiny_split(9));
-        t.run_epoch();
-        let uploads = t.ledger().uploads as f64;
-        let population = t.split.num_users() as f64;
-        let rate = uploads / population;
-        assert!((0.2..0.8).contains(&rate), "upload rate {rate}");
-    }
-
-    #[test]
-    fn training_is_deterministic_across_thread_counts() {
-        let mut cfg1 = TrainConfig::test_default(ModelKind::Ncf);
-        cfg1.threads = 1;
-        let mut cfg2 = cfg1.clone();
-        cfg2.threads = 4;
-        let mut a = Trainer::new(cfg1, Strategy::HeteFedRec(Ablation::FULL), tiny_split(9));
-        let mut b = Trainer::new(cfg2, Strategy::HeteFedRec(Ablation::FULL), tiny_split(9));
-        a.run_epoch();
-        b.run_epoch();
-        let ea = a.evaluate();
-        let eb = b.evaluate();
-        assert_eq!(ea.overall.ndcg, eb.overall.ndcg);
-        assert_eq!(ea.overall.recall, eb.overall.recall);
-    }
-
-    #[test]
-    fn lightgcn_trains_end_to_end() {
-        let mut t = trainer(Strategy::HeteFedRec(Ablation::FULL), ModelKind::LightGcn);
+    fn shim_supports_manual_epochs_and_accessors() {
+        let mut t = Trainer::new(
+            TrainConfig::test_default(ModelKind::Ncf),
+            Strategy::AllSmall,
+            tiny_split(9),
+        );
         let loss = t.run_epoch();
         assert!(loss.is_finite() && loss > 0.0);
-        let eval = t.evaluate();
-        assert!(eval.overall.users > 0);
+        assert!(t.ledger().uploads > 0);
+        assert_eq!(t.model_groups().sizes()[0], t.split().num_users());
+        let _ = t.user_state(0);
+        assert!(t.evaluate().overall.users > 0);
+        assert!(t.session().rounds_completed() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid training configuration")]
+    fn shim_panics_on_bad_config_like_the_original() {
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.epochs = 0;
+        let _ = Trainer::new(cfg, Strategy::AllSmall, tiny_split(9));
     }
 }

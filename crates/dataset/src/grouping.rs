@@ -90,6 +90,24 @@ impl DivisionRatio {
         format!("{}:{}:{}", self.small, self.medium, self.large)
     }
 
+    /// Restores a checkpointed ratio.
+    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+        let read = |key: &str| -> Result<u32, hf_tensor::ser::JsonError> {
+            let x = v.get(key)?.as_u64()?;
+            u32::try_from(x)
+                .map_err(|_| hf_tensor::ser::JsonError::msg(format!("{key} overflows u32")))
+        };
+        let (small, medium, large) = (read("small")?, read("medium")?, read("large")?);
+        if small + medium + large == 0 {
+            return Err(hf_tensor::ser::JsonError::msg("ratio weights sum to zero"));
+        }
+        Ok(Self {
+            small,
+            medium,
+            large,
+        })
+    }
+
     /// Cut points `(n_small, n_small + n_medium)` for `n` clients, using
     /// largest-remainder rounding so group sizes always sum to `n`.
     fn cuts(&self, n: usize) -> (usize, usize) {
@@ -99,6 +117,16 @@ impl DivisionRatio {
         let n_small = n_small.min(n);
         let n_medium = n_medium.min(n - n_small);
         (n_small, n_small + n_medium)
+    }
+}
+
+impl hf_tensor::ser::ToJson for DivisionRatio {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("small", &self.small)
+                .field("medium", &self.medium)
+                .field("large", &self.large);
+        });
     }
 }
 

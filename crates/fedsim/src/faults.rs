@@ -41,6 +41,19 @@ impl FaultInjector {
         self.drop_prob
     }
 
+    /// Restores a checkpointed injector. Decisions are a pure function of
+    /// `(seed, round, client)`, so seed + probability are the whole state.
+    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+        let drop_prob = v.get("drop_prob")?.as_f64()?;
+        if !(0.0..1.0).contains(&drop_prob) {
+            return Err(hf_tensor::ser::JsonError::msg("drop probability in [0,1)"));
+        }
+        Ok(Self {
+            seed: v.get("seed")?.as_u64()?,
+            drop_prob,
+        })
+    }
+
     /// Whether `client`'s upload in global round `round` is lost.
     /// Deterministic in `(seed, round, client)` — independent of
     /// evaluation order, thread count, or how many other clients exist.
@@ -51,6 +64,15 @@ impl FaultInjector {
         let key = round.wrapping_mul(0x1000_0000_1b3) ^ (client as u64);
         let mut rng = substream(self.seed, SeedStream::Faults, key);
         rng.gen::<f64>() < self.drop_prob
+    }
+}
+
+impl hf_tensor::ser::ToJson for FaultInjector {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("seed", &self.seed)
+                .field("drop_prob", &self.drop_prob);
+        });
     }
 }
 

@@ -52,6 +52,34 @@ impl RoundScheduler {
             .map(|c| c.to_vec())
             .collect()
     }
+
+    /// Restores a checkpointed scheduler (queue order + shuffle-RNG state),
+    /// resuming the epoch sequence exactly where it was captured.
+    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+        let queue = v.get("queue")?.as_usize_vec()?;
+        if queue.is_empty() {
+            return Err(hf_tensor::ser::JsonError::msg("empty scheduler queue"));
+        }
+        let clients_per_round = v.get("clients_per_round")?.as_usize()?;
+        if clients_per_round == 0 {
+            return Err(hf_tensor::ser::JsonError::msg("zero round size"));
+        }
+        Ok(Self {
+            queue,
+            clients_per_round,
+            rng: StdRng::from_json(v.get("rng")?)?,
+        })
+    }
+}
+
+impl hf_tensor::ser::ToJson for RoundScheduler {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("queue", &self.queue)
+                .field("clients_per_round", &self.clients_per_round)
+                .field("rng", &self.rng);
+        });
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +133,16 @@ mod tests {
     #[should_panic(expected = "no clients")]
     fn rejects_empty_population() {
         let _ = RoundScheduler::new(0, 8, 0);
+    }
+
+    #[test]
+    fn checkpoint_resumes_the_epoch_sequence_exactly() {
+        use hf_tensor::ser::{parse_json, ToJson};
+        let mut s = RoundScheduler::new(50, 16, 7);
+        s.next_epoch();
+        let mut resumed = RoundScheduler::from_json(&parse_json(&s.to_json()).unwrap()).unwrap();
+        for _ in 0..3 {
+            assert_eq!(s.next_epoch(), resumed.next_epoch());
+        }
     }
 }

@@ -65,6 +65,20 @@ impl hf_tensor::ser::ToJson for EvalResult {
     }
 }
 
+impl EvalResult {
+    /// Restores a checkpointed evaluation result.
+    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+        Ok(Self {
+            recall: v.get("recall")?.as_f64()?,
+            ndcg: v.get("ndcg")?.as_f64()?,
+            hit_rate: v.get("hit_rate")?.as_f64()?,
+            precision: v.get("precision")?.as_f64()?,
+            mrr: v.get("mrr")?.as_f64()?,
+            users: v.get("users")?.as_usize()?,
+        })
+    }
+}
+
 /// Full-ranking evaluator at cutoff `k` (paper: 20).
 #[derive(Clone, Copy, Debug)]
 pub struct Evaluator {

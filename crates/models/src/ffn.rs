@@ -238,6 +238,33 @@ impl Ffn {
     }
 }
 
+impl hf_tensor::ser::ToJson for Ffn {
+    fn write_json(&self, out: &mut String) {
+        hf_tensor::ser::obj(out, |o| {
+            o.field("dims", &self.dims).field("flat", &self.to_flat());
+        });
+    }
+}
+
+impl Ffn {
+    /// Restores a checkpointed FFN ([`Ffn::to_flat`] layout, shape-checked).
+    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+        let dims = v.get("dims")?.as_usize_vec()?;
+        let flat = v.get("flat")?.as_f32_vec()?;
+        if dims.len() < 2 {
+            return Err(hf_tensor::ser::JsonError::msg("ffn needs >= 2 layer sizes"));
+        }
+        let expected: usize = dims.windows(2).map(|w| w[1] * w[0] + w[1]).sum();
+        if flat.len() != expected {
+            return Err(hf_tensor::ser::JsonError::msg(format!(
+                "ffn flat length {} does not match dims {dims:?}",
+                flat.len()
+            )));
+        }
+        Ok(Self::from_flat(&dims, &flat))
+    }
+}
+
 /// Reusable forward-pass activation cache (one per worker thread; avoids
 /// per-sample allocation in the hot loop).
 #[derive(Clone, Debug)]
@@ -300,6 +327,19 @@ mod tests {
         assert_eq!(flat.len(), ffn.num_params());
         let back = Ffn::from_flat(&[6, 8, 8, 1], &flat);
         assert_eq!(ffn, back);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_parameters_bit_exactly() {
+        use hf_tensor::ser::{parse_json, ToJson};
+        let ffn = make(&[6, 8, 8, 1], 3);
+        let back = Ffn::from_json(&parse_json(&ffn.to_json()).unwrap()).unwrap();
+        assert_eq!(ffn.dims(), back.dims());
+        for (a, b) in ffn.to_flat().iter().zip(back.to_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let bad = parse_json(r#"{"dims":[2,1],"flat":[0.5]}"#).unwrap();
+        assert!(Ffn::from_json(&bad).is_err());
     }
 
     #[test]

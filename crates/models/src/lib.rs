@@ -57,6 +57,38 @@ impl ModelKind {
             ModelKind::LightGcn => "Fed-LightGCN",
         }
     }
+
+    /// Stable checkpoint tag (also the CLI spelling).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ModelKind::Ncf => "ncf",
+            ModelKind::LightGcn => "lightgcn",
+        }
+    }
+
+    /// Parses a [`ModelKind::tag`] spelling.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "ncf" => Some(ModelKind::Ncf),
+            "lightgcn" => Some(ModelKind::LightGcn),
+            _ => None,
+        }
+    }
+}
+
+impl hf_tensor::ser::ToJson for ModelKind {
+    fn write_json(&self, out: &mut String) {
+        self.tag().write_json(out);
+    }
+}
+
+impl ModelKind {
+    /// Restores a checkpointed model kind.
+    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+        let tag = v.as_str()?;
+        Self::from_tag(tag)
+            .ok_or_else(|| hf_tensor::ser::JsonError::msg(format!("unknown model kind `{tag}`")))
+    }
 }
 
 /// The paper's predictor layer sizes for embedding dimension `n`:

@@ -181,6 +181,125 @@ impl SparseRowAdam {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint (de)serialization
+// ---------------------------------------------------------------------------
+
+use crate::ser::{obj, JsonError, JsonValue, ToJson};
+
+impl ToJson for AdamConfig {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("lr", &self.lr)
+                .field("beta1", &self.beta1)
+                .field("beta2", &self.beta2)
+                .field("eps", &self.eps);
+        });
+    }
+}
+
+impl AdamConfig {
+    /// Restores a checkpointed configuration.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(Self {
+            lr: v.get("lr")?.as_f32()?,
+            beta1: v.get("beta1")?.as_f32()?,
+            beta2: v.get("beta2")?.as_f32()?,
+            eps: v.get("eps")?.as_f32()?,
+        })
+    }
+}
+
+impl ToJson for Adam {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("config", &self.config)
+                .field("t", &self.t)
+                .field("m", &self.m)
+                .field("v", &self.v);
+        });
+    }
+}
+
+impl Adam {
+    /// Restores checkpointed optimiser state (moments and timestep).
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let m = v.get("m")?.as_f32_vec()?;
+        let vv = v.get("v")?.as_f32_vec()?;
+        if m.len() != vv.len() {
+            return Err(JsonError::msg("adam moment length mismatch"));
+        }
+        Ok(Self {
+            config: AdamConfig::from_json(v.get("config")?)?,
+            t: v.get("t")?.as_u64()?,
+            m,
+            v: vv,
+        })
+    }
+}
+
+impl ToJson for SparseRowAdam {
+    fn write_json(&self, out: &mut String) {
+        struct Rows<'a>(&'a [Option<RowState>]);
+        impl ToJson for Rows<'_> {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                for (row, state) in self.0.iter().enumerate() {
+                    if let Some(s) = state {
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        obj(out, |o| {
+                            o.field("row", &row)
+                                .field("t", &s.t)
+                                .field("m", &s.m)
+                                .field("v", &s.v);
+                        });
+                    }
+                }
+                out.push(']');
+            }
+        }
+        obj(out, |o| {
+            o.field("config", &self.config)
+                .field("dim", &self.dim)
+                .field("num_rows", &self.rows.len())
+                .field("rows", &Rows(&self.rows));
+        });
+    }
+}
+
+impl SparseRowAdam {
+    /// Restores checkpointed row-keyed optimiser state. Only rows that
+    /// had received updates are present in the snapshot; all others come
+    /// back as their lazily-allocated `None` slot.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let config = AdamConfig::from_json(v.get("config")?)?;
+        let dim = v.get("dim")?.as_usize()?;
+        let num_rows = v.get("num_rows")?.as_usize()?;
+        let mut rows: Vec<Option<RowState>> = vec![None; num_rows];
+        for entry in v.get("rows")?.as_arr()? {
+            let row = entry.get("row")?.as_usize()?;
+            if row >= num_rows {
+                return Err(JsonError::msg(format!("row {row} out of range {num_rows}")));
+            }
+            let m = entry.get("m")?.as_f32_vec()?;
+            let mv = entry.get("v")?.as_f32_vec()?;
+            if m.len() != dim || mv.len() != dim {
+                return Err(JsonError::msg("sparse adam row width mismatch"));
+            }
+            rows[row] = Some(RowState {
+                m,
+                v: mv,
+                t: entry.get("t")?.as_u64()?,
+            });
+        }
+        Ok(Self { config, dim, rows })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +385,47 @@ mod tests {
         let mut adam = SparseRowAdam::new(2, 2, AdamConfig::default());
         let mut row = [0.0; 3];
         adam.step_row(0, &mut row, &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn dense_adam_checkpoint_resumes_bit_identically() {
+        use crate::ser::parse_json;
+        let mut a = Adam::new(3, AdamConfig::with_lr(0.05));
+        let mut x = [1.0_f32, -2.0, 0.5];
+        for step in 0..7 {
+            a.step(&mut x, &[0.1 * step as f32, -0.2, 0.3]);
+        }
+        let mut b = Adam::from_json(&parse_json(&a.to_json()).unwrap()).unwrap();
+        let mut xa = x;
+        let mut xb = x;
+        for _ in 0..5 {
+            a.step(&mut xa, &[0.4, -0.1, 0.05]);
+            b.step(&mut xb, &[0.4, -0.1, 0.05]);
+        }
+        assert_eq!(xa.map(f32::to_bits), xb.map(f32::to_bits));
+        assert_eq!(a.steps(), b.steps());
+    }
+
+    #[test]
+    fn sparse_adam_checkpoint_resumes_bit_identically() {
+        use crate::ser::parse_json;
+        let mut a = SparseRowAdam::new(8, 2, AdamConfig::with_lr(0.1));
+        let mut rows = [[0.5_f32, -0.5]; 8];
+        for i in [1usize, 5, 5, 7] {
+            a.step_row(i, &mut rows[i], &[0.3, -0.2]);
+        }
+        let mut b = SparseRowAdam::from_json(&parse_json(&a.to_json()).unwrap()).unwrap();
+        assert_eq!(b.active_rows(), a.active_rows());
+        assert_eq!(b.dim(), 2);
+        let mut ra = rows;
+        let mut rb = rows;
+        for i in [0usize, 5, 7] {
+            a.step_row(i, &mut ra[i], &[-0.1, 0.4]);
+            b.step_row(i, &mut rb[i], &[-0.1, 0.4]);
+        }
+        for (x, y) in ra.iter().flatten().zip(rb.iter().flatten()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -452,6 +452,32 @@ impl Matrix {
     }
 }
 
+impl crate::ser::ToJson for Matrix {
+    fn write_json(&self, out: &mut String) {
+        crate::ser::obj(out, |o| {
+            o.field("rows", &self.rows)
+                .field("cols", &self.cols)
+                .field("data", &self.data);
+        });
+    }
+}
+
+impl Matrix {
+    /// Restores a checkpointed matrix (shape-checked).
+    pub fn from_json(v: &crate::ser::JsonValue) -> Result<Self, crate::ser::JsonError> {
+        let rows = v.get("rows")?.as_usize()?;
+        let cols = v.get("cols")?.as_usize()?;
+        let data = v.get("data")?.as_f32_vec()?;
+        if data.len() != rows * cols {
+            return Err(crate::ser::JsonError::msg(format!(
+                "matrix data length {} does not match shape {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,5 +710,20 @@ mod tests {
         assert!(a.all_finite());
         let b = Matrix::from_vec(1, 1, vec![f32::NAN]);
         assert!(!b.all_finite());
+    }
+
+    #[test]
+    fn json_roundtrip_is_bit_exact() {
+        use crate::ser::{parse_json, ToJson};
+        let m = Matrix::from_fn(3, 2, |r, c| ((r * 7 + c) as f32).sin() / 3.0);
+        let back = Matrix::from_json(&parse_json(&m.to_json()).unwrap()).unwrap();
+        assert_eq!(back.rows(), 3);
+        assert_eq!(back.cols(), 2);
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Shape mismatch is rejected.
+        let bad = parse_json(r#"{"rows":2,"cols":2,"data":[1,2,3]}"#).unwrap();
+        assert!(Matrix::from_json(&bad).is_err());
     }
 }

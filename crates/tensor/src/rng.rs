@@ -265,6 +265,41 @@ impl StdRng {
         }
         Self { s }
     }
+
+    /// The full 256-bit generator state (for checkpointing).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from [`StdRng::state`] output, resuming the
+    /// stream exactly where it was captured.
+    ///
+    /// # Panics
+    /// Panics on the all-zero state (invalid for xoshiro).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0, 0, 0, 0], "all-zero xoshiro state is invalid");
+        Self { s }
+    }
+}
+
+impl crate::ser::ToJson for StdRng {
+    fn write_json(&self, out: &mut String) {
+        self.s.write_json(out);
+    }
+}
+
+impl StdRng {
+    /// Restores a checkpointed generator from its JSON state.
+    pub fn from_json(v: &crate::ser::JsonValue) -> Result<Self, crate::ser::JsonError> {
+        let s = v.as_u64_vec()?;
+        let s: [u64; 4] = s
+            .try_into()
+            .map_err(|_| crate::ser::JsonError::msg("rng state must have 4 words"))?;
+        if s == [0, 0, 0, 0] {
+            return Err(crate::ser::JsonError::msg("all-zero rng state"));
+        }
+        Ok(Self::from_state(s))
+    }
 }
 
 impl Rng for StdRng {
@@ -461,5 +496,26 @@ mod tests {
         let mut single = [42];
         shuffle(&mut single, &mut rng);
         assert_eq!(single, [42]);
+    }
+
+    #[test]
+    fn state_snapshot_resumes_the_stream_exactly() {
+        use crate::ser::{parse_json, ToJson};
+        let mut rng = stream(11, SeedStream::Distill);
+        for _ in 0..100 {
+            rng.next_u64();
+        }
+        let json = rng.to_json();
+        let mut resumed = StdRng::from_json(&parse_json(&json).unwrap()).unwrap();
+        for _ in 0..50 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
+    }
+
+    #[test]
+    fn invalid_rng_states_are_rejected() {
+        use crate::ser::parse_json;
+        assert!(StdRng::from_json(&parse_json("[0,0,0,0]").unwrap()).is_err());
+        assert!(StdRng::from_json(&parse_json("[1,2,3]").unwrap()).is_err());
     }
 }

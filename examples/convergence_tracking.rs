@@ -1,6 +1,7 @@
 //! Tooling example: track convergence, communication, and the
 //! dimensional-collapse diagnostic across training — the observability a
-//! production deployment of HeteFedRec would export.
+//! production deployment of HeteFedRec would export — using the session
+//! event stream plus an early-stopping observer.
 //!
 //! ```text
 //! cargo run --release --example convergence_tracking
@@ -17,29 +18,44 @@ fn main() {
     cfg.epochs = 6;
     cfg.seed = seed;
 
-    let mut trainer = Trainer::new(cfg.clone(), Strategy::HeteFedRec(Ablation::FULL), split);
+    // Early stopping: give up after 3 evaluations without an NDCG
+    // improvement of at least 1e-4 — long runs stop themselves once the
+    // curve flattens instead of burning the full epoch budget.
+    let mut session = SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split)
+        .early_stopping(3, 1e-4)
+        .build()
+        .expect("valid configuration");
+
     println!(
-        "{:>5} {:>12} {:>10} {:>10} {:>14} {:>12}",
-        "epoch", "train loss", "Recall@20", "NDCG@20", "collapse(Vl)", "upload MiB"
+        "{:>5} {:>7} {:>12} {:>10} {:>10} {:>14} {:>12}",
+        "epoch", "rounds", "train loss", "Recall@20", "NDCG@20", "collapse(Vl)", "upload MiB"
     );
-    for epoch in 1..=cfg.epochs {
-        let loss = trainer.run_epoch();
-        let eval = trainer.evaluate();
-        let collapse = trainer.server().collapse_metric(Tier::Large);
-        println!(
-            "{epoch:>5} {loss:>12.4} {:>10.5} {:>10.5} {collapse:>14.5} {:>12.2}",
-            eval.overall.recall,
-            eval.overall.ndcg,
-            trainer.ledger().upload_bytes as f64 / (1024.0 * 1024.0),
-        );
+    let mut rounds_this_epoch = 0usize;
+    while let Some(event) = session.step() {
+        match event {
+            SessionEvent::Round(_) => rounds_this_epoch += 1,
+            SessionEvent::Epoch(e) => {
+                let eval = e.eval.as_ref().expect("default cadence");
+                let collapse = session.server().collapse_metric(Tier::Large);
+                println!(
+                    "{:>5} {:>7} {:>12.4} {:>10.5} {:>10.5} {collapse:>14.5} {:>12.2}",
+                    e.epoch,
+                    rounds_this_epoch,
+                    e.train_loss,
+                    eval.overall.recall,
+                    eval.overall.ndcg,
+                    session.ledger().upload_bytes as f64 / (1024.0 * 1024.0),
+                );
+                rounds_this_epoch = 0;
+            }
+        }
     }
 
-    // run_epoch was driven manually (no History records), so summarise
-    // from the live evaluation.
-    let final_eval = trainer.evaluate();
+    let (best_epoch, best_ndcg) = session.history().best_ndcg().expect("evaluated epochs");
     println!(
-        "\nfinal NDCG@20 {:.5}; Eq.10 prefix violation after distillation: {:.2e}",
-        final_eval.overall.ndcg,
-        trainer.server().eq10_violation()
+        "\nstopped: {:?} — best NDCG@20 {best_ndcg:.5} at epoch {best_epoch}; \
+         Eq.10 prefix violation after distillation: {:.2e}",
+        session.stop_reason().expect("session finished"),
+        session.server().eq10_violation()
     );
 }

@@ -1,10 +1,17 @@
-//! Domain example: end-to-end movie recommendation. Trains a federated
-//! model, then produces top-10 recommendation lists for a few users and
-//! checks them against the users' held-out test movies.
+//! Domain example: end-to-end movie recommendation with checkpoint and
+//! resume. Trains a federated model through the session API, checkpoints
+//! mid-run to a file, finishes training, then restores the checkpoint
+//! and proves the resumed run reaches a bit-identical evaluation before
+//! producing top-10 recommendation lists.
 //!
 //! ```text
 //! cargo run --release --example movie_recommendation
 //! ```
+//!
+//! The checkpoint path defaults to
+//! `target/ci-artifacts/movie_recommendation_checkpoint.json` and can be
+//! overridden with the `HF_CHECKPOINT_PATH` environment variable (ci.sh
+//! relies on the artefact landing there).
 
 use hetefedrec::core::client::UserState;
 use hetefedrec::core::server::ServerState;
@@ -13,30 +20,79 @@ use hetefedrec::prelude::*;
 
 fn main() {
     let seed = 7;
-    let data = DatasetProfile::MovieLens.config_scaled(0.04).generate(seed);
-    let split = SplitDataset::paper_split(&data, seed);
+    let make_split = || {
+        let data = DatasetProfile::MovieLens.config_scaled(0.04).generate(seed);
+        SplitDataset::paper_split(&data, seed)
+    };
+    let split = make_split();
 
     let mut cfg = TrainConfig::paper_defaults(ModelKind::Ncf, DatasetProfile::MovieLens);
     cfg.epochs = 6;
     cfg.seed = seed;
     let strategy = Strategy::HeteFedRec(Ablation::FULL);
-    let mut trainer = Trainer::new(cfg.clone(), strategy, split.clone());
-    for _ in 0..cfg.epochs {
-        trainer.run_epoch();
-    }
-    let eval = trainer.evaluate();
-    println!("trained: overall NDCG@20 {:.5}\n", eval.overall.ndcg);
+    let checkpoint_path = std::env::var("HF_CHECKPOINT_PATH")
+        .unwrap_or_else(|_| "target/ci-artifacts/movie_recommendation_checkpoint.json".into());
 
-    // Produce top-10 lists for the three users with the most test data —
-    // this is the serving path an application would run on-device.
+    // --- Train, checkpointing mid-run ------------------------------------
+    let checkpoint_epoch = 2;
+    let mut session = SessionBuilder::new(cfg.clone(), strategy, split.clone())
+        .build()
+        .expect("valid configuration");
+    while let Some(event) = session.step() {
+        if let SessionEvent::Epoch(e) = event {
+            let eval = e.eval.as_ref().expect("default cadence");
+            println!(
+                "epoch {}: train loss {:.4}  NDCG@20 {:.5}",
+                e.epoch, e.train_loss, eval.overall.ndcg
+            );
+            if e.epoch == checkpoint_epoch {
+                session
+                    .write_checkpoint(&checkpoint_path)
+                    .expect("checkpoint written");
+                println!("  checkpointed epoch {} to {checkpoint_path}", e.epoch);
+            }
+        }
+    }
+    let trained_eval = session.final_eval().expect("final epoch evaluated").clone();
+    println!("trained: overall NDCG@20 {:.5}", trained_eval.overall.ndcg);
+
+    // --- Resume from the checkpoint and verify bit-identity --------------
+    let mut resumed = SessionBuilder::from_checkpoint_file(&checkpoint_path, make_split())
+        .expect("checkpoint parses")
+        .build()
+        .expect("checkpoint restores");
+    println!(
+        "resumed from epoch {} ({} rounds done); finishing the run...",
+        checkpoint_epoch,
+        resumed.rounds_completed()
+    );
+    resumed.run();
+    let resumed_eval = resumed.final_eval().expect("final epoch evaluated").clone();
+    assert_eq!(
+        trained_eval.overall.ndcg.to_bits(),
+        resumed_eval.overall.ndcg.to_bits(),
+        "resumed run must be bit-identical to the uninterrupted one"
+    );
+    assert_eq!(
+        trained_eval.overall.recall.to_bits(),
+        resumed_eval.overall.recall.to_bits()
+    );
+    println!(
+        "resume verified: NDCG@20 {:.5} == {:.5} (bit-identical)\n",
+        resumed_eval.overall.ndcg, trained_eval.overall.ndcg
+    );
+
+    // --- Serve top-10 lists from the resumed session ----------------------
+    // This is the on-device path an application would run; using the
+    // *resumed* session proves restored state serves identically.
     let mut users: Vec<usize> = (0..split.num_users()).collect();
     users.sort_by_key(|&u| std::cmp::Reverse(split.user(u).test.len()));
 
     for &u in users.iter().take(3) {
-        let tier = trainer.model_groups().tier(u);
+        let tier = resumed.model_groups().tier(u);
         let top = recommend(
-            trainer.server(),
-            trainer_user(&trainer, u),
+            resumed.server(),
+            resumed.user_state(u),
             &split,
             &cfg,
             u,
@@ -58,11 +114,6 @@ fn main() {
         println!("  top-10 recommendations: {top:?}");
         println!("  held-out hits in top-10: {hits:?}\n");
     }
-}
-
-/// Borrow a user's private state from the trainer.
-fn trainer_user(trainer: &Trainer, u: usize) -> &UserState {
-    trainer.user_state(u)
 }
 
 /// On-device serving: score every unseen movie with the user's tier model

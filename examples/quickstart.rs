@@ -1,5 +1,6 @@
 //! Quickstart: train HeteFedRec on a small synthetic MovieLens-like
-//! dataset and print the paper's headline metrics.
+//! dataset through the session API and print the paper's headline
+//! metrics.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,7 +9,7 @@
 use hetefedrec::prelude::*;
 
 fn main() {
-    // 1. Data: a 2%-scale synthetic MovieLens-1M (same distributional
+    // 1. Data: a 5%-scale synthetic MovieLens-1M (same distributional
     //    shape as the paper's Table I row), split 80/20 with 10% of train
     //    reserved for validation.
     let seed = 42;
@@ -27,20 +28,26 @@ fn main() {
     cfg.epochs = 5;
     cfg.seed = seed;
 
-    // 3. Train the full HeteFedRec (unified dual-task learning +
-    //    decorrelation regularisation + ensemble self-distillation).
-    let mut trainer = Trainer::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split);
-    for epoch in 1..=trainer.cfg().epochs {
-        let loss = trainer.run_epoch();
-        let eval = trainer.evaluate();
-        println!(
-            "epoch {epoch}: train loss {loss:.4}  Recall@20 {:.5}  NDCG@20 {:.5}",
-            eval.overall.recall, eval.overall.ndcg
-        );
+    // 3. Build the session (configuration is validated here, not deep in
+    //    the run) and drive it by typed epoch events.
+    let mut session = SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split)
+        .build()
+        .expect("valid configuration");
+    for event in session.events() {
+        if let SessionEvent::Epoch(e) = event {
+            let eval = e
+                .eval
+                .as_ref()
+                .expect("default cadence evaluates every epoch");
+            println!(
+                "epoch {}: train loss {:.4}  Recall@20 {:.5}  NDCG@20 {:.5}",
+                e.epoch, e.train_loss, eval.overall.recall, eval.overall.ndcg
+            );
+        }
     }
 
     // 4. Per-group breakdown (the paper's Fig. 6 view).
-    let eval = trainer.evaluate();
+    let eval = session.final_eval().expect("final epoch evaluated").clone();
     for (tier, group) in Tier::ALL.iter().zip(eval.per_group.iter()) {
         println!(
             "group {:<3} ({} users): NDCG@20 {:.5}",
@@ -51,8 +58,8 @@ fn main() {
     }
     println!(
         "communication: {:.1} MiB down, {:.1} MiB up over {} uploads",
-        trainer.ledger().download_bytes as f64 / (1024.0 * 1024.0),
-        trainer.ledger().upload_bytes as f64 / (1024.0 * 1024.0),
-        trainer.ledger().uploads
+        session.ledger().download_bytes as f64 / (1024.0 * 1024.0),
+        session.ledger().upload_bytes as f64 / (1024.0 * 1024.0),
+        session.ledger().uploads
     );
 }

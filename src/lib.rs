@@ -13,25 +13,41 @@
 //! let data = DatasetProfile::MovieLens.config_scaled(0.02).generate(42);
 //! let split = SplitDataset::paper_split(&data, 42);
 //!
-//! // Train HeteFedRec for one epoch and evaluate.
+//! // Train HeteFedRec for one epoch through the session API, observing
+//! // every round, then checkpoint and resume.
 //! let mut cfg = TrainConfig::paper_defaults(ModelKind::Ncf, DatasetProfile::MovieLens);
 //! cfg.epochs = 1;
-//! let mut trainer = Trainer::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split);
-//! trainer.run_epoch();
-//! let eval = trainer.evaluate();
+//! let mut session = SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split.clone())
+//!     .build()
+//!     .expect("valid configuration");
+//! let mut rounds = 0;
+//! for event in session.events() {
+//!     if let SessionEvent::Round(_) = event {
+//!         rounds += 1;
+//!     }
+//! }
+//! assert!(rounds > 0);
+//! let eval = session.final_eval().expect("final epoch evaluated");
 //! assert!(eval.overall.ndcg.is_finite());
+//!
+//! // A restored checkpoint carries the exact same state.
+//! let resumed = Session::restore(&session.checkpoint(), split).expect("restores");
+//! assert_eq!(
+//!     resumed.final_eval().unwrap().overall.ndcg,
+//!     eval.overall.ndcg
+//! );
 //! ```
 //!
 //! Crate map (see `DESIGN.md` for the full inventory):
 //!
 //! | Re-export | Contents |
 //! |---|---|
-//! | [`tensor`] | dense linear algebra, RNG streams, Adam, eigen-solver |
+//! | [`tensor`] | dense linear algebra, RNG streams, Adam, eigen-solver, JSON read/write |
 //! | [`dataset`] | synthetic profiles, splits, negative sampling, grouping |
 //! | [`models`] | NCF / LightGCN with manual backprop |
 //! | [`fedsim`] | rounds, transport, communication accounting, faults |
 //! | [`metrics`] | Recall@K / NDCG@K and the ranking evaluator |
-//! | [`core`] | HeteFedRec itself: UDL, DDR, RESKD, baselines, trainer |
+//! | [`core`] | HeteFedRec itself: UDL, DDR, RESKD, baselines, sessions |
 
 pub use hetefedrec_core as core;
 pub use hf_dataset as dataset;
@@ -42,9 +58,12 @@ pub use hf_tensor as tensor;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use hetefedrec_core::Trainer;
     pub use hetefedrec_core::{
-        run_experiment, Ablation, EvalOutput, ExperimentResult, History, ItemAggNorm, KdConfig,
-        ServerOpt, Strategy, TierDims, TrainConfig, Trainer,
+        run_experiment, Ablation, ConfigError, EpochRecord, EpochReport, EvalOutput,
+        ExperimentResult, History, ItemAggNorm, KdConfig, RoundReport, ServerOpt, Session,
+        SessionBuilder, SessionError, SessionEvent, StopReason, Strategy, TierDims, TrainConfig,
     };
     pub use hf_dataset::{
         ClientGroups, DatasetProfile, DivisionRatio, ImplicitDataset, SplitDataset,

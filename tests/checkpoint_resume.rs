@@ -1,0 +1,188 @@
+//! Integration coverage for checkpoint/resume through the public facade:
+//! a run interrupted at epoch k and restored must be bit-identical to an
+//! uninterrupted run with the same seed — including across differing
+//! `threads` values and through the filesystem.
+
+use hetefedrec::prelude::*;
+
+fn tiny_split(seed: u64) -> SplitDataset {
+    let data = SyntheticConfig::tiny().generate(seed);
+    SplitDataset::paper_split(&data, seed)
+}
+
+fn tiny_cfg(model: ModelKind) -> TrainConfig {
+    let mut cfg = TrainConfig::paper_defaults(model, DatasetProfile::MovieLens);
+    cfg.dims = TierDims::new(4, 8, 16);
+    cfg.epochs = 4;
+    cfg.clients_per_round = 32;
+    cfg.eval_k = 10;
+    cfg.kd.items = 16;
+    cfg.threads = 1;
+    cfg.seed = 5;
+    cfg
+}
+
+fn assert_evals_bit_identical(a: &EvalOutput, b: &EvalOutput) {
+    assert_eq!(a.overall.ndcg.to_bits(), b.overall.ndcg.to_bits());
+    assert_eq!(a.overall.recall.to_bits(), b.overall.recall.to_bits());
+    assert_eq!(a.overall.hit_rate.to_bits(), b.overall.hit_rate.to_bits());
+    assert_eq!(a.overall.precision.to_bits(), b.overall.precision.to_bits());
+    assert_eq!(a.overall.mrr.to_bits(), b.overall.mrr.to_bits());
+    assert_eq!(a.overall.users, b.overall.users);
+    for (ga, gb) in a.per_group.iter().zip(&b.per_group) {
+        assert_eq!(ga.ndcg.to_bits(), gb.ndcg.to_bits());
+        assert_eq!(ga.recall.to_bits(), gb.recall.to_bits());
+        assert_eq!(ga.users, gb.users);
+    }
+}
+
+/// Runs uninterrupted; runs again checkpointing after `checkpoint_epoch`
+/// epochs and discarding the original; restores with `resume_threads`
+/// workers and finishes. Every evaluated epoch must match bit-for-bit.
+fn roundtrip(strategy: Strategy, model: ModelKind, checkpoint_epoch: usize, resume_threads: usize) {
+    let cfg = tiny_cfg(model);
+
+    let mut reference = SessionBuilder::new(cfg.clone(), strategy, tiny_split(3))
+        .build()
+        .expect("valid configuration");
+    reference.run();
+
+    let mut interrupted = SessionBuilder::new(cfg, strategy, tiny_split(3))
+        .build()
+        .expect("valid configuration");
+    let mut json = None;
+    while let Some(event) = interrupted.step() {
+        if let SessionEvent::Epoch(e) = event {
+            if e.epoch == checkpoint_epoch {
+                json = Some(interrupted.checkpoint());
+                break;
+            }
+        }
+    }
+    let json = json.expect("checkpoint epoch reached");
+    drop(interrupted);
+
+    let mut resumed = SessionBuilder::from_checkpoint(&json, tiny_split(3))
+        .expect("checkpoint parses")
+        .threads(resume_threads)
+        .build()
+        .expect("checkpoint restores");
+    resumed.run();
+
+    assert_eq!(resumed.stop_reason(), Some(StopReason::Completed));
+    assert_eq!(
+        reference.history().epochs.len(),
+        resumed.history().epochs.len()
+    );
+    for (ea, eb) in reference
+        .history()
+        .epochs
+        .iter()
+        .zip(&resumed.history().epochs)
+    {
+        assert_eq!(ea.epoch, eb.epoch);
+        assert_eq!(
+            ea.train_loss.to_bits(),
+            eb.train_loss.to_bits(),
+            "epoch {}",
+            ea.epoch
+        );
+        assert_evals_bit_identical(&ea.eval, &eb.eval);
+    }
+    assert_evals_bit_identical(
+        reference.final_eval().expect("reference eval"),
+        resumed.final_eval().expect("resumed eval"),
+    );
+    // Out-of-band evaluation of the restored state must agree too.
+    assert_evals_bit_identical(&reference.evaluate(), &resumed.evaluate());
+    assert_eq!(
+        reference.ledger().upload_bytes,
+        resumed.ledger().upload_bytes
+    );
+    assert_eq!(
+        reference.ledger().download_bytes,
+        resumed.ledger().download_bytes
+    );
+    assert_eq!(reference.rounds_completed(), resumed.rounds_completed());
+}
+
+#[test]
+fn resume_at_epoch_2_is_bit_identical() {
+    roundtrip(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf, 2, 1);
+}
+
+#[test]
+fn resume_is_bit_identical_across_thread_counts() {
+    // Checkpoint under 1 thread, resume under 4 — the determinism
+    // contract makes the thread count irrelevant to the results.
+    roundtrip(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf, 1, 4);
+}
+
+#[test]
+fn resume_covers_lightgcn_and_baselines() {
+    roundtrip(
+        Strategy::HeteFedRec(Ablation::FULL),
+        ModelKind::LightGcn,
+        2,
+        1,
+    );
+    roundtrip(Strategy::ClusteredFedRec, ModelKind::Ncf, 2, 1);
+}
+
+#[test]
+fn resume_through_the_filesystem() {
+    let cfg = tiny_cfg(ModelKind::Ncf);
+    let strategy = Strategy::HeteFedRec(Ablation::FULL);
+
+    let mut reference = SessionBuilder::new(cfg.clone(), strategy, tiny_split(3))
+        .build()
+        .unwrap();
+    reference.run();
+
+    let mut interrupted = SessionBuilder::new(cfg, strategy, tiny_split(3))
+        .build()
+        .unwrap();
+    interrupted.run_epoch();
+    let dir = std::env::temp_dir().join(format!("hf_ckpt_test_{}", std::process::id()));
+    let path = dir.join("nested").join("session.json");
+    interrupted
+        .write_checkpoint(&path)
+        .expect("checkpoint written");
+
+    let mut resumed = SessionBuilder::from_checkpoint_file(&path, tiny_split(3))
+        .expect("file parses")
+        .build()
+        .expect("restores");
+    resumed.run();
+    assert_evals_bit_identical(
+        reference.final_eval().unwrap(),
+        resumed.final_eval().unwrap(),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fault_injected_runs_resume_bit_identically() {
+    // Drop decisions are keyed by (seed, round, client), so the resumed
+    // run must reproduce the same drops after the checkpoint boundary.
+    let mut cfg = tiny_cfg(ModelKind::Ncf);
+    cfg.drop_prob = 0.3;
+
+    let mut reference = SessionBuilder::new(cfg.clone(), Strategy::AllSmall, tiny_split(3))
+        .build()
+        .unwrap();
+    reference.run();
+
+    let mut interrupted = SessionBuilder::new(cfg, Strategy::AllSmall, tiny_split(3))
+        .build()
+        .unwrap();
+    interrupted.step();
+    interrupted.step();
+    let mut resumed = Session::restore(&interrupted.checkpoint(), tiny_split(3)).unwrap();
+    resumed.run();
+    assert_eq!(reference.ledger().uploads, resumed.ledger().uploads);
+    assert_evals_bit_identical(
+        reference.final_eval().unwrap(),
+        resumed.final_eval().unwrap(),
+    );
+}

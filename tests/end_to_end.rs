@@ -50,11 +50,14 @@ fn both_base_models_improve_over_random_ranking() {
     let split = tiny_split(2);
     for model in ModelKind::ALL {
         let cfg = tiny_cfg(model);
-        let mut trainer = Trainer::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split.clone());
+        let mut session =
+            SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split.clone())
+                .build()
+                .expect("valid configuration");
         for _ in 0..3 {
-            trainer.run_epoch();
+            session.run_epoch();
         }
-        let eval = trainer.evaluate();
+        let eval = session.evaluate();
         assert!(
             eval.overall.recall > 0.15,
             "{}: recall {} not above random",
@@ -138,8 +141,10 @@ fn division_ratio_controls_group_sizes_end_to_end() {
     let split = tiny_split(8);
     let mut cfg = tiny_cfg(ModelKind::Ncf);
     cfg.ratio = DivisionRatio::OPTIMISTIC; // 2:3:5
-    let trainer = Trainer::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split);
-    let sizes = trainer.model_groups().sizes();
+    let session = SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split)
+        .build()
+        .expect("valid configuration");
+    let sizes = session.model_groups().sizes();
     assert!(
         sizes[2] > sizes[0],
         "optimistic ratio should maximise Ul: {sizes:?}"
