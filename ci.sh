@@ -38,6 +38,21 @@ HF_CHECKPOINT_PATH=target/ci-artifacts/movie_recommendation_checkpoint.json \
 grep -q "resume verified" target/ci-artifacts/movie_recommendation_smoke.log
 test -s target/ci-artifacts/movie_recommendation_checkpoint.json
 
+echo "==> serving smoke (serve_throughput --json + serving example proofs)"
+cargo run -q --offline --release -p hf_bench --bin serve_throughput -- \
+    --scale tiny --dataset ml --model ncf \
+    --json target/ci-artifacts/serve_throughput_smoke.json
+test -s target/ci-artifacts/serve_throughput_smoke.json
+# The serving example exports an artifact, proves "serving matches eval"
+# (bit-identical metrics through the Recommender), and proves the
+# checkpoint→artifact reload path (it exits non-zero on any mismatch).
+HF_SERVE_CHECKPOINT_PATH=target/ci-artifacts/serving_checkpoint.json \
+    cargo run -q --offline --release --example serving \
+    > target/ci-artifacts/serving_smoke.log
+grep -q "serving matches eval" target/ci-artifacts/serving_smoke.log
+grep -q "artifact reload verified" target/ci-artifacts/serving_smoke.log
+test -s target/ci-artifacts/serving_checkpoint.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

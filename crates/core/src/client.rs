@@ -114,7 +114,7 @@ impl hf_tensor::ser::ToJson for StandaloneState {
 
 impl UserState {
     /// Restores a checkpointed client state.
-    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+    pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
         let standalone = match v.get("standalone")? {
             s if s.is_null() => None,
             s => {

@@ -85,7 +85,7 @@ impl TierDims {
     }
 
     /// Restores checkpointed tier dimensions (monotonicity re-checked).
-    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
         let dims = v.as_usize_vec()?;
         let [s, m, l]: [usize; 3] = dims
             .try_into()
@@ -138,7 +138,7 @@ impl ToJson for KdConfig {
 
 impl KdConfig {
     /// Restores a checkpointed distillation configuration.
-    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
         Ok(Self {
             items: v.get("items")?.as_usize()?,
             lr: v.get("lr")?.as_f32()?,
@@ -364,7 +364,7 @@ impl TrainConfig {
     }
 
     /// Restores a checkpointed configuration (re-validated).
-    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
         let cfg = Self {
             model: ModelKind::from_json(v.get("model")?)?,
             dims: TierDims::from_json(v.get("dims")?)?,
@@ -557,7 +557,8 @@ mod tests {
         use hf_tensor::ser::{parse_json, ToJson};
         let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
         cfg.epochs = 0;
-        let doc = parse_json(&cfg.to_json()).unwrap();
+        let json = cfg.to_json();
+        let doc = parse_json(&json).unwrap();
         assert!(TrainConfig::from_json(&doc).is_err());
     }
 }

@@ -6,6 +6,11 @@
 //! propagation. Training positives are masked; Recall@20 / NDCG@20 are
 //! computed against the held-out test items (§V-B). The per-*data*-group
 //! breakdown reproduces Fig. 6.
+//!
+//! Scoring goes through [`hf_models::scoring::SplitNcf`] — the same
+//! scorer the serving layer (`hf_serve`) batches over item-table panels —
+//! so offline evaluation and online serving produce identical rankings by
+//! construction. [`score_user`] is the shared per-user entry point.
 
 use crate::client::UserState;
 use crate::config::TrainConfig;
@@ -13,7 +18,7 @@ use crate::server::ServerState;
 use crate::strategy::Strategy;
 use hf_dataset::{ClientGroups, SplitDataset, Tier};
 use hf_metrics::eval::{EvalResult, Evaluator, GroupedEval, UserEval};
-use hf_models::ncf::NcfEngine;
+use hf_models::scoring::{propagate_lightgcn, SplitNcf};
 use hf_models::ModelKind;
 
 /// Aggregated evaluation output: overall plus per-data-group (Fig. 6).
@@ -36,7 +41,7 @@ impl hf_tensor::ser::ToJson for EvalOutput {
 
 impl EvalOutput {
     /// Restores a checkpointed evaluation.
-    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+    pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
         let groups = v.get("per_group")?.as_arr()?;
         if groups.len() != 3 {
             return Err(hf_tensor::ser::JsonError::msg(
@@ -66,6 +71,64 @@ impl EvalOutput {
     }
 }
 
+/// Scores every item for one user through the shared split-layer scorer.
+///
+/// This is the single scoring path for both offline evaluation (below)
+/// and online serving (`hf_serve` reproduces it bit-for-bit with panel
+/// batching); any change to its semantics changes what the system serves.
+pub fn score_user(
+    cfg: &TrainConfig,
+    strategy: Strategy,
+    split: &SplitDataset,
+    server: &ServerState,
+    state: &UserState,
+    user_id: usize,
+    model_tier: Tier,
+) -> Vec<f32> {
+    let user_split = split.user(user_id);
+    let dim = cfg.dims.dim(model_tier);
+    let num_items = split.num_items();
+    let is_standalone = matches!(strategy, Strategy::Standalone);
+
+    let theta = if is_standalone {
+        &state.standalone.as_ref().expect("standalone state").theta
+    } else {
+        server.theta(model_tier)
+    };
+    let scorer = SplitNcf::from_ffn(dim, theta);
+    let mut ws = scorer.workspace();
+
+    let table = server.table(model_tier);
+    let overlay = state.standalone.as_ref().map(|s| &s.rows);
+    let row_of = |item: usize| -> &[f32] {
+        if let Some(overlay) = overlay {
+            if let Some(row) = overlay.get(&(item as u32)) {
+                return row.as_slice();
+            }
+        }
+        table.row_prefix(item, dim)
+    };
+
+    // Fed-LightGCN scores with the propagated user representation.
+    let user_repr: Vec<f32> = match cfg.model {
+        ModelKind::Ncf => state.emb.clone(),
+        ModelKind::LightGcn => propagate_lightgcn(
+            &state.emb,
+            user_split.train.len(),
+            user_split.train.iter().map(|&item| row_of(item as usize)),
+        ),
+    };
+
+    let user_half = scorer.user_half(&user_repr);
+    let mut item_half = vec![0.0f32; scorer.hidden_width()];
+    let mut scores = Vec::with_capacity(num_items);
+    for item in 0..num_items {
+        scorer.item_half_into(row_of(item), &mut item_half);
+        scores.push(scorer.finish(&user_half, &item_half, &mut ws));
+    }
+    scores
+}
+
 /// Scores every item for one user and evaluates the ranking.
 ///
 /// Exposed for tests and tools; [`evaluate`] is the batch entry point.
@@ -82,57 +145,7 @@ pub fn evaluate_user(
     if user_split.test.is_empty() {
         return None;
     }
-    let dim = cfg.dims.dim(model_tier);
-    let num_items = split.num_items();
-    let is_standalone = matches!(strategy, Strategy::Standalone);
-
-    let theta = if is_standalone {
-        state
-            .standalone
-            .as_ref()
-            .expect("standalone state")
-            .theta
-            .clone()
-    } else {
-        server.theta(model_tier).clone()
-    };
-    let engine = NcfEngine::from_ffn(dim, theta);
-    let mut ws = engine.workspace();
-
-    let table = server.table(model_tier);
-    let overlay = state.standalone.as_ref().map(|s| &s.rows);
-    let row_of = |item: usize| -> &[f32] {
-        if let Some(overlay) = overlay {
-            if let Some(row) = overlay.get(&(item as u32)) {
-                return row.as_slice();
-            }
-        }
-        table.row_prefix(item, dim)
-    };
-
-    // Fed-LightGCN scores with the propagated user representation.
-    let user_repr: Vec<f32> = match cfg.model {
-        ModelKind::Ncf => state.emb.clone(),
-        ModelKind::LightGcn => {
-            let coeff = if user_split.train.is_empty() {
-                0.0
-            } else {
-                1.0 / (user_split.train.len() as f32).sqrt()
-            };
-            let mut prop = state.emb.clone();
-            for &item in &user_split.train {
-                hf_tensor::ops::axpy_slice(&mut prop, coeff, row_of(item as usize));
-            }
-            prop.iter_mut().for_each(|x| *x *= 0.5);
-            prop
-        }
-    };
-
-    let mut scores = Vec::with_capacity(num_items);
-    for item in 0..num_items {
-        scores.push(engine.forward(&user_repr, row_of(item), &mut ws));
-    }
-
+    let scores = score_user(cfg, strategy, split, server, state, user_id, model_tier);
     let evaluator = Evaluator { k: cfg.eval_k };
     evaluator.evaluate_user(&scores, &user_split.train, &user_split.test)
 }

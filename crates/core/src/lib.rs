@@ -24,8 +24,9 @@
 //! [`strategy`] enumerates the paper's six baselines and the ablation
 //! switches of Table IV; [`session`] runs the full federated protocol as
 //! a resumable stepper of typed round/epoch events and produces the
-//! metric histories every experiment binary consumes ([`trainer`] is the
-//! deprecated blocking shim over it).
+//! metric histories every experiment binary consumes; [`eval`] ranks the
+//! full item universe through the same split-layer scorer the serving
+//! layer (`hf_serve`) uses.
 
 #![warn(missing_docs)]
 
@@ -38,7 +39,6 @@ pub mod reskd;
 pub mod server;
 pub mod session;
 pub mod strategy;
-pub mod trainer;
 
 pub use config::{ConfigError, ItemAggNorm, KdConfig, ServerOpt, TierDims, TrainConfig};
 pub use eval::EvalOutput;
@@ -48,5 +48,3 @@ pub use session::{
     SessionEvent, StopReason,
 };
 pub use strategy::{Ablation, Strategy};
-#[allow(deprecated)]
-pub use trainer::Trainer;

@@ -286,13 +286,13 @@ impl ServerState {
     /// Restores a server from a [`ServerState::snapshot_json`] snapshot
     /// plus the run's configuration and strategy.
     pub fn from_json(
-        v: &hf_tensor::ser::JsonValue,
+        v: &hf_tensor::ser::JsonValue<'_>,
         num_items: usize,
         cfg: &TrainConfig,
         strategy: Strategy,
     ) -> Result<Self, hf_tensor::ser::JsonError> {
         use hf_tensor::ser::JsonError;
-        let read3 = |key: &str| -> Result<[&hf_tensor::ser::JsonValue; 3], JsonError> {
+        let read3 = |key: &str| -> Result<[&hf_tensor::ser::JsonValue<'_>; 3], JsonError> {
             let arr = v.get(key)?.as_arr()?;
             if arr.len() != 3 {
                 return Err(JsonError::msg(format!("`{key}` must have 3 tiers")));

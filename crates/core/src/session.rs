@@ -218,7 +218,7 @@ impl ToJson for StopReason {
 }
 
 impl StopReason {
-    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+    fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
         match v.get("reason")?.as_str()? {
             "completed" => Ok(StopReason::Completed),
             "early_stopped" => Ok(StopReason::EarlyStopped {
@@ -254,7 +254,7 @@ impl ToJson for EpochRecord {
 }
 
 impl EpochRecord {
-    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+    fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
         Ok(Self {
             epoch: v.get("epoch")?.as_usize()?,
             train_loss: v.get("train_loss")?.as_f64()?,
@@ -304,7 +304,7 @@ impl History {
     }
 
     /// Restores a checkpointed history.
-    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
         let epochs = v
             .as_arr()?
             .iter()
@@ -341,28 +341,41 @@ type EpochHook = Box<dyn FnMut(&EpochReport)>;
 /// assert_eq!(history.epochs.len(), session.cfg().epochs);
 /// ```
 pub struct SessionBuilder {
-    cfg: TrainConfig,
-    strategy: Strategy,
+    source: Source,
     split: SplitDataset,
     eval_every: usize,
     early_stop: Option<EarlyStopConfig>,
+    threads_override: Option<usize>,
     round_hooks: Vec<RoundHook>,
     epoch_hooks: Vec<EpochHook>,
-    checkpoint: Option<JsonValue>,
+}
+
+/// Where the session's configuration and state come from.
+enum Source {
+    /// Fresh run: caller-supplied configuration, state initialised from
+    /// the seed.
+    Fresh {
+        cfg: TrainConfig,
+        strategy: Strategy,
+    },
+    /// Resume: the raw checkpoint text, parsed exactly once in
+    /// [`SessionBuilder::build`] (the parsed tree borrows its number
+    /// tokens from this text, so the builder keeps it owned and the
+    /// whole restore costs a single parse).
+    Checkpoint { json: String },
 }
 
 impl SessionBuilder {
     /// Starts a builder for a fresh run.
     pub fn new(cfg: TrainConfig, strategy: Strategy, split: SplitDataset) -> Self {
         Self {
-            cfg,
-            strategy,
+            source: Source::Fresh { cfg, strategy },
             split,
             eval_every: 1,
             early_stop: None,
+            threads_override: None,
             round_hooks: Vec::new(),
             epoch_hooks: Vec::new(),
-            checkpoint: None,
         }
     }
 
@@ -370,33 +383,11 @@ impl SessionBuilder {
     /// document. Configuration and strategy come from the checkpoint; the
     /// caller supplies the (identically generated) split dataset plus any
     /// observers, cadence, or early-stopping settings, then calls
-    /// [`SessionBuilder::build`].
+    /// [`SessionBuilder::build`]. The document is parsed (and any
+    /// malformed-checkpoint error surfaces) at build time, so a restore
+    /// pays exactly one parse.
     pub fn from_checkpoint(json: &str, split: SplitDataset) -> Result<Self, SessionError> {
-        let doc = parse_json(json)?;
-        let format = doc.get("format")?.as_str()?;
-        if format != CHECKPOINT_FORMAT {
-            return Err(SessionError::Checkpoint(format!(
-                "unknown format `{format}`"
-            )));
-        }
-        let version = doc.get("version")?.as_u64()?;
-        if version != CHECKPOINT_VERSION {
-            return Err(SessionError::Checkpoint(format!(
-                "unsupported version {version} (this build reads {CHECKPOINT_VERSION})"
-            )));
-        }
-        let cfg = TrainConfig::from_json(doc.get("cfg")?)?;
-        let strategy = Strategy::from_json(doc.get("strategy")?)?;
-        Ok(Self {
-            cfg,
-            strategy,
-            split,
-            eval_every: 1,
-            early_stop: None,
-            round_hooks: Vec::new(),
-            epoch_hooks: Vec::new(),
-            checkpoint: Some(doc),
-        })
+        Ok(Self::from_checkpoint_owned(json.to_string(), split))
     }
 
     /// [`SessionBuilder::from_checkpoint`] reading the document from a
@@ -407,7 +398,19 @@ impl SessionBuilder {
     ) -> Result<Self, SessionError> {
         let json = std::fs::read_to_string(path.as_ref())
             .map_err(|e| SessionError::Checkpoint(format!("cannot read checkpoint: {e}")))?;
-        Self::from_checkpoint(&json, split)
+        Ok(Self::from_checkpoint_owned(json, split))
+    }
+
+    fn from_checkpoint_owned(json: String, split: SplitDataset) -> Self {
+        Self {
+            source: Source::Checkpoint { json },
+            split,
+            eval_every: 1,
+            early_stop: None,
+            threads_override: None,
+            round_hooks: Vec::new(),
+            epoch_hooks: Vec::new(),
+        }
     }
 
     /// Evaluate every `n` epochs (default 1). The final configured epoch
@@ -446,14 +449,13 @@ impl SessionBuilder {
     /// every thread count, so this is always safe — including when
     /// resuming a checkpoint taken under a different setting).
     pub fn threads(mut self, threads: usize) -> Self {
-        self.cfg.threads = threads;
+        self.threads_override = Some(threads);
         self
     }
 
     /// Validates the configuration and produces a [`Session`] — fresh, or
     /// restored when the builder came from a checkpoint.
     pub fn build(self) -> Result<Session, SessionError> {
-        self.cfg.validate()?;
         if self.split.num_users() == 0 {
             return Err(SessionError::EmptyPopulation);
         }
@@ -463,21 +465,23 @@ impl SessionBuilder {
             }
         }
         let Self {
-            cfg,
-            strategy,
+            source,
             split,
             eval_every,
             early_stop,
+            threads_override,
             round_hooks,
             epoch_hooks,
-            checkpoint,
         } = self;
 
-        let model_groups = strategy.assign_tiers(&split, cfg.ratio);
-        let data_groups = ClientGroups::divide(&split, cfg.ratio);
-
-        let mut session = match checkpoint {
-            None => {
+        let mut session = match source {
+            Source::Fresh { mut cfg, strategy } => {
+                if let Some(threads) = threads_override {
+                    cfg.threads = threads;
+                }
+                cfg.validate()?;
+                let model_groups = strategy.assign_tiers(&split, cfg.ratio);
+                let data_groups = ClientGroups::divide(&split, cfg.ratio);
                 let server = ServerState::new(split.num_items(), &cfg, strategy);
                 let users = (0..split.num_users())
                     .map(|u| {
@@ -524,7 +528,30 @@ impl SessionBuilder {
                     epoch_hooks: Vec::new(),
                 }
             }
-            Some(doc) => {
+            Source::Checkpoint { json } => {
+                // The one and only parse of the checkpoint text; the tree
+                // borrows its number tokens from `json`.
+                let doc = parse_json(&json)?;
+                let format = doc.get("format")?.as_str()?;
+                if format != CHECKPOINT_FORMAT {
+                    return Err(SessionError::Checkpoint(format!(
+                        "unknown format `{format}`"
+                    )));
+                }
+                let version = doc.get("version")?.as_u64()?;
+                if version != CHECKPOINT_VERSION {
+                    return Err(SessionError::Checkpoint(format!(
+                        "unsupported version {version} (this build reads {CHECKPOINT_VERSION})"
+                    )));
+                }
+                let mut cfg = TrainConfig::from_json(doc.get("cfg")?)?;
+                let strategy = Strategy::from_json(doc.get("strategy")?)?;
+                if let Some(threads) = threads_override {
+                    cfg.threads = threads;
+                }
+                cfg.validate()?;
+                let model_groups = strategy.assign_tiers(&split, cfg.ratio);
+                let data_groups = ClientGroups::divide(&split, cfg.ratio);
                 Session::restore_parts(&doc, cfg, strategy, split, model_groups, data_groups)?
             }
         };
@@ -740,10 +767,7 @@ impl Session {
 
     /// Changes the evaluation cadence mid-run (see
     /// [`SessionBuilder::eval_every`]). Lets long runs cheapen
-    /// intermediate epochs once the curve is understood — and lets
-    /// [`Trainer`](crate::trainer::Trainer) shim users opt out of the
-    /// session's default per-epoch evaluation
-    /// (`trainer.session().set_eval_every(0)`).
+    /// intermediate epochs once the curve is understood.
     pub fn set_eval_every(&mut self, n: usize) {
         self.eval_every = n;
     }
@@ -1021,7 +1045,7 @@ impl Session {
     }
 
     fn restore_parts(
-        doc: &JsonValue,
+        doc: &JsonValue<'_>,
         cfg: TrainConfig,
         strategy: Strategy,
         split: SplitDataset,

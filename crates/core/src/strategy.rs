@@ -153,7 +153,7 @@ impl hf_tensor::ser::ToJson for Ablation {
 
 impl Ablation {
     /// Restores checkpointed ablation switches.
-    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+    pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
         Ok(Self {
             udl: v.get("udl")?.as_bool()?,
             ddr: v.get("ddr")?.as_bool()?,
@@ -180,7 +180,7 @@ impl hf_tensor::ser::ToJson for Strategy {
 
 impl Strategy {
     /// Restores a checkpointed strategy.
-    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+    pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
         let kind = v.get("kind")?.as_str()?;
         Ok(match kind {
             "hetefedrec" => Strategy::HeteFedRec(Ablation::from_json(v.get("ablation")?)?),

@@ -91,7 +91,7 @@ impl DivisionRatio {
     }
 
     /// Restores a checkpointed ratio.
-    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+    pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
         let read = |key: &str| -> Result<u32, hf_tensor::ser::JsonError> {
             let x = v.get(key)?.as_u64()?;
             u32::try_from(x)

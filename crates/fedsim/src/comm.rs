@@ -117,7 +117,7 @@ impl hf_tensor::ser::ToJson for CommLedger {
 
 impl CommLedger {
     /// Restores a checkpointed ledger.
-    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+    pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
         Ok(Self {
             upload_bytes: v.get("upload_bytes")?.as_u64()?,
             download_bytes: v.get("download_bytes")?.as_u64()?,

@@ -43,7 +43,7 @@ impl FaultInjector {
 
     /// Restores a checkpointed injector. Decisions are a pure function of
     /// `(seed, round, client)`, so seed + probability are the whole state.
-    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+    pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
         let drop_prob = v.get("drop_prob")?.as_f64()?;
         if !(0.0..1.0).contains(&drop_prob) {
             return Err(hf_tensor::ser::JsonError::msg("drop probability in [0,1)"));

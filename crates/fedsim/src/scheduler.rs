@@ -55,7 +55,7 @@ impl RoundScheduler {
 
     /// Restores a checkpointed scheduler (queue order + shuffle-RNG state),
     /// resuming the epoch sequence exactly where it was captured.
-    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+    pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
         let queue = v.get("queue")?.as_usize_vec()?;
         if queue.is_empty() {
             return Err(hf_tensor::ser::JsonError::msg("empty scheduler queue"));

@@ -67,7 +67,7 @@ impl hf_tensor::ser::ToJson for EvalResult {
 
 impl EvalResult {
     /// Restores a checkpointed evaluation result.
-    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+    pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
         Ok(Self {
             recall: v.get("recall")?.as_f64()?,
             ndcg: v.get("ndcg")?.as_f64()?,
@@ -108,12 +108,23 @@ impl Evaluator {
             return None;
         }
         let ranked = top_k_excluding(scores, self.k, train_mask);
+        self.evaluate_ranked(&ranked, test)
+    }
+
+    /// Evaluates an already-ranked top-K list (best first) against the
+    /// relevant set — the entry point for rankings produced outside this
+    /// crate, e.g. by the serving layer's `Recommender`. Returns `None`
+    /// when the user has no test items.
+    pub fn evaluate_ranked(&self, ranked: &[u32], test: &[u32]) -> Option<UserEval> {
+        if test.is_empty() {
+            return None;
+        }
         Some(UserEval {
-            recall: ranking::recall_at_k(&ranked, test, self.k),
-            ndcg: ranking::ndcg_at_k(&ranked, test, self.k),
-            hit_rate: ranking::hit_rate_at_k(&ranked, test, self.k),
-            precision: ranking::precision_at_k(&ranked, test, self.k),
-            mrr: ranking::mrr(&ranked, test),
+            recall: ranking::recall_at_k(ranked, test, self.k),
+            ndcg: ranking::ndcg_at_k(ranked, test, self.k),
+            hit_rate: ranking::hit_rate_at_k(ranked, test, self.k),
+            precision: ranking::precision_at_k(ranked, test, self.k),
+            mrr: ranking::mrr(ranked, test),
         })
     }
 

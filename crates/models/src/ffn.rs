@@ -248,7 +248,7 @@ impl hf_tensor::ser::ToJson for Ffn {
 
 impl Ffn {
     /// Restores a checkpointed FFN ([`Ffn::to_flat`] layout, shape-checked).
-    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+    pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
         let dims = v.get("dims")?.as_usize_vec()?;
         let flat = v.get("flat")?.as_f32_vec()?;
         if dims.len() < 2 {

@@ -22,6 +22,9 @@
 //!   backward pass, and flat (de)serialisation for federated transport.
 //! * [`ncf`] — the NCF scoring engine.
 //! * [`lightgcn`] — local-graph propagation + scoring engine.
+//! * [`scoring`] — the split-layer serving/evaluation scorer shared by
+//!   `hetefedrec_core::eval` and `hf_serve` (panel-batchable, with a
+//!   bit-identity contract between its scalar and blocked paths).
 //! * [`sparse`] — row-sparse gradient accumulation for item embeddings.
 
 #![warn(missing_docs)]
@@ -29,11 +32,13 @@
 pub mod ffn;
 pub mod lightgcn;
 pub mod ncf;
+pub mod scoring;
 pub mod sparse;
 
 pub use ffn::{Ffn, FfnCache};
 pub use lightgcn::{LightGcnEngine, LocalGraph};
 pub use ncf::NcfEngine;
+pub use scoring::{SplitNcf, SplitWorkspace};
 pub use sparse::RowGradBuffer;
 
 /// Which base recommendation model an experiment uses (paper: Fed-NCF or
@@ -84,7 +89,7 @@ impl hf_tensor::ser::ToJson for ModelKind {
 
 impl ModelKind {
     /// Restores a checkpointed model kind.
-    pub fn from_json(v: &hf_tensor::ser::JsonValue) -> Result<Self, hf_tensor::ser::JsonError> {
+    pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
         let tag = v.as_str()?;
         Self::from_tag(tag)
             .ok_or_else(|| hf_tensor::ser::JsonError::msg(format!("unknown model kind `{tag}`")))

@@ -1,0 +1,220 @@
+//! Exportable serving artifacts.
+//!
+//! A [`ModelArtifact`] is an **immutable** snapshot of everything the
+//! deployment side needs to answer top-K queries: the frozen per-tier
+//! item tables and predictors, every known user's serving state (tier,
+//! private embedding, interaction history, and — under the standalone
+//! baseline — its private model), per-item popularity counts, and a
+//! per-tier cold-start fallback embedding for users the training run
+//! never saw.
+//!
+//! Artifacts are produced from a live [`Session`] (`export_artifact()`)
+//! or rebuilt from a persisted training checkpoint
+//! ([`ModelArtifact::from_checkpoint`] /
+//! [`ModelArtifact::from_checkpoint_file`], which ingest the
+//! `hetefedrec.checkpoint` v1 documents written by
+//! [`Session::checkpoint`] through the `hf_tensor::ser` reader). The
+//! artifact schema itself is versioned ([`ARTIFACT_VERSION`]); it tracks
+//! the checkpoint schema it can ingest, so a reader upgrade is an
+//! artifact-version bump.
+
+use crate::ServeError;
+use hetefedrec_core::session::Session;
+use hetefedrec_core::Strategy;
+use hf_dataset::{SplitDataset, Tier};
+use hf_models::{Ffn, ModelKind};
+use hf_tensor::Matrix;
+use std::collections::HashMap;
+
+use hetefedrec_core::config::TierDims;
+
+/// Artifact schema version. Version 1 snapshots the state of
+/// `hetefedrec.checkpoint` v1 documents.
+pub const ARTIFACT_VERSION: u64 = 1;
+
+/// One user's frozen serving state.
+#[derive(Clone, Debug)]
+pub struct UserRecord {
+    /// The model tier this user is served with.
+    pub tier: Tier,
+    /// Private user embedding (width = tier dimension).
+    pub emb: Vec<f32>,
+    /// Training positives, in split order — drives LightGCN propagation,
+    /// default exclusion, and popularity counts.
+    pub history: Vec<u32>,
+    /// Standalone-baseline private model, when the artifact came from a
+    /// [`Strategy::Standalone`] run.
+    pub solo: Option<SoloModel>,
+}
+
+/// A standalone client's private parameters (overlay over the frozen
+/// initial table, plus its own predictor).
+#[derive(Clone, Debug)]
+pub struct SoloModel {
+    /// Item rows the client trained privately, keyed by item id.
+    pub rows: HashMap<u32, Vec<f32>>,
+    /// The client's private predictor.
+    pub theta: Ffn,
+}
+
+/// An immutable, versioned snapshot of a trained model, ready to serve.
+#[derive(Clone, Debug)]
+pub struct ModelArtifact {
+    model: ModelKind,
+    dims: TierDims,
+    standalone: bool,
+    num_items: usize,
+    /// Frozen tier item tables `{Vs, Vm, Vl}` (each at its exact width).
+    tables: [Matrix; 3],
+    /// Frozen tier predictors `{Θs, Θm, Θl}`.
+    thetas: [Ffn; 3],
+    users: Vec<UserRecord>,
+    /// Per-item training-interaction counts (popularity floor support).
+    popularity: Vec<u32>,
+    /// Per-tier mean user embedding — the cold-start fallback
+    /// representation (zeros when a tier has no users).
+    fallback: [Vec<f32>; 3],
+}
+
+impl ModelArtifact {
+    /// Snapshots a session's current model state into an artifact.
+    ///
+    /// The session keeps training afterwards if it likes; the artifact is
+    /// a deep copy and never changes.
+    pub fn from_session(session: &Session) -> Self {
+        let cfg = session.cfg();
+        let split = session.split();
+        let server = session.server();
+        let standalone = matches!(session.strategy(), Strategy::Standalone);
+        let num_items = split.num_items();
+
+        let mut popularity = vec![0u32; num_items];
+        let users: Vec<UserRecord> = (0..split.num_users())
+            .map(|u| {
+                let tier = session.model_groups().tier(u);
+                let state = session.user_state(u);
+                let history = split.user(u).train.clone();
+                for &item in &history {
+                    popularity[item as usize] += 1;
+                }
+                UserRecord {
+                    tier,
+                    emb: state.emb.clone(),
+                    history,
+                    solo: state.standalone.as_ref().map(|s| SoloModel {
+                        rows: s.rows.clone(),
+                        theta: s.theta.clone(),
+                    }),
+                }
+            })
+            .collect();
+
+        // Cold-start fallback: per-tier mean embedding over known users
+        // (ascending user order, so the sum is deterministic).
+        let mut fallback: [Vec<f32>; 3] =
+            std::array::from_fn(|t| vec![0.0f32; cfg.dims.dim(Tier::ALL[t])]);
+        let mut counts = [0usize; 3];
+        for user in &users {
+            let t = user.tier.index();
+            hf_tensor::ops::axpy_slice(&mut fallback[t], 1.0, &user.emb);
+            counts[t] += 1;
+        }
+        for (f, &n) in fallback.iter_mut().zip(&counts) {
+            if n > 0 {
+                let inv = 1.0 / n as f32;
+                f.iter_mut().for_each(|x| *x *= inv);
+            }
+        }
+
+        Self {
+            model: cfg.model,
+            dims: cfg.dims,
+            standalone,
+            num_items,
+            tables: std::array::from_fn(|t| server.table(Tier::ALL[t]).clone()),
+            thetas: std::array::from_fn(|t| server.theta(Tier::ALL[t]).clone()),
+            users,
+            popularity,
+            fallback,
+        }
+    }
+
+    /// Rebuilds an artifact from a `hetefedrec.checkpoint` v1 document
+    /// (as written by [`Session::checkpoint`]), using the `hf_tensor::ser`
+    /// reader. The caller supplies the identically generated split — the
+    /// checkpoint stores only model state, not the dataset.
+    pub fn from_checkpoint(json: &str, split: SplitDataset) -> Result<Self, ServeError> {
+        let session = Session::restore(json, split)
+            .map_err(|e| ServeError::Artifact(format!("cannot restore checkpoint: {e}")))?;
+        Ok(Self::from_session(&session))
+    }
+
+    /// [`ModelArtifact::from_checkpoint`] reading the document from a file.
+    pub fn from_checkpoint_file(
+        path: impl AsRef<std::path::Path>,
+        split: SplitDataset,
+    ) -> Result<Self, ServeError> {
+        let json = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| ServeError::Artifact(format!("cannot read checkpoint: {e}")))?;
+        Self::from_checkpoint(&json, split)
+    }
+
+    /// Artifact schema version.
+    pub fn version(&self) -> u64 {
+        ARTIFACT_VERSION
+    }
+
+    /// Base model the artifact serves.
+    pub fn model(&self) -> ModelKind {
+        self.model
+    }
+
+    /// Tier embedding dimensions.
+    pub fn dims(&self) -> TierDims {
+        self.dims
+    }
+
+    /// `true` when the artifact came from the standalone baseline (every
+    /// user carries a private model).
+    pub fn is_standalone(&self) -> bool {
+        self.standalone
+    }
+
+    /// Item universe size.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of known users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// One known user's frozen state, or `None` for unknown ids (the
+    /// recommender's cold-start path).
+    pub fn user(&self, user: usize) -> Option<&UserRecord> {
+        self.users.get(user)
+    }
+
+    /// One tier's frozen item table.
+    pub fn table(&self, tier: Tier) -> &Matrix {
+        &self.tables[tier.index()]
+    }
+
+    /// One tier's frozen predictor.
+    pub fn theta(&self, tier: Tier) -> &Ffn {
+        &self.thetas[tier.index()]
+    }
+
+    /// Training-interaction count of one item (0 for ids outside the
+    /// catalogue — unknown items have no interactions, and serving
+    /// accessors never panic on caller-supplied ids).
+    pub fn popularity(&self, item: u32) -> u32 {
+        self.popularity.get(item as usize).copied().unwrap_or(0)
+    }
+
+    /// The cold-start fallback embedding of one tier.
+    pub fn fallback(&self, tier: Tier) -> &[f32] {
+        &self.fallback[tier.index()]
+    }
+}

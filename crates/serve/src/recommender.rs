@@ -1,0 +1,507 @@
+//! The batched top-K query layer.
+//!
+//! [`RecommenderBuilder`] validates a serving configuration against a
+//! [`ModelArtifact`] and produces a [`Recommender`], which answers typed
+//! [`RecommendRequest`]s with deterministic [`RecommendResponse`]s.
+//!
+//! The hot path is **batch-oriented**: [`Recommender::recommend_batch`]
+//! groups requests by model tier, computes the first-layer *item half*
+//! once per `(tier, item panel)` as a blocked
+//! [`Matrix::matmul_rows`](hf_tensor::Matrix::matmul_rows) product
+//! ([`SplitNcf::item_half_block`]), shares that panel across every
+//! request of the tier, and fans the panels out over
+//! [`hf_fedsim::parallel_map`]. Ranking funnels into
+//! [`hf_metrics::top_k_excluding`] (ties break toward the smaller item
+//! id; NaN scores are skipped, which is how item filters and the
+//! popularity floor drop candidates).
+//!
+//! Determinism contract: every `(request, item)` score is computed
+//! exactly once, from inputs that do not depend on batch composition,
+//! panel size, or thread count — so responses are **bit-identical**
+//! across 1/2/8 threads, across batch shapes, and against the offline
+//! evaluator's scores ([`hetefedrec_core::eval::score_user`]), which uses
+//! the same [`SplitNcf`] scorer in scalar form.
+
+use crate::artifact::ModelArtifact;
+use crate::ServeError;
+use hf_dataset::Tier;
+use hf_fedsim::parallel::parallel_map;
+use hf_metrics::top_k_excluding;
+use hf_models::scoring::{propagate_lightgcn, SplitNcf};
+use hf_models::ModelKind;
+use std::sync::Arc;
+
+/// Item predicate for [`RecommendRequest::filter`]: return `false` to
+/// drop an item from the candidate set.
+pub type ItemFilter = Arc<dyn Fn(u32) -> bool + Send + Sync>;
+
+/// A typed top-K query.
+#[derive(Clone)]
+pub struct RecommendRequest {
+    /// User id. Ids at or beyond the artifact's user count take the
+    /// cold-start fallback path.
+    pub user: usize,
+    /// Ranking cutoff; `0` means the recommender's `default_k`.
+    pub k: usize,
+    /// Extra item ids to exclude (need not be sorted).
+    pub exclude: Vec<u32>,
+    /// Exclude the user's own training history (default `true` — serving
+    /// someone their already-consumed items is rarely useful, and it is
+    /// the offline evaluation protocol's masking rule).
+    pub exclude_seen: bool,
+    /// Drop items with fewer than this many training interactions
+    /// (`0` disables the floor).
+    pub min_popularity: u32,
+    /// Optional candidate predicate (catalogue filters, availability…).
+    pub filter: Option<ItemFilter>,
+}
+
+impl RecommendRequest {
+    /// A default query for one user: recommender-default `k`, history
+    /// excluded, no filters.
+    pub fn new(user: usize) -> Self {
+        Self {
+            user,
+            k: 0,
+            exclude: Vec::new(),
+            exclude_seen: true,
+            min_popularity: 0,
+            filter: None,
+        }
+    }
+
+    /// Sets the ranking cutoff.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Adds explicit exclusions.
+    pub fn exclude(mut self, items: impl IntoIterator<Item = u32>) -> Self {
+        self.exclude.extend(items);
+        self
+    }
+
+    /// Keeps already-seen items in the candidate set.
+    pub fn keep_seen(mut self) -> Self {
+        self.exclude_seen = false;
+        self
+    }
+
+    /// Sets the popularity floor.
+    pub fn with_min_popularity(mut self, floor: u32) -> Self {
+        self.min_popularity = floor;
+        self
+    }
+
+    /// Sets the candidate predicate.
+    pub fn with_filter(mut self, filter: impl Fn(u32) -> bool + Send + Sync + 'static) -> Self {
+        self.filter = Some(Arc::new(filter));
+        self
+    }
+}
+
+impl std::fmt::Debug for RecommendRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecommendRequest")
+            .field("user", &self.user)
+            .field("k", &self.k)
+            .field("exclude", &self.exclude)
+            .field("exclude_seen", &self.exclude_seen)
+            .field("min_popularity", &self.min_popularity)
+            .field("filter", &self.filter.as_ref().map(|_| "<predicate>"))
+            .finish()
+    }
+}
+
+/// One ranked item.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredItem {
+    /// Item id.
+    pub item: u32,
+    /// Model logit the ranking used (higher is better).
+    pub score: f32,
+}
+
+/// A deterministic answer to a [`RecommendRequest`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecommendResponse {
+    /// The queried user id.
+    pub user: usize,
+    /// Tier whose model produced the ranking.
+    pub tier: Tier,
+    /// `true` when the user was unknown and the cold-start fallback
+    /// embedding was used.
+    pub cold_start: bool,
+    /// Ranked recommendations, best first.
+    pub items: Vec<ScoredItem>,
+}
+
+/// Validated constructor for a [`Recommender`].
+pub struct RecommenderBuilder {
+    artifact: ModelArtifact,
+    default_k: usize,
+    threads: usize,
+    panel_items: usize,
+    cold_start_tier: Tier,
+}
+
+impl RecommenderBuilder {
+    /// Starts a builder over an artifact with serving defaults: `k = 10`,
+    /// single-threaded, 512-item panels, small-tier cold start.
+    pub fn new(artifact: ModelArtifact) -> Self {
+        Self {
+            artifact,
+            default_k: 10,
+            threads: 1,
+            panel_items: 512,
+            cold_start_tier: Tier::Small,
+        }
+    }
+
+    /// Ranking cutoff used when a request leaves `k` at 0.
+    pub fn default_k(mut self, k: usize) -> Self {
+        self.default_k = k;
+        self
+    }
+
+    /// Worker threads for the batch fan-out. Responses are bit-identical
+    /// for every thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Items per scoring panel (the `matmul_rows` block unit).
+    pub fn panel_items(mut self, items: usize) -> Self {
+        self.panel_items = items;
+        self
+    }
+
+    /// Tier whose model and fallback embedding serve unknown users.
+    pub fn cold_start_tier(mut self, tier: Tier) -> Self {
+        self.cold_start_tier = tier;
+        self
+    }
+
+    /// Validates the configuration and builds the recommender.
+    pub fn build(self) -> Result<Recommender, ServeError> {
+        if self.default_k == 0 {
+            return Err(ServeError::config(
+                "default_k",
+                "ranking cutoff must be positive",
+            ));
+        }
+        if self.threads == 0 {
+            return Err(ServeError::config(
+                "threads",
+                "at least one worker thread required",
+            ));
+        }
+        if self.panel_items == 0 {
+            return Err(ServeError::config(
+                "panel_items",
+                "scoring panels must hold at least one item",
+            ));
+        }
+        let artifact = self.artifact;
+        let dims = artifact.dims();
+        for tier in Tier::ALL {
+            let table = artifact.table(tier);
+            if table.cols() != dims.dim(tier) || table.rows() != artifact.num_items() {
+                return Err(ServeError::Artifact(format!(
+                    "{tier:?} table is {}x{}, expected {}x{}",
+                    table.rows(),
+                    table.cols(),
+                    artifact.num_items(),
+                    dims.dim(tier)
+                )));
+            }
+        }
+        let scorers = std::array::from_fn(|t| {
+            SplitNcf::from_ffn(dims.dim(Tier::ALL[t]), artifact.theta(Tier::ALL[t]))
+        });
+        Ok(Recommender {
+            artifact,
+            scorers,
+            default_k: self.default_k,
+            threads: self.threads,
+            panel_items: self.panel_items,
+            cold_start_tier: self.cold_start_tier,
+        })
+    }
+}
+
+/// A batched top-K query engine over a frozen [`ModelArtifact`].
+#[derive(Debug)]
+pub struct Recommender {
+    artifact: ModelArtifact,
+    /// Per-tier split scorers built from the frozen predictors.
+    scorers: [SplitNcf; 3],
+    default_k: usize,
+    threads: usize,
+    panel_items: usize,
+    cold_start_tier: Tier,
+}
+
+/// A resolved request: serving tier, first-layer user half, exclusions,
+/// and (standalone only) the user's private scorer.
+struct Resolved {
+    tier: Tier,
+    cold_start: bool,
+    user_half: Vec<f32>,
+    exclude: Vec<u32>,
+    /// Present for standalone users: private scorer + overlay owner id.
+    solo: Option<(SplitNcf, usize)>,
+}
+
+/// One unit of batch work: score the items `start..end` for either every
+/// request of a tier (shared parameters) or one standalone request.
+enum Unit {
+    Shared {
+        tier: usize,
+        start: usize,
+        end: usize,
+    },
+    Solo {
+        query: usize,
+        start: usize,
+        end: usize,
+    },
+}
+
+impl Recommender {
+    /// The artifact this recommender serves.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// Ranking cutoff used for requests that leave `k` at 0.
+    pub fn default_k(&self) -> usize {
+        self.default_k
+    }
+
+    /// Answers one request ([`Recommender::recommend_batch`] of one).
+    pub fn recommend(&self, request: &RecommendRequest) -> RecommendResponse {
+        self.recommend_batch(std::slice::from_ref(request))
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Answers a batch of requests.
+    ///
+    /// Requests are grouped per model tier; each `(tier, panel)` computes
+    /// its blocked item-half product once and shares it across the
+    /// tier's requests, and the panels fan out over
+    /// [`hf_fedsim::parallel_map`]. Responses are returned in request
+    /// order and are bit-identical for every thread count and batch
+    /// composition.
+    pub fn recommend_batch(&self, requests: &[RecommendRequest]) -> Vec<RecommendResponse> {
+        let (resolved, scores) = self.batch_scores(requests);
+        let queries: Vec<usize> = (0..requests.len()).collect();
+        parallel_map(&queries, self.threads, |&q| {
+            let request = &requests[q];
+            let res = &resolved[q];
+            let k = if request.k == 0 {
+                self.default_k
+            } else {
+                request.k
+            };
+            let ranked = top_k_excluding(&scores[q], k, &res.exclude);
+            RecommendResponse {
+                user: request.user,
+                tier: res.tier,
+                cold_start: res.cold_start,
+                items: ranked
+                    .into_iter()
+                    .map(|item| ScoredItem {
+                        item,
+                        score: scores[q][item as usize],
+                    })
+                    .collect(),
+            }
+        })
+    }
+
+    /// Full per-item score vector for one request, after filters (dropped
+    /// candidates are NaN — exactly what the ranking skips). Exposed so
+    /// tests and tools can compare against reference rankings.
+    pub fn score_request(&self, request: &RecommendRequest) -> Vec<f32> {
+        let (_, mut scores) = self.batch_scores(std::slice::from_ref(request));
+        scores.pop().expect("one score vector per request")
+    }
+
+    /// Resolves every request and computes its filtered score vector.
+    fn batch_scores(&self, requests: &[RecommendRequest]) -> (Vec<Resolved>, Vec<Vec<f32>>) {
+        let num_items = self.artifact.num_items();
+        let resolved: Vec<Resolved> = requests.iter().map(|r| self.resolve(r)).collect();
+
+        // Tier groups of shared-parameter queries; standalone queries
+        // score alone (their predictors are private).
+        let mut tier_queries: [Vec<usize>; 3] = Default::default();
+        let mut units: Vec<Unit> = Vec::new();
+        for (q, res) in resolved.iter().enumerate() {
+            if res.solo.is_none() {
+                tier_queries[res.tier.index()].push(q);
+            }
+        }
+        let panels: Vec<(usize, usize)> = (0..num_items)
+            .step_by(self.panel_items.max(1))
+            .map(|start| (start, (start + self.panel_items).min(num_items)))
+            .collect();
+        for (t, queries) in tier_queries.iter().enumerate() {
+            if !queries.is_empty() {
+                units.extend(panels.iter().map(|&(start, end)| Unit::Shared {
+                    tier: t,
+                    start,
+                    end,
+                }));
+            }
+        }
+        for (q, res) in resolved.iter().enumerate() {
+            if res.solo.is_some() {
+                units.extend(panels.iter().map(|&(start, end)| Unit::Solo {
+                    query: q,
+                    start,
+                    end,
+                }));
+            }
+        }
+
+        // Fan the panels out. Each unit returns (query, start, partial
+        // scores); every (query, item) score is computed exactly once,
+        // from batch-independent inputs.
+        let partials = parallel_map(&units, self.threads, |unit| match *unit {
+            Unit::Shared { tier, start, end } => {
+                let scorer = &self.scorers[tier];
+                let table = self.artifact.table(Tier::ALL[tier]);
+                let block = scorer.item_half_block(table, start, end);
+                let mut ws = scorer.workspace();
+                tier_queries[tier]
+                    .iter()
+                    .map(|&q| {
+                        let part: Vec<f32> = (0..end - start)
+                            .map(|r| scorer.finish(&resolved[q].user_half, block.row(r), &mut ws))
+                            .collect();
+                        (q, start, part)
+                    })
+                    .collect::<Vec<_>>()
+            }
+            Unit::Solo { query, start, end } => {
+                let (scorer, user) = resolved[query].solo.as_ref().expect("solo unit");
+                let record = self.artifact.user(*user).expect("known user");
+                let solo = record.solo.as_ref().expect("standalone state");
+                let table = self.artifact.table(record.tier);
+                let mut block = scorer.item_half_block(table, start, end);
+                // Patch the user's privately trained rows (bit-identical
+                // to the blocked product by the SplitNcf contract).
+                for (&item, row) in &solo.rows {
+                    let i = item as usize;
+                    if (start..end).contains(&i) {
+                        scorer.item_half_into(row, block.row_mut(i - start));
+                    }
+                }
+                let mut ws = scorer.workspace();
+                let part: Vec<f32> = (0..end - start)
+                    .map(|r| scorer.finish(&resolved[query].user_half, block.row(r), &mut ws))
+                    .collect();
+                vec![(query, start, part)]
+            }
+        });
+
+        let mut scores: Vec<Vec<f32>> = requests.iter().map(|_| vec![0.0f32; num_items]).collect();
+        for unit in partials {
+            for (q, start, part) in unit {
+                scores[q][start..start + part.len()].copy_from_slice(&part);
+            }
+        }
+
+        // Candidate filters: failed items become NaN, which the top-K
+        // selection skips.
+        for (q, request) in requests.iter().enumerate() {
+            if request.min_popularity == 0 && request.filter.is_none() {
+                continue;
+            }
+            for (item, score) in scores[q].iter_mut().enumerate() {
+                let item = item as u32;
+                let popular = self.artifact.popularity(item) >= request.min_popularity;
+                let kept = request.filter.as_ref().map_or(true, |f| f(item));
+                if !(popular && kept) {
+                    *score = f32::NAN;
+                }
+            }
+        }
+        (resolved, scores)
+    }
+
+    /// Resolves one request: serving tier, user representation (with the
+    /// cold-start fallback for unknown users), first-layer user half, and
+    /// the merged exclusion mask.
+    fn resolve(&self, request: &RecommendRequest) -> Resolved {
+        let dims = self.artifact.dims();
+        match self.artifact.user(request.user) {
+            Some(record) => {
+                let tier = record.tier;
+                let dim = dims.dim(tier);
+                let table = self.artifact.table(tier);
+                let overlay = record.solo.as_ref().map(|s| &s.rows);
+                let row_of = |item: u32| -> &[f32] {
+                    if let Some(overlay) = overlay {
+                        if let Some(row) = overlay.get(&item) {
+                            return row.as_slice();
+                        }
+                    }
+                    table.row_prefix(item as usize, dim)
+                };
+                let repr = match self.artifact.model() {
+                    ModelKind::Ncf => record.emb.clone(),
+                    ModelKind::LightGcn => propagate_lightgcn(
+                        &record.emb,
+                        record.history.len(),
+                        record.history.iter().map(|&item| row_of(item)),
+                    ),
+                };
+                let solo = record
+                    .solo
+                    .as_ref()
+                    .map(|s| (SplitNcf::from_ffn(dim, &s.theta), request.user));
+                let user_half = match &solo {
+                    Some((scorer, _)) => scorer.user_half(&repr),
+                    None => self.scorers[tier.index()].user_half(&repr),
+                };
+                let mut exclude = request.exclude.clone();
+                if request.exclude_seen {
+                    exclude.extend_from_slice(&record.history);
+                }
+                exclude.sort_unstable();
+                exclude.dedup();
+                Resolved {
+                    tier,
+                    cold_start: false,
+                    user_half,
+                    exclude,
+                    solo,
+                }
+            }
+            None => {
+                // Cold start: unknown user, fallback embedding, no history.
+                let tier = self.cold_start_tier;
+                let fallback = self.artifact.fallback(tier);
+                let repr = match self.artifact.model() {
+                    ModelKind::Ncf => fallback.to_vec(),
+                    ModelKind::LightGcn => propagate_lightgcn(fallback, 0, std::iter::empty()),
+                };
+                let mut exclude = request.exclude.clone();
+                exclude.sort_unstable();
+                exclude.dedup();
+                Resolved {
+                    tier,
+                    cold_start: true,
+                    user_half: self.scorers[tier.index()].user_half(&repr),
+                    exclude,
+                    solo: None,
+                }
+            }
+        }
+    }
+}

@@ -200,7 +200,7 @@ impl ToJson for AdamConfig {
 
 impl AdamConfig {
     /// Restores a checkpointed configuration.
-    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
         Ok(Self {
             lr: v.get("lr")?.as_f32()?,
             beta1: v.get("beta1")?.as_f32()?,
@@ -223,7 +223,7 @@ impl ToJson for Adam {
 
 impl Adam {
     /// Restores checkpointed optimiser state (moments and timestep).
-    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
         let m = v.get("m")?.as_f32_vec()?;
         let vv = v.get("v")?.as_f32_vec()?;
         if m.len() != vv.len() {
@@ -275,7 +275,7 @@ impl SparseRowAdam {
     /// Restores checkpointed row-keyed optimiser state. Only rows that
     /// had received updates are present in the snapshot; all others come
     /// back as their lazily-allocated `None` slot.
-    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
         let config = AdamConfig::from_json(v.get("config")?)?;
         let dim = v.get("dim")?.as_usize()?;
         let num_rows = v.get("num_rows")?.as_usize()?;

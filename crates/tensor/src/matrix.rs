@@ -464,7 +464,7 @@ impl crate::ser::ToJson for Matrix {
 
 impl Matrix {
     /// Restores a checkpointed matrix (shape-checked).
-    pub fn from_json(v: &crate::ser::JsonValue) -> Result<Self, crate::ser::JsonError> {
+    pub fn from_json(v: &crate::ser::JsonValue<'_>) -> Result<Self, crate::ser::JsonError> {
         let rows = v.get("rows")?.as_usize()?;
         let cols = v.get("cols")?.as_usize()?;
         let data = v.get("data")?.as_f32_vec()?;

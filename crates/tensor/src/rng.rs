@@ -290,7 +290,7 @@ impl crate::ser::ToJson for StdRng {
 
 impl StdRng {
     /// Restores a checkpointed generator from its JSON state.
-    pub fn from_json(v: &crate::ser::JsonValue) -> Result<Self, crate::ser::JsonError> {
+    pub fn from_json(v: &crate::ser::JsonValue<'_>) -> Result<Self, crate::ser::JsonError> {
         let s = v.as_u64_vec()?;
         let s: [u64; 4] = s
             .try_into()

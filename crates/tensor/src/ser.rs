@@ -220,30 +220,35 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-/// A parsed JSON value.
+/// A parsed JSON value, borrowing from the source document.
 ///
 /// Numbers keep their lexical form ([`JsonValue::Num`] holds the source
 /// token) so that integer width and float bit patterns are decided by the
 /// typed accessor that finally consumes them, not by an intermediate
-/// `f64`.
+/// `f64`. The token is a *borrowed* slice of the input: checkpoints are
+/// dominated by `f32` arrays, so owning a `String` per number made the
+/// parsed tree cost a large multiple of the document size. Strings stay
+/// owned because escape sequences must be decoded into fresh storage.
 #[derive(Clone, Debug, PartialEq)]
-pub enum JsonValue {
+pub enum JsonValue<'a> {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A number, kept as its source token (e.g. `-1.5e3`).
-    Num(String),
+    /// A number, kept as its source token (e.g. `-1.5e3`), borrowed from
+    /// the parsed document.
+    Num(&'a str),
     /// A string, unescaped.
     Str(String),
     /// An array.
-    Arr(Vec<JsonValue>),
+    Arr(Vec<JsonValue<'a>>),
     /// An object, in source field order.
-    Obj(Vec<(String, JsonValue)>),
+    Obj(Vec<(String, JsonValue<'a>)>),
 }
 
 /// Parses a complete JSON document (the whole input must be one value).
-pub fn parse_json(src: &str) -> Result<JsonValue, JsonError> {
+/// The returned tree borrows number tokens from `src`.
+pub fn parse_json(src: &str) -> Result<JsonValue<'_>, JsonError> {
     let mut p = Parser {
         bytes: src.as_bytes(),
         pos: 0,
@@ -291,7 +296,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<JsonValue, JsonError> {
+    fn value(&mut self) -> Result<JsonValue<'a>, JsonError> {
         match self.peek() {
             None => Err(JsonError::at("unexpected end of input", self.pos)),
             Some(b'n') => self.expect("null").map(|()| JsonValue::Null),
@@ -316,7 +321,7 @@ impl<'a> Parser<'a> {
         Ok(())
     }
 
-    fn array(&mut self) -> Result<JsonValue, JsonError> {
+    fn array(&mut self) -> Result<JsonValue<'a>, JsonError> {
         self.enter()?;
         self.pos += 1; // [
         let mut items = Vec::new();
@@ -342,7 +347,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self) -> Result<JsonValue, JsonError> {
+    fn object(&mut self) -> Result<JsonValue<'a>, JsonError> {
         self.enter()?;
         self.pos += 1; // {
         let mut fields = Vec::new();
@@ -378,7 +383,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<JsonValue, JsonError> {
+    fn number(&mut self) -> Result<JsonValue<'a>, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -407,7 +412,7 @@ impl<'a> Parser<'a> {
             self.digits();
         }
         let tok = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
-        Ok(JsonValue::Num(tok.to_string()))
+        Ok(JsonValue::Num(tok))
     }
 
     fn digits(&mut self) {
@@ -500,7 +505,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-impl JsonValue {
+impl<'a> JsonValue<'a> {
     fn kind(&self) -> &'static str {
         match self {
             JsonValue::Null => "null",
@@ -513,14 +518,14 @@ impl JsonValue {
     }
 
     /// The value of field `key`; errors on a missing field or non-object.
-    pub fn get(&self, key: &str) -> Result<&JsonValue, JsonError> {
+    pub fn get(&self, key: &str) -> Result<&JsonValue<'a>, JsonError> {
         self.opt(key)
             .ok_or_else(|| JsonError::msg(format!("missing field `{key}`")))
     }
 
     /// The value of field `key`, or `None` when absent. Returns `None`
     /// (rather than erroring) on non-objects so optional lookups compose.
-    pub fn opt(&self, key: &str) -> Option<&JsonValue> {
+    pub fn opt(&self, key: &str) -> Option<&JsonValue<'a>> {
         match self {
             JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -528,7 +533,7 @@ impl JsonValue {
     }
 
     /// The fields of an object.
-    pub fn as_obj(&self) -> Result<&[(String, JsonValue)], JsonError> {
+    pub fn as_obj(&self) -> Result<&[(String, JsonValue<'a>)], JsonError> {
         match self {
             JsonValue::Obj(fields) => Ok(fields),
             other => Err(JsonError::msg(format!(
@@ -539,7 +544,7 @@ impl JsonValue {
     }
 
     /// The elements of an array.
-    pub fn as_arr(&self) -> Result<&[JsonValue], JsonError> {
+    pub fn as_arr(&self) -> Result<&[JsonValue<'a>], JsonError> {
         match self {
             JsonValue::Arr(items) => Ok(items),
             other => Err(JsonError::msg(format!(
@@ -790,7 +795,8 @@ mod tests {
 
     #[test]
     fn nan_emits_null_and_reads_back_nan() {
-        let v = parse_json(&f32::NAN.to_json()).unwrap();
+        let json = f32::NAN.to_json();
+        let v = parse_json(&json).unwrap();
         assert!(v.as_f32().unwrap().is_nan());
         assert!(v.as_f64().unwrap().is_nan());
     }
@@ -798,7 +804,8 @@ mod tests {
     #[test]
     fn escaped_strings_roundtrip() {
         for s in ["plain", "a\"b\\c", "line\nbreak\ttab", "\u{1}", "héllo →"] {
-            let back = parse_json(&s.to_json()).unwrap();
+            let json = s.to_json();
+            let back = parse_json(&json).unwrap();
             assert_eq!(back.as_str().unwrap(), s);
         }
         // Escapes the emitter never produces but readers must accept.
@@ -863,10 +870,34 @@ mod tests {
             name: "client \"7\"".into(),
             tags: vec![4, 5],
         };
-        let v = parse_json(&p.to_json()).unwrap();
+        let json = p.to_json();
+        let v = parse_json(&json).unwrap();
         assert_eq!(v.get("x").unwrap().as_f32().unwrap(), p.x);
         assert_eq!(v.get("name").unwrap().as_str().unwrap(), p.name);
         assert_eq!(v.get("tags").unwrap().as_u64_vec().unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn number_tokens_borrow_from_the_source() {
+        // Peak-memory contract: the parsed tree must not copy number
+        // tokens — `Num` holds a slice of the source document. A large
+        // checkpoint is almost entirely f32 arrays, so this is the
+        // difference between tree size O(doc) and O(doc * k).
+        let src = String::from("[1.5,-2e3,0.25]");
+        let v = parse_json(&src).unwrap();
+        let range = src.as_ptr() as usize..src.as_ptr() as usize + src.len();
+        for item in v.as_arr().unwrap() {
+            match item {
+                JsonValue::Num(tok) => {
+                    let p = tok.as_ptr() as usize;
+                    assert!(
+                        range.contains(&p),
+                        "number token `{tok}` was copied out of the source"
+                    );
+                }
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,14 @@
 //!     resumed.final_eval().unwrap().overall.ndcg,
 //!     eval.overall.ndcg
 //! );
+//!
+//! // Export an immutable artifact and answer top-10 queries from it.
+//! let recommender = RecommenderBuilder::new(session.export_artifact())
+//!     .default_k(10)
+//!     .build()
+//!     .expect("valid serving configuration");
+//! let top = recommender.recommend(&RecommendRequest::new(0));
+//! assert!(top.items.len() <= 10 && !top.cold_start);
 //! ```
 //!
 //! Crate map (see `DESIGN.md` for the full inventory):
@@ -48,18 +56,18 @@
 //! | [`fedsim`] | rounds, transport, communication accounting, faults |
 //! | [`metrics`] | Recall@K / NDCG@K and the ranking evaluator |
 //! | [`core`] | HeteFedRec itself: UDL, DDR, RESKD, baselines, sessions |
+//! | [`serve`] | model artifacts and the batched top-K `Recommender` |
 
 pub use hetefedrec_core as core;
 pub use hf_dataset as dataset;
 pub use hf_fedsim as fedsim;
 pub use hf_metrics as metrics;
 pub use hf_models as models;
+pub use hf_serve as serve;
 pub use hf_tensor as tensor;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use hetefedrec_core::Trainer;
     pub use hetefedrec_core::{
         run_experiment, Ablation, ConfigError, EpochRecord, EpochReport, EvalOutput,
         ExperimentResult, History, ItemAggNorm, KdConfig, RoundReport, ServerOpt, Session,
@@ -71,4 +79,8 @@ pub mod prelude {
     };
     pub use hf_metrics::eval::EvalResult;
     pub use hf_models::ModelKind;
+    pub use hf_serve::{
+        ExportArtifact, ModelArtifact, RecommendRequest, RecommendResponse, Recommender,
+        RecommenderBuilder, ScoredItem, ServeError,
+    };
 }
