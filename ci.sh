@@ -53,6 +53,19 @@ grep -q "serving matches eval" target/ci-artifacts/serving_smoke.log
 grep -q "artifact reload verified" target/ci-artifacts/serving_smoke.log
 test -s target/ci-artifacts/serving_checkpoint.json
 
+echo "==> async engine smoke (async_churn --json + determinism proof line)"
+# Sync vs async under churn; the snapshot is archived as a CI artefact.
+cargo run -q --offline --release -p hf_bench --bin async_churn -- \
+    --scale tiny --dataset ml --model ncf \
+    --json target/ci-artifacts/async_churn_smoke.json
+test -s target/ci-artifacts/async_churn_smoke.json
+# The integration test proves async runs are byte-identical across
+# thread counts and across a mid-stream checkpoint/resume, printing its
+# proof line only when the resumed bytes match.
+cargo test -q --offline --release --test async_determinism -- --nocapture \
+    | tee target/ci-artifacts/async_determinism.log
+grep -q "async resume verified" target/ci-artifacts/async_determinism.log
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -3,13 +3,15 @@
 //!
 //! Consumes the session event stream directly: each strategy's curve is
 //! built from the [`EpochReport`]s as they are produced, rather than from
-//! a post-hoc history dump.
+//! a post-hoc history dump. HeteFedRec is additionally run under the
+//! asynchronous event-driven engine (`mode=async`) so the two
+//! orchestration policies' convergence can be overlaid per epoch.
 //!
 //! ```text
 //! cargo run --release -p hf_bench --bin fig7_convergence -- --scale small
 //! ```
 
-use hetefedrec_core::{Ablation, EpochReport, SessionBuilder, SessionEvent, Strategy};
+use hetefedrec_core::{Ablation, EpochReport, Mode, SessionBuilder, SessionEvent, Strategy};
 use hf_bench::{make_split, CliOptions, SnapshotRow};
 use hf_dataset::DatasetProfile;
 
@@ -35,8 +37,25 @@ fn main() {
             let cfg = hf_bench::make_config_with(&opts, *model, *profile);
 
             let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
-            for strategy in strategies {
-                let mut session = SessionBuilder::new(cfg.clone(), strategy, split.clone())
+            let mut runs: Vec<(String, Strategy, Mode)> = strategies
+                .iter()
+                .map(|s| (s.name().to_string(), *s, cfg.mode))
+                .collect();
+            // Overlay: HeteFedRec again under the other orchestration
+            // mode, so sync and async convergence sit side by side.
+            let other = match cfg.mode {
+                Mode::Sync => Mode::Async,
+                Mode::Async => Mode::Sync,
+            };
+            runs.push((
+                format!("hetefedrec ({})", other.tag()),
+                Strategy::HeteFedRec(Ablation::FULL),
+                other,
+            ));
+            for (name, strategy, mode) in runs {
+                let mut run_cfg = cfg.clone();
+                run_cfg.mode = mode;
+                let mut session = SessionBuilder::new(run_cfg, strategy, split.clone())
                     .build()
                     .expect("valid experiment configuration");
                 let mut curve: Vec<f64> = Vec::with_capacity(cfg.epochs);
@@ -48,7 +67,7 @@ fn main() {
                         curve.push(eval.overall.ndcg);
                     }
                 }
-                curves.push((strategy.name().to_string(), curve));
+                curves.push((name, curve));
             }
 
             print!("{:<22}", "epoch");

@@ -179,9 +179,15 @@ impl CliOptions {
     /// `kd_lr`, `kd_items`, `kd_steps`, `epochs`, `local_epochs`,
     /// `clients_per_round`, `negatives`, `item_agg_norm`
     /// (`sum|mean|sqrt`), `server_opt` (`sgd|adam`), `udl_aux`
-    /// (auxiliary-task weight), `drop_prob`, `eval_k`, `ddr_max_rows`.
+    /// (auxiliary-task weight), `drop_prob`, `eval_k`, `ddr_max_rows`,
+    /// and the event-engine knobs: `mode` (`sync|async`),
+    /// `staleness_beta`, `async_buffer`, `async_concurrency`, `latency`
+    /// (`fixed:T`, `uniform:MIN:MAX`, `lognormal:MEDIAN:SIGMA`), `churn`
+    /// (`none`, `independent:P`, `flappy:P:PERIOD`).
     pub fn apply_overrides(&self, cfg: &mut TrainConfig) {
-        use hetefedrec_core::config::{ItemAggNorm, ServerOpt};
+        use hetefedrec_core::config::{ItemAggNorm, Mode, ServerOpt};
+        use hf_fedsim::events::LatencyProfile;
+        use hf_fedsim::faults::ChurnProfile;
         fn bad<T>(k: &str, v: &str) -> T {
             usage(&format!("bad value for --set {k}={v}"))
         }
@@ -218,6 +224,22 @@ impl CliOptions {
                         "adam" => ServerOpt::Adam,
                         _ => bad(k, v),
                     }
+                }
+                "mode" => cfg.mode = Mode::from_tag(v).unwrap_or_else(|| bad(k, v)),
+                "staleness_beta" => {
+                    cfg.async_cfg.staleness_beta = v.parse().unwrap_or_else(|_| bad(k, v))
+                }
+                "async_buffer" => cfg.async_cfg.buffer = v.parse().unwrap_or_else(|_| bad(k, v)),
+                "async_concurrency" => {
+                    cfg.async_cfg.concurrency = v.parse().unwrap_or_else(|_| bad(k, v))
+                }
+                "latency" => {
+                    cfg.latency = LatencyProfile::parse(v)
+                        .unwrap_or_else(|e| usage(&format!("--set {k}={v}: {e}")))
+                }
+                "churn" => {
+                    cfg.churn = ChurnProfile::parse(v)
+                        .unwrap_or_else(|e| usage(&format!("--set {k}={v}: {e}")))
                 }
                 _ => usage(&format!("unknown --set key {k}")),
             }

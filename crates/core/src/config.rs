@@ -1,6 +1,7 @@
 //! Experiment configuration.
 
 use hf_dataset::{DatasetProfile, DivisionRatio, Tier};
+use hf_fedsim::{ChurnProfile, LatencyProfile};
 use hf_models::ModelKind;
 use hf_tensor::ser::{obj, JsonError, JsonValue, ToJson};
 
@@ -218,6 +219,81 @@ impl ItemAggNorm {
     }
 }
 
+/// How the session orchestrates client training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The paper's lockstep rounds: every cohort trains against the same
+    /// parameters and the server waits for all of them (§V-D).
+    Sync,
+    /// Event-driven asynchronous federation: clients are dispatched up to a
+    /// concurrency cap, arrive after per-client latency draws, and are
+    /// aggregated in buffered batches with staleness-discounted weights.
+    Async,
+}
+
+impl Mode {
+    /// Stable checkpoint tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Mode::Sync => "sync",
+            Mode::Async => "async",
+        }
+    }
+
+    /// Parses a [`Mode::tag`] spelling.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "sync" => Some(Mode::Sync),
+            "async" => Some(Mode::Async),
+            _ => None,
+        }
+    }
+}
+
+/// Knobs of the asynchronous aggregation policy (only read when
+/// [`TrainConfig::mode`] is [`Mode::Async`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AsyncConfig {
+    /// Staleness discount exponent β: an update dispatched `s` aggregation
+    /// rounds ago is weighted `1 / (1 + s)^β`. Zero disables discounting.
+    pub staleness_beta: f32,
+    /// Arrivals aggregated per async round (the FedBuff-style buffer).
+    pub buffer: usize,
+    /// Maximum clients in flight at once.
+    pub concurrency: usize,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        Self {
+            staleness_beta: 0.5,
+            buffer: 64,
+            concurrency: 512,
+        }
+    }
+}
+
+impl ToJson for AsyncConfig {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("staleness_beta", &self.staleness_beta)
+                .field("buffer", &self.buffer)
+                .field("concurrency", &self.concurrency);
+        });
+    }
+}
+
+impl AsyncConfig {
+    /// Restores checkpointed async settings.
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
+        Ok(Self {
+            staleness_beta: v.get("staleness_beta")?.as_f32()?,
+            buffer: v.get("buffer")?.as_usize()?,
+            concurrency: v.get("concurrency")?.as_usize()?,
+        })
+    }
+}
+
 /// Full configuration of one federated training run.
 #[derive(Clone, Debug)]
 pub struct TrainConfig {
@@ -270,6 +346,15 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Client upload drop probability (0 = paper setting).
     pub drop_prob: f64,
+    /// Orchestration mode (lockstep rounds vs event-driven async).
+    pub mode: Mode,
+    /// Asynchronous-mode knobs (ignored under [`Mode::Sync`]).
+    pub async_cfg: AsyncConfig,
+    /// Per-dispatch client latency model. `Fixed(1)` reproduces the legacy
+    /// accounting where one synchronous round costs one logical tick.
+    pub latency: LatencyProfile,
+    /// Client availability model (`None` = paper setting, always online).
+    pub churn: ChurnProfile,
 }
 
 impl TrainConfig {
@@ -298,6 +383,10 @@ impl TrainConfig {
             threads: 2,
             seed: 42,
             drop_prob: 0.0,
+            mode: Mode::Sync,
+            async_cfg: AsyncConfig::default(),
+            latency: LatencyProfile::unit(),
+            churn: ChurnProfile::None,
         }
     }
 
@@ -360,6 +449,15 @@ impl TrainConfig {
                 format!("must lie in [0, 1), got {}", self.drop_prob),
             ));
         }
+        nonneg_finite("async.staleness_beta", self.async_cfg.staleness_beta)?;
+        if self.async_cfg.buffer == 0 {
+            return Err(bad("async.buffer", "aggregation buffer must be positive"));
+        }
+        if self.async_cfg.concurrency == 0 {
+            return Err(bad("async.concurrency", "at least one client in flight"));
+        }
+        self.latency.validate().map_err(|m| bad("latency", m))?;
+        self.churn.validate().map_err(|m| bad("churn", m))?;
         Ok(())
     }
 
@@ -394,6 +492,28 @@ impl TrainConfig {
             threads: v.get("threads")?.as_usize()?,
             seed: v.get("seed")?.as_u64()?,
             drop_prob: v.get("drop_prob")?.as_f64()?,
+            // The orchestration fields are optional: v1 checkpoints predate
+            // them and restore as the synchronous paper setting.
+            mode: match v.opt("mode") {
+                Some(m) => {
+                    let tag = m.as_str()?;
+                    Mode::from_tag(tag)
+                        .ok_or_else(|| JsonError::msg(format!("unknown mode `{tag}`")))?
+                }
+                None => Mode::Sync,
+            },
+            async_cfg: match v.opt("async") {
+                Some(a) => AsyncConfig::from_json(a)?,
+                None => AsyncConfig::default(),
+            },
+            latency: match v.opt("latency") {
+                Some(l) => LatencyProfile::from_json(l)?,
+                None => LatencyProfile::unit(),
+            },
+            churn: match v.opt("churn") {
+                Some(c) => ChurnProfile::from_json(c)?,
+                None => ChurnProfile::None,
+            },
         };
         cfg.validate().map_err(|e| JsonError::msg(e.to_string()))?;
         Ok(cfg)
@@ -426,6 +546,14 @@ impl TrainConfig {
             threads: 1,
             seed: 7,
             drop_prob: 0.0,
+            mode: Mode::Sync,
+            async_cfg: AsyncConfig {
+                staleness_beta: 0.5,
+                buffer: 8,
+                concurrency: 16,
+            },
+            latency: LatencyProfile::unit(),
+            churn: ChurnProfile::None,
         }
     }
 }
@@ -452,7 +580,11 @@ impl ToJson for TrainConfig {
                 .field("eval_k", &self.eval_k)
                 .field("threads", &self.threads)
                 .field("seed", &self.seed)
-                .field("drop_prob", &self.drop_prob);
+                .field("drop_prob", &self.drop_prob)
+                .field("mode", &self.mode.tag())
+                .field("async", &self.async_cfg)
+                .field("latency", &self.latency)
+                .field("churn", &self.churn);
         });
     }
 }
@@ -523,6 +655,25 @@ mod tests {
             ("kd.steps", Box::new(|c| c.kd.steps = 0)),
             ("kd.lr", Box::new(|c| c.kd.lr = 0.0)),
             ("drop_prob", Box::new(|c| c.drop_prob = 1.0)),
+            (
+                "async.staleness_beta",
+                Box::new(|c| c.async_cfg.staleness_beta = f32::NAN),
+            ),
+            ("async.buffer", Box::new(|c| c.async_cfg.buffer = 0)),
+            (
+                "async.concurrency",
+                Box::new(|c| c.async_cfg.concurrency = 0),
+            ),
+            (
+                "latency",
+                Box::new(|c| c.latency = LatencyProfile::Fixed(0)),
+            ),
+            (
+                "churn",
+                Box::new(|c| {
+                    c.churn = ChurnProfile::Independent { offline_prob: 1.5 };
+                }),
+            ),
         ];
         for (field, mutate) in cases {
             let mut cfg = base.clone();
@@ -540,6 +691,20 @@ mod tests {
         cfg.item_agg_norm = ItemAggNorm::Mean;
         cfg.drop_prob = 0.25;
         cfg.local_lr = 1.0 / 3.0;
+        cfg.mode = Mode::Async;
+        cfg.async_cfg = AsyncConfig {
+            staleness_beta: 0.75,
+            buffer: 48,
+            concurrency: 192,
+        };
+        cfg.latency = LatencyProfile::LogNormal {
+            median: 4.0,
+            sigma: 0.8,
+        };
+        cfg.churn = ChurnProfile::Flappy {
+            offline_prob: 0.2,
+            period: 5,
+        };
         let back = TrainConfig::from_json(&parse_json(&cfg.to_json()).unwrap()).unwrap();
         assert_eq!(back.model, cfg.model);
         assert_eq!(back.dims, cfg.dims);
@@ -550,6 +715,25 @@ mod tests {
         assert_eq!(back.local_lr.to_bits(), cfg.local_lr.to_bits());
         assert_eq!(back.drop_prob.to_bits(), cfg.drop_prob.to_bits());
         assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.mode, cfg.mode);
+        assert_eq!(back.async_cfg, cfg.async_cfg);
+        assert_eq!(back.latency, cfg.latency);
+        assert_eq!(back.churn, cfg.churn);
+    }
+
+    #[test]
+    fn v1_config_without_orchestration_fields_restores_as_sync() {
+        use hf_tensor::ser::{parse_json, ToJson};
+        let cfg = TrainConfig::test_default(ModelKind::Ncf);
+        // Strip the orchestration fields to reconstruct a v1 document.
+        let json = cfg.to_json();
+        let cut = json.find(",\"mode\":").expect("mode field present");
+        let v1 = format!("{}}}", &json[..cut]);
+        let back = TrainConfig::from_json(&parse_json(&v1).unwrap()).unwrap();
+        assert_eq!(back.mode, Mode::Sync);
+        assert_eq!(back.async_cfg, AsyncConfig::default());
+        assert_eq!(back.latency, LatencyProfile::unit());
+        assert_eq!(back.churn, ChurnProfile::None);
     }
 
     #[test]

@@ -40,11 +40,13 @@ pub mod server;
 pub mod session;
 pub mod strategy;
 
-pub use config::{ConfigError, ItemAggNorm, KdConfig, ServerOpt, TierDims, TrainConfig};
+pub use config::{
+    AsyncConfig, ConfigError, ItemAggNorm, KdConfig, Mode, ServerOpt, TierDims, TrainConfig,
+};
 pub use eval::EvalOutput;
 pub use experiment::{run_experiment, ExperimentResult};
 pub use session::{
-    EpochRecord, EpochReport, History, RoundReport, Session, SessionBuilder, SessionError,
-    SessionEvent, StopReason,
+    AsyncRoundStats, EpochRecord, EpochReport, History, RoundReport, Session, SessionBuilder,
+    SessionError, SessionEvent, StopReason,
 };
 pub use strategy::{Ablation, Strategy};

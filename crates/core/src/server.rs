@@ -129,15 +129,31 @@ impl ServerState {
     /// [`Strategy::ClusteredFedRec`] the sum instead stays within each
     /// tier. Predictor deltas are **averaged** per tier (DESIGN.md §5).
     pub fn apply_round(&mut self, updates: &[(Tier, ClientUpdate)]) {
+        self.apply_round_weighted(updates, &vec![1.0; updates.len()]);
+    }
+
+    /// [`ServerState::apply_round`] with a per-update weight — the
+    /// asynchronous mode's staleness discount `1 / (1 + s)^β`.
+    ///
+    /// Each client's item-embedding delta is scaled by its weight before
+    /// the per-row [`ItemAggNorm`] normalisation (contributor counts stay
+    /// unweighted), and predictor deltas become a weighted average
+    /// (`Σ wᵢ·Δᵢ / Σ wᵢ`). All-ones weights reproduce
+    /// [`ServerState::apply_round`] bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != updates.len()`.
+    pub fn apply_round_weighted(&mut self, updates: &[(Tier, ClientUpdate)], weights: &[f32]) {
+        assert_eq!(updates.len(), weights.len(), "one weight per update");
         if updates.is_empty() {
             return;
         }
         if self.strategy.aggregates_across_tiers() {
             let mut acc = RowGradBuffer::new(self.dims.largest());
             let mut counts: HashMap<u32, u32> = HashMap::new();
-            for (_, update) in updates {
+            for ((_, update), &w) in updates.iter().zip(weights) {
                 for (row, delta) in &update.items.rows {
-                    acc.accumulate(*row, 1.0, delta);
+                    acc.accumulate(*row, w, delta);
                     *counts.entry(*row).or_insert(0) += 1;
                 }
             }
@@ -148,10 +164,10 @@ impl ServerState {
             for tier in Tier::ALL {
                 let mut acc = RowGradBuffer::new(self.dims.dim(tier));
                 let mut counts: HashMap<u32, u32> = HashMap::new();
-                for (t, update) in updates {
+                for ((t, update), &w) in updates.iter().zip(weights) {
                     if *t == tier {
                         for (row, delta) in &update.items.rows {
-                            acc.accumulate(*row, 1.0, delta);
+                            acc.accumulate(*row, w, delta);
                             *counts.entry(*row).or_insert(0) += 1;
                         }
                     }
@@ -162,7 +178,7 @@ impl ServerState {
                 }
             }
         }
-        self.apply_theta_deltas(updates);
+        self.apply_theta_deltas(updates, weights);
     }
 
     /// Applies the configured per-row normalisation to an aggregated
@@ -214,28 +230,31 @@ impl ServerState {
         }
     }
 
-    /// Averages predictor deltas per tier and applies them (Eq. 15's
-    /// union structure arises client-side: only clients holding a tier's
-    /// predictor upload a delta for it).
-    fn apply_theta_deltas(&mut self, updates: &[(Tier, ClientUpdate)]) {
+    /// Weight-averages predictor deltas per tier and applies them (Eq.
+    /// 15's union structure arises client-side: only clients holding a
+    /// tier's predictor upload a delta for it). With all-ones weights this
+    /// is the plain mean.
+    fn apply_theta_deltas(&mut self, updates: &[(Tier, ClientUpdate)], weights: &[f32]) {
         for tier in Tier::ALL {
             let idx = tier.index();
             let expected = self.thetas[idx].num_params();
             let mut sum = vec![0.0f32; expected];
             let mut count = 0usize;
-            for (_, update) in updates {
+            let mut weight_sum = 0.0f32;
+            for ((_, update), &w) in updates.iter().zip(weights) {
                 for (t, flat) in &update.thetas {
                     if *t as usize == idx {
                         assert_eq!(flat.len(), expected, "theta delta width mismatch");
-                        hf_tensor::ops::axpy_slice(&mut sum, 1.0, flat);
+                        hf_tensor::ops::axpy_slice(&mut sum, w, flat);
                         count += 1;
+                        weight_sum += w;
                     }
                 }
             }
-            if count == 0 {
+            if count == 0 || weight_sum <= 0.0 {
                 continue;
             }
-            let inv = 1.0 / count as f32;
+            let inv = 1.0 / weight_sum;
             match self.server_opt {
                 ServerOpt::SgdSum => {
                     sum.iter_mut().for_each(|x| *x *= inv * self.server_lr);
@@ -500,6 +519,65 @@ mod tests {
         assert!((s.table(Tier::Small).get(3, 0) - (before[0].get(3, 0) + 1.0)).abs() < 1e-6);
         assert_eq!(s.table(Tier::Medium).row(3), before[1].row(3));
         assert_eq!(s.table(Tier::Large).row(3), before[2].row(3));
+    }
+
+    #[test]
+    fn unit_weights_reproduce_apply_round_bitwise() {
+        let theta_len = |s: &ServerState, t: Tier| s.theta(t).num_params();
+        for strategy in [
+            Strategy::HeteFedRec(Ablation::NO_RESKD),
+            Strategy::ClusteredFedRec,
+        ] {
+            let mut plain = server(strategy);
+            let mut weighted = server(strategy);
+            let tl = [
+                theta_len(&plain, Tier::Small),
+                theta_len(&plain, Tier::Medium),
+                theta_len(&plain, Tier::Large),
+            ];
+            for round in 0..4 {
+                let updates = vec![
+                    update(Tier::Small, round, 4, 0.1, tl[0]),
+                    update(Tier::Medium, round + 1, 8, -0.2, tl[1]),
+                    update(Tier::Large, round + 2, 16, 0.3, tl[2]),
+                ];
+                plain.apply_round(&updates);
+                weighted.apply_round_weighted(&updates, &[1.0, 1.0, 1.0]);
+            }
+            let (mut a, mut b) = (String::new(), String::new());
+            plain.snapshot_json(&mut a);
+            weighted.snapshot_json(&mut b);
+            assert_eq!(a, b, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn staleness_weights_discount_item_deltas() {
+        let mut s = server(Strategy::HeteFedRec(Ablation::NO_RESKD));
+        let before = s.table(Tier::Small).get(3, 0);
+        let theta_len = s.theta(Tier::Small).num_params();
+        // One client with weight 0.25: the +1 delta lands as +0.25.
+        s.apply_round_weighted(&[update(Tier::Small, 3, 4, 1.0, theta_len)], &[0.25]);
+        assert!((s.table(Tier::Small).get(3, 0) - (before + 0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn theta_deltas_weight_average_per_tier() {
+        let mut s = server(Strategy::HeteFedRec(Ablation::NO_RESKD));
+        let theta_len = s.theta(Tier::Small).num_params();
+        let before = s.theta(Tier::Small).to_flat();
+        // Weights 3 and 1 over deltas +1 and +5: weighted mean is +2.
+        s.apply_round_weighted(
+            &[
+                update(Tier::Small, 1, 4, 1.0, theta_len),
+                update(Tier::Small, 2, 4, 5.0, theta_len),
+            ],
+            &[3.0, 1.0],
+        );
+        let after = s.theta(Tier::Small).to_flat();
+        for (a, b) in after.iter().zip(&before) {
+            assert!((a - b - 2.0).abs() < 1e-5, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Versioned checkpoint serialization and restore.
+//!
+//! Schema history:
+//!
+//! * **v1** — the original synchronous document: config, strategy, server
+//!   and client state, scheduler RNG, fault injector, ledger, stepper
+//!   bookkeeping, history.
+//! * **v2** — adds the orchestration fields of the event-driven engine:
+//!   the config gains `mode`/`async`/`latency`/`churn`, the fault
+//!   injector gains its churn profile, and the document gains `clock`
+//!   (synchronous logical time) and `event_scheduler` (the async
+//!   engine's clock, in-flight arrival queue, not-yet-dispatched
+//!   traversal remainder, and per-client dispatch versions; `null` in
+//!   synchronous runs).
+//!
+//! Every v2 addition has a v1-equivalent default (`Sync`, unit latency,
+//! no churn, tick 0, no engine), so v1 documents still restore — the
+//! reader accepts `MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION`.
+
+use super::reports::{History, StopReason};
+use super::{Session, SessionBuilder, SessionError};
+use crate::client::UserState;
+use crate::config::{Mode, TrainConfig};
+use crate::server::ServerState;
+use crate::strategy::Strategy;
+use hf_dataset::{ClientGroups, SplitDataset};
+use hf_fedsim::comm::CommLedger;
+use hf_fedsim::events::EventScheduler;
+use hf_fedsim::faults::FaultInjector;
+use hf_fedsim::scheduler::RoundScheduler;
+use hf_tensor::ser::{obj, JsonValue, ToJson};
+use std::collections::VecDeque;
+
+/// Checkpoint document identifier.
+pub(crate) const CHECKPOINT_FORMAT: &str = "hetefedrec.checkpoint";
+/// Current checkpoint schema version (written by [`Session::checkpoint`]).
+pub(crate) const CHECKPOINT_VERSION: u64 = 2;
+/// Oldest schema version this build still restores.
+pub(crate) const MIN_CHECKPOINT_VERSION: u64 = 1;
+
+impl Session {
+    /// Serialises the session's complete mutable state as a versioned
+    /// JSON document. Restoring it (on an identically generated split)
+    /// resumes the run bit-identically — even mid-epoch, in either
+    /// orchestration mode, and regardless of the thread count on either
+    /// side.
+    pub fn checkpoint(&self) -> String {
+        struct Pending<'a>(&'a VecDeque<Vec<usize>>);
+        impl ToJson for Pending<'_> {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                for (i, cohort) in self.0.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    cohort.write_json(out);
+                }
+                out.push(']');
+            }
+        }
+        struct Server<'a>(&'a ServerState);
+        impl ToJson for Server<'_> {
+            fn write_json(&self, out: &mut String) {
+                self.0.snapshot_json(out);
+            }
+        }
+        let mut out = String::new();
+        obj(&mut out, |o| {
+            o.field("format", &CHECKPOINT_FORMAT)
+                .field("version", &CHECKPOINT_VERSION)
+                .field("cfg", &self.cfg)
+                .field("strategy", &self.strategy)
+                .field("num_users", &self.split.num_users())
+                .field("num_items", &self.split.num_items())
+                .field("round_counter", &self.round_counter)
+                .field("epoch", &self.epoch)
+                .field("in_epoch", &self.in_epoch)
+                .field("pending", &Pending(&self.pending))
+                .field("rounds_in_epoch", &self.rounds_in_epoch)
+                .field("round_in_epoch", &self.round_in_epoch)
+                .field("epoch_loss_sum", &self.epoch_loss_sum)
+                .field("epoch_sample_sum", &self.epoch_sample_sum)
+                .field("finished", &self.finished)
+                .field("stop_requested", &self.stop_requested)
+                .field("best_ndcg", &self.best_ndcg)
+                .field("evals_since_improvement", &self.evals_since_improvement)
+                // v2 additions, kept contiguous so a v1 document is
+                // exactly this document minus the two fields.
+                .field("clock", &self.clock)
+                .field("event_scheduler", &self.async_state)
+                .field("ledger", &self.ledger)
+                .field("scheduler", &self.scheduler)
+                .field("faults", &self.faults)
+                .field("server", &Server(&self.server))
+                .field("users", &self.users)
+                .field("history", &self.history);
+        });
+        out
+    }
+
+    /// Writes [`Session::checkpoint`] to a file, creating parent
+    /// directories as needed.
+    pub fn write_checkpoint(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut doc = self.checkpoint();
+        doc.push('\n');
+        std::fs::write(path, doc)
+    }
+
+    /// Restores a session from a [`Session::checkpoint`] document with
+    /// default observer settings. Use [`SessionBuilder::from_checkpoint`]
+    /// to re-attach hooks, cadence, or early stopping.
+    pub fn restore(json: &str, split: SplitDataset) -> Result<Self, SessionError> {
+        SessionBuilder::from_checkpoint(json, split)?.build()
+    }
+
+    pub(super) fn restore_parts(
+        doc: &JsonValue<'_>,
+        cfg: TrainConfig,
+        strategy: Strategy,
+        split: SplitDataset,
+        model_groups: ClientGroups,
+        data_groups: ClientGroups,
+    ) -> Result<Self, SessionError> {
+        let expected_users = doc.get("num_users")?.as_usize()?;
+        let expected_items = doc.get("num_items")?.as_usize()?;
+        if expected_users != split.num_users() || expected_items != split.num_items() {
+            return Err(SessionError::DatasetMismatch {
+                expected_users,
+                actual_users: split.num_users(),
+                expected_items,
+                actual_items: split.num_items(),
+            });
+        }
+
+        let server = ServerState::from_json(doc.get("server")?, split.num_items(), &cfg, strategy)?;
+        let users_json = doc.get("users")?.as_arr()?;
+        if users_json.len() != split.num_users() {
+            return Err(SessionError::Checkpoint(format!(
+                "{} user states for {} users",
+                users_json.len(),
+                split.num_users()
+            )));
+        }
+        let mut users = Vec::with_capacity(users_json.len());
+        for (u, v) in users_json.iter().enumerate() {
+            let state = UserState::from_json(v)?;
+            let expected_dim = cfg.dims.dim(model_groups.tier(u));
+            if state.emb.len() != expected_dim {
+                return Err(SessionError::Checkpoint(format!(
+                    "user {u} embedding has width {}, expected {expected_dim}",
+                    state.emb.len()
+                )));
+            }
+            users.push(state);
+        }
+
+        let mut pending = VecDeque::new();
+        for cohort in doc.get("pending")?.as_arr()? {
+            let cohort = cohort.as_usize_vec()?;
+            if cohort.iter().any(|&u| u >= split.num_users()) {
+                return Err(SessionError::Checkpoint(
+                    "pending cohort references unknown client".into(),
+                ));
+            }
+            pending.push_back(cohort);
+        }
+
+        let finished = match doc.get("finished")? {
+            v if v.is_null() => None,
+            v => Some(StopReason::from_json(v)?),
+        };
+        let best = doc.get("best_ndcg")?;
+        let best_ndcg = if best.is_null() {
+            None
+        } else {
+            Some(best.as_f64()?)
+        };
+
+        // v2 additions — absent from v1 documents, whose defaults (tick
+        // 0, fresh engine) reproduce the pre-event-engine state exactly.
+        let clock = match doc.opt("clock") {
+            Some(v) => v.as_u64()?,
+            None => 0,
+        };
+        let async_state = if cfg.mode == Mode::Async {
+            Some(match doc.opt("event_scheduler") {
+                Some(v) if !v.is_null() => EventScheduler::from_json(
+                    v,
+                    split.num_users(),
+                    cfg.async_cfg.concurrency,
+                    cfg.latency,
+                    cfg.seed,
+                )?,
+                _ => EventScheduler::new(
+                    split.num_users(),
+                    cfg.async_cfg.concurrency,
+                    cfg.latency,
+                    cfg.seed,
+                ),
+            })
+        } else {
+            None
+        };
+
+        Ok(Session {
+            scheduler: RoundScheduler::from_json(doc.get("scheduler")?)?,
+            faults: FaultInjector::from_json(doc.get("faults")?)?,
+            ledger: CommLedger::from_json(doc.get("ledger")?)?,
+            round_counter: doc.get("round_counter")?.as_u64()?,
+            history: History::from_json(doc.get("history")?)?,
+            epoch: doc.get("epoch")?.as_usize()?,
+            in_epoch: doc.get("in_epoch")?.as_bool()?,
+            pending,
+            rounds_in_epoch: doc.get("rounds_in_epoch")?.as_usize()?,
+            round_in_epoch: doc.get("round_in_epoch")?.as_usize()?,
+            epoch_loss_sum: doc.get("epoch_loss_sum")?.as_f64()?,
+            epoch_sample_sum: doc.get("epoch_sample_sum")?.as_usize()?,
+            finished,
+            stop_requested: doc.get("stop_requested")?.as_bool()?,
+            best_ndcg,
+            evals_since_improvement: doc.get("evals_since_improvement")?.as_usize()?,
+            clock,
+            async_state,
+            cfg,
+            strategy,
+            split,
+            server,
+            users,
+            model_groups,
+            data_groups,
+            eval_every: 1,
+            early_stop: None,
+            round_hooks: Vec::new(),
+            epoch_hooks: Vec::new(),
+        })
+    }
+}

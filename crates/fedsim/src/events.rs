@@ -1,0 +1,661 @@
+//! Logical-clock event scheduling for asynchronous federation.
+//!
+//! The paper's loop is strictly synchronous (§V-D), but churn-heavy
+//! deployments face stragglers and heavy-tailed client latency. This module
+//! provides the deterministic machinery for an event-driven mode:
+//!
+//! * [`LatencyProfile`] — pluggable per-dispatch latency models whose draws
+//!   are *pure functions* of `(seed, client, dispatch version)`, so no RNG
+//!   state needs checkpointing and results are independent of query order.
+//! * [`PendingArrival`] / [`EventQueue`] — a priority queue of in-flight
+//!   client trainings ordered by `(logical_time, client_id)`; the total
+//!   order is deterministic even when many arrivals share a tick.
+//! * [`EventScheduler`] — the logical clock plus dispatch bookkeeping
+//!   (per-client dispatch versions, the not-yet-dispatched remainder of the
+//!   epoch traversal), checkpointable to JSON and restored bit-exactly.
+//! * [`TraversalPolicy`] — the seam shared with the synchronous path: both
+//!   the lockstep [`RoundScheduler`](crate::scheduler::RoundScheduler)
+//!   rounds and the event engine consume the same shuffled epoch traversal.
+//!
+//! Time is integer "ticks" — float-free so ordering never depends on
+//! rounding mode or summation order.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use hf_tensor::rng::{substream, Rng, SeedStream};
+use hf_tensor::ser::{obj, JsonError, JsonValue, ToJson};
+
+/// Produces each epoch's client traversal order.
+///
+/// The synchronous policy chunks the traversal into lockstep cohorts; the
+/// asynchronous policy feeds it through an [`EventScheduler`]. Implemented
+/// by [`RoundScheduler`](crate::scheduler::RoundScheduler), whose shuffle
+/// RNG both modes share — so sync and async visit clients in the same
+/// per-epoch order.
+pub trait TraversalPolicy {
+    /// Number of clients in the population.
+    fn population(&self) -> usize;
+
+    /// Shuffles and returns the next epoch's full traversal (every client
+    /// exactly once).
+    fn next_traversal(&mut self) -> Vec<usize>;
+}
+
+/// Ticks a dispatched client takes before its update arrives.
+///
+/// Every draw is a pure function of `(seed, client, version)` via the
+/// [`SeedStream::Latency`] substream: no mutable RNG state, so checkpoints
+/// carry nothing and draws are independent of evaluation order. All
+/// profiles return at least 1 tick so logical time always advances.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyProfile {
+    /// Every client takes exactly `ticks` ticks (the legacy synchronous
+    /// accounting: `Fixed(1)` makes one round cost one tick).
+    Fixed(u64),
+    /// Uniform in `[min, max]` ticks.
+    Uniform {
+        /// Fastest possible response (≥ 1).
+        min: u64,
+        /// Slowest possible response (≥ min).
+        max: u64,
+    },
+    /// Heavy-tailed log-normal: `exp(ln(median) + sigma·z)` ticks, rounded.
+    /// The straggler model — most clients are fast, a few are very slow.
+    LogNormal {
+        /// Median response time in ticks (> 0).
+        median: f64,
+        /// Log-space standard deviation (≥ 0); larger = heavier tail.
+        sigma: f64,
+    },
+}
+
+impl LatencyProfile {
+    /// The legacy profile: every training takes one tick.
+    pub fn unit() -> Self {
+        LatencyProfile::Fixed(1)
+    }
+
+    /// Validates the profile's parameters, returning a message on failure.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match *self {
+            LatencyProfile::Fixed(t) => {
+                if t == 0 {
+                    return Err("fixed latency must be at least 1 tick");
+                }
+            }
+            LatencyProfile::Uniform { min, max } => {
+                if min == 0 {
+                    return Err("uniform latency min must be at least 1 tick");
+                }
+                if min > max {
+                    return Err("uniform latency needs min <= max");
+                }
+            }
+            LatencyProfile::LogNormal { median, sigma } => {
+                if !(median.is_finite() && median > 0.0) {
+                    return Err("lognormal median must be positive and finite");
+                }
+                if !(sigma.is_finite() && sigma >= 0.0) {
+                    return Err("lognormal sigma must be non-negative and finite");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Latency of `client`'s dispatch number `version` — a pure function of
+    /// its arguments plus `seed`, clamped to `[1, 2^40]` ticks.
+    pub fn draw(&self, seed: u64, client: usize, version: u64) -> u64 {
+        const MAX_TICKS: u64 = 1 << 40;
+        match *self {
+            LatencyProfile::Fixed(t) => t,
+            LatencyProfile::Uniform { min, max } => {
+                if min == max {
+                    return min;
+                }
+                let mut rng = substream(seed, SeedStream::Latency, draw_key(client, version));
+                rng.gen_range(min..=max)
+            }
+            LatencyProfile::LogNormal { median, sigma } => {
+                let mut rng = substream(seed, SeedStream::Latency, draw_key(client, version));
+                let z = rng.standard_normal();
+                let ticks = (median.ln() + sigma * z).exp().round();
+                if ticks.is_nan() {
+                    return 1;
+                }
+                (ticks as u64).clamp(1, MAX_TICKS)
+            }
+        }
+    }
+
+    /// Parses a CLI spec: `fixed:T`, `uniform:MIN:MAX`, or
+    /// `lognormal:MEDIAN:SIGMA`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let profile = match parts.as_slice() {
+            ["fixed", t] => {
+                LatencyProfile::Fixed(t.parse().map_err(|_| format!("bad fixed ticks `{t}`"))?)
+            }
+            ["uniform", min, max] => LatencyProfile::Uniform {
+                min: min
+                    .parse()
+                    .map_err(|_| format!("bad uniform min `{min}`"))?,
+                max: max
+                    .parse()
+                    .map_err(|_| format!("bad uniform max `{max}`"))?,
+            },
+            ["lognormal", median, sigma] => LatencyProfile::LogNormal {
+                median: median
+                    .parse()
+                    .map_err(|_| format!("bad lognormal median `{median}`"))?,
+                sigma: sigma
+                    .parse()
+                    .map_err(|_| format!("bad lognormal sigma `{sigma}`"))?,
+            },
+            _ => {
+                return Err(format!(
+                    "unknown latency spec `{spec}` (expected fixed:T, \
+                     uniform:MIN:MAX, or lognormal:MEDIAN:SIGMA)"
+                ))
+            }
+        };
+        profile.validate().map_err(str::to_owned)?;
+        Ok(profile)
+    }
+
+    /// Restores a profile from its JSON form.
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
+        let profile = match v.get("kind")?.as_str()?.as_ref() {
+            "fixed" => LatencyProfile::Fixed(v.get("ticks")?.as_u64()?),
+            "uniform" => LatencyProfile::Uniform {
+                min: v.get("min")?.as_u64()?,
+                max: v.get("max")?.as_u64()?,
+            },
+            "lognormal" => LatencyProfile::LogNormal {
+                median: v.get("median")?.as_f64()?,
+                sigma: v.get("sigma")?.as_f64()?,
+            },
+            other => return Err(JsonError::msg(format!("unknown latency kind `{other}`"))),
+        };
+        profile.validate().map_err(JsonError::msg)?;
+        Ok(profile)
+    }
+}
+
+impl ToJson for LatencyProfile {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| match *self {
+            LatencyProfile::Fixed(t) => {
+                o.field("kind", &"fixed").field("ticks", &t);
+            }
+            LatencyProfile::Uniform { min, max } => {
+                o.field("kind", &"uniform")
+                    .field("min", &min)
+                    .field("max", &max);
+            }
+            LatencyProfile::LogNormal { median, sigma } => {
+                o.field("kind", &"lognormal")
+                    .field("median", &median)
+                    .field("sigma", &sigma);
+            }
+        });
+    }
+}
+
+/// Mixes `(client, version)` into one substream index (same idiom as
+/// `FaultInjector::drops`).
+fn draw_key(client: usize, version: u64) -> u64 {
+    (client as u64).wrapping_mul(0x1000_0000_1b3) ^ version
+}
+
+/// One in-flight client training: dispatched with the parameters of round
+/// `dispatched_round`, arriving at logical tick `time`.
+///
+/// The derived order — `(time, client)` — is the event queue's total order;
+/// client id breaks ties so simultaneous arrivals pop deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PendingArrival {
+    /// Arrival tick on the logical clock.
+    pub time: u64,
+    /// Client id (tie-break within a tick).
+    pub client: usize,
+    /// Value of the global round counter when this client got its
+    /// parameters; staleness at aggregation is measured against it.
+    pub dispatched_round: u64,
+}
+
+impl ToJson for PendingArrival {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("time", &self.time)
+                .field("client", &self.client)
+                .field("dispatched_round", &self.dispatched_round);
+        });
+    }
+}
+
+impl PendingArrival {
+    /// Restores one arrival from its JSON form.
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
+        Ok(Self {
+            time: v.get("time")?.as_u64()?,
+            client: v.get("client")?.as_usize()?,
+            dispatched_round: v.get("dispatched_round")?.as_u64()?,
+        })
+    }
+}
+
+/// Min-heap of [`PendingArrival`]s keyed on `(time, client)`.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<PendingArrival>>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of in-flight arrivals.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no arrivals are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Enqueues one arrival.
+    pub fn push(&mut self, a: PendingArrival) {
+        self.heap.push(Reverse(a));
+    }
+
+    /// Removes and returns the earliest arrival (ties broken by client id).
+    pub fn pop(&mut self) -> Option<PendingArrival> {
+        self.heap.pop().map(|Reverse(a)| a)
+    }
+
+    /// The earliest arrival without removing it.
+    pub fn peek(&self) -> Option<&PendingArrival> {
+        self.heap.peek().map(|Reverse(a)| a)
+    }
+
+    /// The queue's contents in `(time, client)` order — heap-layout-free,
+    /// so serialized checkpoints are byte-stable.
+    pub fn snapshot(&self) -> Vec<PendingArrival> {
+        let mut v: Vec<PendingArrival> = self.heap.iter().map(|Reverse(a)| *a).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rebuilds a queue from a [`EventQueue::snapshot`] array.
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
+        let mut q = EventQueue::new();
+        for item in v.as_arr()? {
+            q.push(PendingArrival::from_json(item)?);
+        }
+        Ok(q)
+    }
+}
+
+impl ToJson for EventQueue {
+    fn write_json(&self, out: &mut String) {
+        self.snapshot().write_json(out);
+    }
+}
+
+/// The logical clock plus dispatch bookkeeping for the asynchronous mode.
+///
+/// One instance drives one epoch at a time: [`EventScheduler::begin_epoch`]
+/// loads a traversal, [`EventScheduler::fill`] dispatches clients up to the
+/// concurrency cap (drawing each latency from the profile and skipping
+/// clients the churn model reports offline), and
+/// [`EventScheduler::pop_batch`] removes the next aggregation buffer of
+/// arrivals, advancing the clock to the latest one. Everything is
+/// deterministic: draws are pure functions, and the queue's `(time,
+/// client)` order is total.
+#[derive(Clone, Debug)]
+pub struct EventScheduler {
+    seed: u64,
+    latency: LatencyProfile,
+    concurrency: usize,
+    clock: u64,
+    queue: EventQueue,
+    /// This epoch's not-yet-dispatched clients, in traversal order.
+    pending_dispatch: VecDeque<usize>,
+    /// Per-client dispatch versions: how many times each client has been
+    /// handed parameters. Keys the latency draws, so it is checkpointed.
+    dispatch_versions: Vec<u64>,
+}
+
+impl EventScheduler {
+    /// Creates an idle scheduler over `population` clients.
+    ///
+    /// # Panics
+    /// Panics on an empty population, zero concurrency, or an invalid
+    /// latency profile.
+    pub fn new(population: usize, concurrency: usize, latency: LatencyProfile, seed: u64) -> Self {
+        assert!(population > 0, "no clients to schedule");
+        assert!(concurrency > 0, "concurrency must be positive");
+        latency.validate().expect("valid latency profile");
+        Self {
+            seed,
+            latency,
+            concurrency,
+            clock: 0,
+            queue: EventQueue::new(),
+            pending_dispatch: VecDeque::new(),
+            dispatch_versions: vec![0; population],
+        }
+    }
+
+    /// Current logical time in ticks.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Number of in-flight (dispatched, not yet arrived) clients.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the current epoch is fully drained (nothing in flight and
+    /// nothing left to dispatch).
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty() && self.pending_dispatch.is_empty()
+    }
+
+    /// Loads the next epoch's traversal. Must only be called when
+    /// [`EventScheduler::idle`] — epochs are drained barriers so evaluation
+    /// cadence matches the synchronous mode.
+    ///
+    /// # Panics
+    /// Panics if the previous epoch has not drained.
+    pub fn begin_epoch(&mut self, traversal: Vec<usize>) {
+        assert!(self.idle(), "previous epoch not drained");
+        self.pending_dispatch = traversal.into();
+    }
+
+    /// Dispatches queued clients until `concurrency` are in flight or the
+    /// traversal is exhausted. `offline(client)` is consulted at the current
+    /// clock tick; offline clients are skipped for the rest of the epoch.
+    /// Returns the number skipped.
+    pub fn fill(&mut self, dispatched_round: u64, mut offline: impl FnMut(usize) -> bool) -> usize {
+        let mut skipped = 0;
+        while self.queue.len() < self.concurrency {
+            let Some(client) = self.pending_dispatch.pop_front() else {
+                break;
+            };
+            if offline(client) {
+                skipped += 1;
+                continue;
+            }
+            let version = self.dispatch_versions[client];
+            self.dispatch_versions[client] = version + 1;
+            let ticks = self.latency.draw(self.seed, client, version);
+            self.queue.push(PendingArrival {
+                time: self.clock + ticks,
+                client,
+                dispatched_round,
+            });
+        }
+        skipped
+    }
+
+    /// Pops up to `max` earliest arrivals and advances the clock to the
+    /// latest of them. Returns an empty vec when nothing is in flight.
+    pub fn pop_batch(&mut self, max: usize) -> Vec<PendingArrival> {
+        let mut batch = Vec::with_capacity(max.min(self.queue.len()));
+        while batch.len() < max {
+            let Some(a) = self.queue.pop() else { break };
+            self.clock = self.clock.max(a.time);
+            batch.push(a);
+        }
+        batch
+    }
+
+    /// Restores a checkpointed scheduler. The latency profile, concurrency
+    /// and seed come from the configuration (they are not per-run state);
+    /// only the clock, queue, pending dispatches and dispatch versions are
+    /// read from `v`.
+    pub fn from_json(
+        v: &JsonValue<'_>,
+        population: usize,
+        concurrency: usize,
+        latency: LatencyProfile,
+        seed: u64,
+    ) -> Result<Self, JsonError> {
+        let dispatch_versions = v.get("dispatch_versions")?.as_u64_vec()?;
+        if dispatch_versions.len() != population {
+            return Err(JsonError::msg(format!(
+                "dispatch_versions has {} entries for population {}",
+                dispatch_versions.len(),
+                population
+            )));
+        }
+        let mut s = Self::new(population, concurrency, latency, seed);
+        s.clock = v.get("clock")?.as_u64()?;
+        s.queue = EventQueue::from_json(v.get("events")?)?;
+        s.pending_dispatch = v.get("pending_dispatch")?.as_usize_vec()?.into();
+        s.dispatch_versions = dispatch_versions;
+        Ok(s)
+    }
+}
+
+impl ToJson for EventScheduler {
+    fn write_json(&self, out: &mut String) {
+        let pending: Vec<usize> = self.pending_dispatch.iter().copied().collect();
+        obj(out, |o| {
+            o.field("clock", &self.clock)
+                .field("events", &self.queue)
+                .field("pending_dispatch", &pending)
+                .field("dispatch_versions", &self.dispatch_versions);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_tensor::ser::parse_json;
+
+    #[test]
+    fn latency_draws_are_pure_and_order_independent() {
+        let p = LatencyProfile::LogNormal {
+            median: 4.0,
+            sigma: 0.8,
+        };
+        let forward: Vec<u64> = (0..50).map(|c| p.draw(7, c, 3)).collect();
+        let backward: Vec<u64> = (0..50).rev().map(|c| p.draw(7, c, 3)).collect();
+        let reversed: Vec<u64> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+        assert!(forward.iter().any(|&t| t != forward[0]), "draws vary");
+    }
+
+    #[test]
+    fn latency_draws_vary_by_version() {
+        let p = LatencyProfile::Uniform { min: 1, max: 1000 };
+        let by_version: Vec<u64> = (0..64).map(|v| p.draw(3, 5, v)).collect();
+        assert!(by_version.iter().any(|&t| t != by_version[0]));
+    }
+
+    #[test]
+    fn latency_respects_bounds() {
+        let u = LatencyProfile::Uniform { min: 2, max: 9 };
+        assert!((0..1000).all(|c| (2..=9).contains(&u.draw(1, c, 0))));
+        let f = LatencyProfile::Fixed(3);
+        assert!((0..100).all(|c| f.draw(1, c, 0) == 3));
+        let ln = LatencyProfile::LogNormal {
+            median: 4.0,
+            sigma: 1.0,
+        };
+        assert!((0..1000).all(|c| ln.draw(1, c, 0) >= 1));
+    }
+
+    #[test]
+    fn latency_validation_rejects_bad_parameters() {
+        assert!(LatencyProfile::Fixed(0).validate().is_err());
+        assert!(LatencyProfile::Uniform { min: 0, max: 3 }
+            .validate()
+            .is_err());
+        assert!(LatencyProfile::Uniform { min: 5, max: 3 }
+            .validate()
+            .is_err());
+        assert!(LatencyProfile::LogNormal {
+            median: 0.0,
+            sigma: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(LatencyProfile::LogNormal {
+            median: 2.0,
+            sigma: -1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn latency_json_roundtrips() {
+        for p in [
+            LatencyProfile::Fixed(7),
+            LatencyProfile::Uniform { min: 1, max: 12 },
+            LatencyProfile::LogNormal {
+                median: 4.5,
+                sigma: 0.75,
+            },
+        ] {
+            let json = p.to_json();
+            let back = LatencyProfile::from_json(&parse_json(&json).unwrap()).unwrap();
+            assert_eq!(p, back, "{json}");
+        }
+        assert!(LatencyProfile::from_json(&parse_json(r#"{"kind":"nope"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn latency_parse_accepts_cli_specs() {
+        assert_eq!(
+            LatencyProfile::parse("fixed:3").unwrap(),
+            LatencyProfile::Fixed(3)
+        );
+        assert_eq!(
+            LatencyProfile::parse("uniform:1:9").unwrap(),
+            LatencyProfile::Uniform { min: 1, max: 9 }
+        );
+        assert_eq!(
+            LatencyProfile::parse("lognormal:4:0.8").unwrap(),
+            LatencyProfile::LogNormal {
+                median: 4.0,
+                sigma: 0.8
+            }
+        );
+        assert!(LatencyProfile::parse("uniform:9:1").is_err());
+        assert!(LatencyProfile::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn queue_pops_in_time_then_client_order() {
+        let mut q = EventQueue::new();
+        for (time, client) in [(5, 2), (3, 9), (5, 1), (3, 0), (4, 7)] {
+            q.push(PendingArrival {
+                time,
+                client,
+                dispatched_round: 0,
+            });
+        }
+        let order: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|a| (a.time, a.client))
+            .collect();
+        assert_eq!(order, vec![(3, 0), (3, 9), (4, 7), (5, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn queue_snapshot_is_sorted_and_roundtrips() {
+        let mut q = EventQueue::new();
+        for client in [9usize, 1, 4, 7] {
+            q.push(PendingArrival {
+                time: 10 - client as u64,
+                client,
+                dispatched_round: client as u64,
+            });
+        }
+        let snap = q.snapshot();
+        assert!(snap.windows(2).all(|w| w[0] < w[1]));
+        let mut back = EventQueue::from_json(&parse_json(&q.to_json()).unwrap()).unwrap();
+        let a: Vec<PendingArrival> = std::iter::from_fn(|| q.pop()).collect();
+        let b: Vec<PendingArrival> = std::iter::from_fn(|| back.pop()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scheduler_runs_an_epoch_deterministically() {
+        let latency = LatencyProfile::Uniform { min: 1, max: 20 };
+        let run = || {
+            let mut s = EventScheduler::new(16, 4, latency, 42);
+            s.begin_epoch((0..16).collect());
+            let mut seen = Vec::new();
+            let mut round = 0u64;
+            s.fill(round, |_| false);
+            while !s.idle() {
+                let batch = s.pop_batch(2);
+                round += 1;
+                seen.extend(batch.iter().map(|a| (a.time, a.client)));
+                s.fill(round, |_| false);
+            }
+            (seen, s.clock())
+        };
+        let (a, clock_a) = run();
+        let (b, clock_b) = run();
+        assert_eq!(a, b);
+        assert_eq!(clock_a, clock_b);
+        let clients: std::collections::BTreeSet<usize> = a.iter().map(|&(_, c)| c).collect();
+        assert_eq!(clients.len(), 16, "every client arrives exactly once");
+    }
+
+    #[test]
+    fn scheduler_respects_concurrency_and_skips_offline() {
+        let mut s = EventScheduler::new(10, 3, LatencyProfile::Fixed(2), 1);
+        s.begin_epoch((0..10).collect());
+        let skipped = s.fill(0, |c| c % 2 == 1);
+        assert_eq!(s.in_flight(), 3);
+        assert!(skipped > 0);
+        let batch = s.pop_batch(10);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(s.clock(), 2);
+    }
+
+    #[test]
+    fn scheduler_checkpoint_resumes_mid_epoch() {
+        let latency = LatencyProfile::Uniform { min: 1, max: 9 };
+        let mut s = EventScheduler::new(12, 4, latency, 5);
+        s.begin_epoch((0..12).collect());
+        s.fill(0, |_| false);
+        let _ = s.pop_batch(2);
+        s.fill(1, |_| false);
+
+        let json = s.to_json();
+        let mut r =
+            EventScheduler::from_json(&parse_json(&json).unwrap(), 12, 4, latency, 5).unwrap();
+        assert_eq!(r.clock(), s.clock());
+        let mut round = 2u64;
+        while !s.idle() {
+            assert_eq!(s.pop_batch(3), r.pop_batch(3));
+            s.fill(round, |_| false);
+            r.fill(round, |_| false);
+            round += 1;
+        }
+        assert!(r.idle());
+        assert_eq!(s.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn scheduler_rejects_mismatched_restores() {
+        let s = EventScheduler::new(4, 2, LatencyProfile::unit(), 1);
+        let json = s.to_json();
+        let doc = parse_json(&json).unwrap();
+        assert!(EventScheduler::from_json(&doc, 5, 2, LatencyProfile::unit(), 1).is_err());
+    }
+}

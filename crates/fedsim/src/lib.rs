@@ -16,12 +16,17 @@
 //!   client computations within a round.
 //! * [`linalg`] — threaded dense-kernel drivers (row-partitioned matmul)
 //!   built on the same pool.
-//! * [`faults`] — seeded client-failure injection (dropped updates) for
-//!   robustness experiments beyond the paper's happy path.
+//! * [`faults`] — seeded client-failure injection (dropped updates) and
+//!   churn profiles for robustness experiments beyond the paper's happy
+//!   path.
+//! * [`events`] — logical-clock event scheduling (latency profiles, the
+//!   `(time, client)`-ordered arrival queue, dispatch bookkeeping) behind
+//!   the asynchronous training mode.
 
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod events;
 pub mod faults;
 pub mod linalg;
 pub mod parallel;
@@ -29,6 +34,7 @@ pub mod scheduler;
 pub mod transport;
 
 pub use comm::{CommLedger, RoundCost};
-pub use faults::FaultInjector;
+pub use events::{EventQueue, EventScheduler, LatencyProfile, PendingArrival, TraversalPolicy};
+pub use faults::{ChurnProfile, FaultInjector};
 pub use scheduler::RoundScheduler;
 pub use transport::{ClientUpdate, SparseRowUpdate};

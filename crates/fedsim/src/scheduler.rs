@@ -6,7 +6,15 @@
 //! central server selects 256 users for training." The scheduler
 //! reproduces exactly that: one shuffle per epoch, then contiguous chunks
 //! of the queue as rounds (the final round of an epoch may be smaller).
+//!
+//! The shuffle itself is exposed through
+//! [`TraversalPolicy`](crate::events::TraversalPolicy): synchronous rounds
+//! are one policy over the per-epoch traversal (chunk it into lockstep
+//! cohorts); the event-driven asynchronous engine
+//! ([`crate::events::EventScheduler`]) is another consumer of the very same
+//! traversal, so both modes share the shuffle RNG stream.
 
+use crate::events::TraversalPolicy;
 use hf_tensor::rng::StdRng;
 use hf_tensor::rng::{stream, SeedStream};
 
@@ -44,9 +52,10 @@ impl RoundScheduler {
         self.queue.len().div_ceil(self.clients_per_round)
     }
 
-    /// Shuffles the queue and returns this epoch's rounds.
+    /// Shuffles the queue and returns this epoch's rounds — the synchronous
+    /// policy: the traversal chunked into lockstep cohorts.
     pub fn next_epoch(&mut self) -> Vec<Vec<usize>> {
-        hf_tensor::rng::shuffle(&mut self.queue, &mut self.rng);
+        self.next_traversal();
         self.queue
             .chunks(self.clients_per_round)
             .map(|c| c.to_vec())
@@ -69,6 +78,17 @@ impl RoundScheduler {
             clients_per_round,
             rng: StdRng::from_json(v.get("rng")?)?,
         })
+    }
+}
+
+impl TraversalPolicy for RoundScheduler {
+    fn population(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn next_traversal(&mut self) -> Vec<usize> {
+        hf_tensor::rng::shuffle(&mut self.queue, &mut self.rng);
+        self.queue.clone()
     }
 }
 
@@ -133,6 +153,16 @@ mod tests {
     #[should_panic(expected = "no clients")]
     fn rejects_empty_population() {
         let _ = RoundScheduler::new(0, 8, 0);
+    }
+
+    #[test]
+    fn traversal_and_rounds_share_the_shuffle_stream() {
+        let mut by_rounds = RoundScheduler::new(50, 16, 7);
+        let mut by_traversal = RoundScheduler::new(50, 16, 7);
+        for _ in 0..3 {
+            let flat: Vec<usize> = by_rounds.next_epoch().into_iter().flatten().collect();
+            assert_eq!(flat, by_traversal.next_traversal());
+        }
     }
 
     #[test]

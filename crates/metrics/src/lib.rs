@@ -23,4 +23,4 @@ pub mod ranking;
 pub mod topk;
 
 pub use eval::{EvalResult, Evaluator, UserEval};
-pub use topk::top_k_excluding;
+pub use topk::{top_k_excluding, top_k_scored};

@@ -90,6 +90,61 @@ pub fn top_k_excluding(scores: &[f32], k: usize, exclude: &[u32]) -> Vec<u32> {
     out.into_iter().map(|e| e.item).collect()
 }
 
+/// Panel-scoped variant of [`top_k_excluding`] for blocked serving:
+/// `scores[i]` holds the score of item `base + i`, and the returned
+/// candidates carry their scores so per-panel winners can be merged
+/// without re-reading (or even retaining) the panel's score vector.
+///
+/// Selection rules are identical to [`top_k_excluding`] — NaN scores are
+/// skipped, the `exclude` mask is honoured (ids are global, i.e. already
+/// offset by `base`), ties break toward the smaller item id — and the
+/// output is sorted best-first by `(score desc, item asc)`. Merging the
+/// outputs of a panel partition of the universe under that same order and
+/// truncating to `k` therefore reproduces `top_k_excluding` over the
+/// concatenated scores exactly: any item a panel evicts was beaten by `k`
+/// items of its own panel, so it cannot appear in the global top-K.
+pub fn top_k_scored(scores: &[f32], k: usize, base: u32, exclude: &[u32]) -> Vec<(u32, f32)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let sorted_fallback: Vec<u32>;
+    let exclude = if exclude.windows(2).all(|w| w[0] <= w[1]) {
+        exclude
+    } else {
+        let mut copy = exclude.to_vec();
+        copy.sort_unstable();
+        sorted_fallback = copy;
+        &sorted_fallback
+    };
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (i, &score) in scores.iter().enumerate() {
+        if score.is_nan() {
+            continue;
+        }
+        let item = base + i as u32;
+        if exclude.binary_search(&item).is_ok() {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push(Entry { score, item });
+        } else if let Some(worst) = heap.peek() {
+            let better = score > worst.score || (score == worst.score && item < worst.item);
+            if better {
+                heap.pop();
+                heap.push(Entry { score, item });
+            }
+        }
+    }
+    let mut out: Vec<Entry> = heap.into_vec();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    out.into_iter().map(|e| (e.item, e.score)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +206,53 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(got, top_k_excluding(&scores, 15, &sorted));
         assert!(got.iter().all(|i| !sorted.contains(i)));
+    }
+
+    #[test]
+    fn scored_variant_agrees_with_the_id_variant() {
+        let scores: Vec<f32> = (0..200)
+            .map(|i| ((i * 48_271_usize) % 499) as f32 / 499.0)
+            .collect();
+        let exclude: Vec<u32> = (0..200).filter(|i| i % 6 == 0).map(|i| i as u32).collect();
+        let ids = top_k_excluding(&scores, 12, &exclude);
+        let scored = top_k_scored(&scores, 12, 0, &exclude);
+        assert_eq!(scored.iter().map(|&(i, _)| i).collect::<Vec<_>>(), ids);
+        for &(item, score) in &scored {
+            assert_eq!(score.to_bits(), scores[item as usize].to_bits());
+        }
+        assert!(top_k_scored(&scores, 0, 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn panel_merge_reproduces_the_dense_ranking() {
+        // Rank a 300-item universe densely, then in 64-item panels merged
+        // under (score desc, id asc); the two must agree exactly. Ties and
+        // NaNs included to exercise the edge rules.
+        let scores: Vec<f32> = (0..300)
+            .map(|i| {
+                if i % 31 == 0 {
+                    f32::NAN
+                } else {
+                    ((i * 2_654_435_761_u64 as usize) % 97) as f32 / 97.0
+                }
+            })
+            .collect();
+        let exclude: Vec<u32> = (0..300).filter(|i| i % 9 == 0).map(|i| i as u32).collect();
+        let k = 17;
+        let dense = top_k_excluding(&scores, k, &exclude);
+
+        let mut merged: Vec<(u32, f32)> = Vec::new();
+        for start in (0..scores.len()).step_by(64) {
+            let end = (start + 64).min(scores.len());
+            merged.extend(top_k_scored(&scores[start..end], k, start as u32, &exclude));
+        }
+        merged.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        merged.truncate(k);
+        assert_eq!(merged.iter().map(|&(i, _)| i).collect::<Vec<_>>(), dense);
     }
 
     #[test]

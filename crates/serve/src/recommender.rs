@@ -5,15 +5,22 @@
 //! [`RecommendRequest`]s with deterministic [`RecommendResponse`]s.
 //!
 //! The hot path is **batch-oriented**: [`Recommender::recommend_batch`]
-//! groups requests by model tier, computes the first-layer *item half*
-//! once per `(tier, item panel)` as a blocked
+//! groups requests by model tier and fans `(tier, item panel)` scoring
+//! units out over [`hf_fedsim::parallel_map`]. The first-layer *item
+//! half* of each tier depends only on the frozen artifact, so by default
+//! the builder precomputes it once for the whole catalogue
+//! ([`SplitNcf::item_half_block`] over every row) and serving slices the
+//! stored panel; [`RecommenderBuilder::precompute_item_halves`]`(false)`
+//! keeps the memory-lean per-batch blocked
 //! [`Matrix::matmul_rows`](hf_tensor::Matrix::matmul_rows) product
-//! ([`SplitNcf::item_half_block`]), shares that panel across every
-//! request of the tier, and fans the panels out over
-//! [`hf_fedsim::parallel_map`]. Ranking funnels into
-//! [`hf_metrics::top_k_excluding`] (ties break toward the smaller item
-//! id; NaN scores are skipped, which is how item filters and the
-//! popularity floor drop candidates).
+//! instead — the two are bit-identical per row by the [`SplitNcf`]
+//! contract. Ranking happens *inside* each unit: a panel's scores are
+//! reduced to its top-K candidates ([`hf_metrics::top_k_scored`] — ties
+//! break toward the smaller item id; NaN scores are skipped, which is how
+//! item filters and the popularity floor drop candidates) and merged
+//! under the same order, so no dense `num_items`-wide vector is ever
+//! materialised per request and serving memory is `O(batch × k)` plus
+//! one panel per in-flight unit.
 //!
 //! Determinism contract: every `(request, item)` score is computed
 //! exactly once, from inputs that do not depend on batch composition,
@@ -26,9 +33,11 @@ use crate::artifact::ModelArtifact;
 use crate::ServeError;
 use hf_dataset::Tier;
 use hf_fedsim::parallel::parallel_map;
-use hf_metrics::top_k_excluding;
+use hf_metrics::top_k_scored;
 use hf_models::scoring::{propagate_lightgcn, SplitNcf};
 use hf_models::ModelKind;
+use hf_tensor::Matrix;
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Item predicate for [`RecommendRequest::filter`]: return `false` to
@@ -144,11 +153,13 @@ pub struct RecommenderBuilder {
     threads: usize,
     panel_items: usize,
     cold_start_tier: Tier,
+    precompute: bool,
 }
 
 impl RecommenderBuilder {
     /// Starts a builder over an artifact with serving defaults: `k = 10`,
-    /// single-threaded, 512-item panels, small-tier cold start.
+    /// single-threaded, 512-item panels, small-tier cold start,
+    /// item halves precomputed.
     pub fn new(artifact: ModelArtifact) -> Self {
         Self {
             artifact,
@@ -156,6 +167,7 @@ impl RecommenderBuilder {
             threads: 1,
             panel_items: 512,
             cold_start_tier: Tier::Small,
+            precompute: true,
         }
     }
 
@@ -181,6 +193,19 @@ impl RecommenderBuilder {
     /// Tier whose model and fallback embedding serve unknown users.
     pub fn cold_start_tier(mut self, tier: Tier) -> Self {
         self.cold_start_tier = tier;
+        self
+    }
+
+    /// Whether [`build`](Self::build) precomputes each tier's first-layer
+    /// item halves for the whole catalogue (default `true`). The halves
+    /// depend only on the frozen artifact, so precomputing trades
+    /// `3 × num_items × hidden_width` floats of resident memory for
+    /// skipping the `matmul_rows` panel product on every batch. Pass
+    /// `false` for the memory-lean per-batch path; responses are
+    /// bit-identical either way (the [`SplitNcf`] contract guarantees the
+    /// blocked and whole-table products agree per row).
+    pub fn precompute_item_halves(mut self, precompute: bool) -> Self {
+        self.precompute = precompute;
         self
     }
 
@@ -218,12 +243,20 @@ impl RecommenderBuilder {
                 )));
             }
         }
-        let scorers = std::array::from_fn(|t| {
+        let scorers: [SplitNcf; 3] = std::array::from_fn(|t| {
             SplitNcf::from_ffn(dims.dim(Tier::ALL[t]), artifact.theta(Tier::ALL[t]))
+        });
+        // The item halves are a pure function of the frozen artifact, so
+        // they can be computed once here instead of once per batch.
+        let item_halves = self.precompute.then(|| {
+            std::array::from_fn(|t| {
+                scorers[t].item_half_block(artifact.table(Tier::ALL[t]), 0, artifact.num_items())
+            })
         });
         Ok(Recommender {
             artifact,
             scorers,
+            item_halves,
             default_k: self.default_k,
             threads: self.threads,
             panel_items: self.panel_items,
@@ -238,6 +271,9 @@ pub struct Recommender {
     artifact: ModelArtifact,
     /// Per-tier split scorers built from the frozen predictors.
     scorers: [SplitNcf; 3],
+    /// Whole-catalogue first-layer item halves per tier, precomputed at
+    /// build time; `None` in the memory-lean per-batch mode.
+    item_halves: Option<[Matrix; 3]>,
     default_k: usize,
     threads: usize,
     panel_items: usize,
@@ -290,56 +326,100 @@ impl Recommender {
 
     /// Answers a batch of requests.
     ///
-    /// Requests are grouped per model tier; each `(tier, panel)` computes
-    /// its blocked item-half product once and shares it across the
-    /// tier's requests, and the panels fan out over
-    /// [`hf_fedsim::parallel_map`]. Responses are returned in request
-    /// order and are bit-identical for every thread count and batch
+    /// Requests are grouped per model tier; each `(tier, panel)` unit
+    /// reads the tier's precomputed item halves (or computes the blocked
+    /// product in memory-lean mode), shares the panel across the tier's
+    /// requests, ranks it down to per-request top-K candidates, and the
+    /// units fan out over [`hf_fedsim::parallel_map`]. Candidate lists
+    /// merge under the same `(score desc, item asc)` order the panel
+    /// ranking uses, which reproduces the dense whole-catalogue ranking
+    /// exactly while never holding more than `k` survivors per request.
+    /// Responses are returned in request order and are bit-identical for
+    /// every thread count, panel size, precompute setting, and batch
     /// composition.
     pub fn recommend_batch(&self, requests: &[RecommendRequest]) -> Vec<RecommendResponse> {
-        let (resolved, scores) = self.batch_scores(requests);
-        let queries: Vec<usize> = (0..requests.len()).collect();
-        parallel_map(&queries, self.threads, |&q| {
-            let request = &requests[q];
-            let res = &resolved[q];
-            let k = if request.k == 0 {
-                self.default_k
-            } else {
-                request.k
-            };
-            let ranked = top_k_excluding(&scores[q], k, &res.exclude);
-            RecommendResponse {
+        let resolved: Vec<Resolved> = requests.iter().map(|r| self.resolve(r)).collect();
+        let ks: Vec<usize> = requests
+            .iter()
+            .map(|r| if r.k == 0 { self.default_k } else { r.k })
+            .collect();
+        let (tier_queries, units) = self.plan(&resolved);
+
+        // Rank inside the unit: the panel's score vector dies with the
+        // closure and only its top-K candidates escape.
+        let partials = parallel_map(&units, self.threads, |unit| {
+            self.unit_parts(unit, &resolved, &tier_queries)
+                .into_iter()
+                .map(|(q, start, mut part)| {
+                    self.mask_panel(&requests[q], start, &mut part);
+                    (
+                        q,
+                        top_k_scored(&part, ks[q], start as u32, &resolved[q].exclude),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+
+        // Merge panel winners per request, truncating to `k` after every
+        // panel so the gathered state stays `O(batch × k)`.
+        let mut candidates: Vec<Vec<(u32, f32)>> = requests.iter().map(|_| Vec::new()).collect();
+        for unit in partials {
+            for (q, panel_top) in unit {
+                let cand = &mut candidates[q];
+                cand.extend(panel_top);
+                cand.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(Ordering::Equal)
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                cand.truncate(ks[q]);
+            }
+        }
+
+        requests
+            .iter()
+            .zip(resolved)
+            .zip(candidates)
+            .map(|((request, res), cand)| RecommendResponse {
                 user: request.user,
                 tier: res.tier,
                 cold_start: res.cold_start,
-                items: ranked
+                items: cand
                     .into_iter()
-                    .map(|item| ScoredItem {
-                        item,
-                        score: scores[q][item as usize],
-                    })
+                    .map(|(item, score)| ScoredItem { item, score })
                     .collect(),
-            }
-        })
+            })
+            .collect()
     }
 
     /// Full per-item score vector for one request, after filters (dropped
-    /// candidates are NaN — exactly what the ranking skips). Exposed so
+    /// candidates are NaN — exactly what the ranking skips). This is the
+    /// dense diagnostic path — it materialises `num_items` floats, which
+    /// [`Recommender::recommend_batch`] deliberately avoids. Exposed so
     /// tests and tools can compare against reference rankings.
     pub fn score_request(&self, request: &RecommendRequest) -> Vec<f32> {
-        let (_, mut scores) = self.batch_scores(std::slice::from_ref(request));
-        scores.pop().expect("one score vector per request")
+        let resolved = vec![self.resolve(request)];
+        let (tier_queries, units) = self.plan(&resolved);
+        let partials = parallel_map(&units, self.threads, |unit| {
+            self.unit_parts(unit, &resolved, &tier_queries)
+        });
+        let mut scores = vec![0.0f32; self.artifact.num_items()];
+        for unit in partials {
+            for (_, start, part) in unit {
+                scores[start..start + part.len()].copy_from_slice(&part);
+            }
+        }
+        self.mask_panel(request, 0, &mut scores);
+        scores
     }
 
-    /// Resolves every request and computes its filtered score vector.
-    fn batch_scores(&self, requests: &[RecommendRequest]) -> (Vec<Resolved>, Vec<Vec<f32>>) {
+    /// Groups shared-parameter queries by tier and enumerates the scoring
+    /// units: one per `(tier with queries, panel)` plus one per
+    /// `(standalone query, panel)` — standalone predictors are private,
+    /// so those queries score alone.
+    fn plan(&self, resolved: &[Resolved]) -> ([Vec<usize>; 3], Vec<Unit>) {
         let num_items = self.artifact.num_items();
-        let resolved: Vec<Resolved> = requests.iter().map(|r| self.resolve(r)).collect();
-
-        // Tier groups of shared-parameter queries; standalone queries
-        // score alone (their predictors are private).
         let mut tier_queries: [Vec<usize>; 3] = Default::default();
-        let mut units: Vec<Unit> = Vec::new();
         for (q, res) in resolved.iter().enumerate() {
             if res.solo.is_none() {
                 tier_queries[res.tier.index()].push(q);
@@ -349,6 +429,7 @@ impl Recommender {
             .step_by(self.panel_items.max(1))
             .map(|start| (start, (start + self.panel_items).min(num_items)))
             .collect();
+        let mut units: Vec<Unit> = Vec::new();
         for (t, queries) in tier_queries.iter().enumerate() {
             if !queries.is_empty() {
                 units.extend(panels.iter().map(|&(start, end)| Unit::Shared {
@@ -367,21 +448,42 @@ impl Recommender {
                 }));
             }
         }
+        (tier_queries, units)
+    }
 
-        // Fan the panels out. Each unit returns (query, start, partial
-        // scores); every (query, item) score is computed exactly once,
-        // from batch-independent inputs.
-        let partials = parallel_map(&units, self.threads, |unit| match *unit {
+    /// Scores one unit's panel for each of its queries, returning
+    /// `(query, panel start, panel scores)` triples. Every
+    /// `(query, item)` score is computed exactly once, from inputs that do
+    /// not depend on batch composition, panel size, or thread count.
+    fn unit_parts(
+        &self,
+        unit: &Unit,
+        resolved: &[Resolved],
+        tier_queries: &[Vec<usize>; 3],
+    ) -> Vec<(usize, usize, Vec<f32>)> {
+        match *unit {
             Unit::Shared { tier, start, end } => {
                 let scorer = &self.scorers[tier];
-                let table = self.artifact.table(Tier::ALL[tier]);
-                let block = scorer.item_half_block(table, start, end);
+                // Precomputed halves are sliced in place; the memory-lean
+                // fallback computes the panel's blocked product here
+                // (bit-identical per row by the SplitNcf contract).
+                let local;
+                let (rows, offset) = match self.item_halves.as_ref() {
+                    Some(halves) => (&halves[tier], start),
+                    None => {
+                        let table = self.artifact.table(Tier::ALL[tier]);
+                        local = scorer.item_half_block(table, start, end);
+                        (&local, 0)
+                    }
+                };
                 let mut ws = scorer.workspace();
                 tier_queries[tier]
                     .iter()
                     .map(|&q| {
                         let part: Vec<f32> = (0..end - start)
-                            .map(|r| scorer.finish(&resolved[q].user_half, block.row(r), &mut ws))
+                            .map(|r| {
+                                scorer.finish(&resolved[q].user_half, rows.row(offset + r), &mut ws)
+                            })
                             .collect();
                         (q, start, part)
                     })
@@ -407,31 +509,24 @@ impl Recommender {
                     .collect();
                 vec![(query, start, part)]
             }
-        });
+        }
+    }
 
-        let mut scores: Vec<Vec<f32>> = requests.iter().map(|_| vec![0.0f32; num_items]).collect();
-        for unit in partials {
-            for (q, start, part) in unit {
-                scores[q][start..start + part.len()].copy_from_slice(&part);
+    /// Applies a request's candidate filters to the panel scores starting
+    /// at item `start`: failed items become NaN, which the top-K
+    /// selection skips.
+    fn mask_panel(&self, request: &RecommendRequest, start: usize, part: &mut [f32]) {
+        if request.min_popularity == 0 && request.filter.is_none() {
+            return;
+        }
+        for (i, score) in part.iter_mut().enumerate() {
+            let item = (start + i) as u32;
+            let popular = self.artifact.popularity(item) >= request.min_popularity;
+            let kept = request.filter.as_ref().map_or(true, |f| f(item));
+            if !(popular && kept) {
+                *score = f32::NAN;
             }
         }
-
-        // Candidate filters: failed items become NaN, which the top-K
-        // selection skips.
-        for (q, request) in requests.iter().enumerate() {
-            if request.min_popularity == 0 && request.filter.is_none() {
-                continue;
-            }
-            for (item, score) in scores[q].iter_mut().enumerate() {
-                let item = item as u32;
-                let popular = self.artifact.popularity(item) >= request.min_popularity;
-                let kept = request.filter.as_ref().map_or(true, |f| f(item));
-                if !(popular && kept) {
-                    *score = f32::NAN;
-                }
-            }
-        }
-        (resolved, scores)
     }
 
     /// Resolves one request: serving tier, user representation (with the

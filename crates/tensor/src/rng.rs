@@ -35,6 +35,10 @@ pub enum SeedStream {
     Eval,
     /// Failure injection (client drop simulation).
     Faults,
+    /// Per-dispatch client latency draws (event-driven simulation).
+    Latency,
+    /// Client availability (churn) draws.
+    Churn,
     /// Free-form stream for tests and tools.
     Custom(u64),
 }
@@ -51,6 +55,8 @@ impl SeedStream {
             SeedStream::Distill => 0x4449_5354,
             SeedStream::Eval => 0x4556_414c,
             SeedStream::Faults => 0x4641_554c,
+            SeedStream::Latency => 0x4c41_5459,
+            SeedStream::Churn => 0x4348_524e,
             SeedStream::Custom(k) => 0xc000_0000_0000_0000 ^ k,
         }
     }

@@ -53,7 +53,7 @@
 //! | [`tensor`] | dense linear algebra, RNG streams, Adam, eigen-solver, JSON read/write |
 //! | [`dataset`] | synthetic profiles, splits, negative sampling, grouping |
 //! | [`models`] | NCF / LightGCN with manual backprop |
-//! | [`fedsim`] | rounds, transport, communication accounting, faults |
+//! | [`fedsim`] | event scheduler, rounds, transport, communication accounting, faults/churn |
 //! | [`metrics`] | Recall@K / NDCG@K and the ranking evaluator |
 //! | [`core`] | HeteFedRec itself: UDL, DDR, RESKD, baselines, sessions |
 //! | [`serve`] | model artifacts and the batched top-K `Recommender` |
@@ -69,14 +69,17 @@ pub use hf_tensor as tensor;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use hetefedrec_core::{
-        run_experiment, Ablation, ConfigError, EpochRecord, EpochReport, EvalOutput,
-        ExperimentResult, History, ItemAggNorm, KdConfig, RoundReport, ServerOpt, Session,
-        SessionBuilder, SessionError, SessionEvent, StopReason, Strategy, TierDims, TrainConfig,
+        run_experiment, Ablation, AsyncConfig, AsyncRoundStats, ConfigError, EpochRecord,
+        EpochReport, EvalOutput, ExperimentResult, History, ItemAggNorm, KdConfig, Mode,
+        RoundReport, ServerOpt, Session, SessionBuilder, SessionError, SessionEvent, StopReason,
+        Strategy, TierDims, TrainConfig,
     };
     pub use hf_dataset::{
         ClientGroups, DatasetProfile, DivisionRatio, ImplicitDataset, SplitDataset,
         SyntheticConfig, Tier,
     };
+    pub use hf_fedsim::events::LatencyProfile;
+    pub use hf_fedsim::faults::ChurnProfile;
     pub use hf_metrics::eval::EvalResult;
     pub use hf_models::ModelKind;
     pub use hf_serve::{

@@ -135,6 +135,58 @@ fn serving_rankings_agree_with_evaluate() {
 }
 
 #[test]
+fn precomputed_item_halves_match_the_memory_lean_path() {
+    // The builder's precomputed whole-catalogue item halves and the
+    // per-batch blocked product must be bit-identical, for every panel
+    // size (including one larger than the catalogue) and for shared,
+    // standalone-solo, and cold-start requests alike.
+    for (model, strategy) in [
+        (ModelKind::Ncf, Strategy::HeteFedRec(Ablation::FULL)),
+        (ModelKind::LightGcn, Strategy::HeteFedRec(Ablation::FULL)),
+        (ModelKind::Ncf, Strategy::Standalone),
+    ] {
+        let session = trained(model, strategy, 1);
+        let requests: Vec<RecommendRequest> = (0..session.split().num_users())
+            .map(|u| {
+                let request = RecommendRequest::new(u).with_k(1 + u % 17);
+                match u % 3 {
+                    0 => request.with_min_popularity(2),
+                    1 => request.with_filter(|item| item % 3 != 0),
+                    _ => request,
+                }
+            })
+            .chain([RecommendRequest::new(usize::MAX)])
+            .collect();
+        for panel_items in [7, 128, 100_000] {
+            let build = |precompute: bool| {
+                RecommenderBuilder::new(session.export_artifact())
+                    .default_k(10)
+                    .threads(2)
+                    .panel_items(panel_items)
+                    .precompute_item_halves(precompute)
+                    .build()
+                    .unwrap()
+            };
+            let precomputed = build(true).recommend_batch(&requests);
+            let lean = build(false).recommend_batch(&requests);
+            assert_eq!(precomputed.len(), lean.len());
+            for (a, b) in precomputed.iter().zip(&lean) {
+                assert_eq!(a.user, b.user, "{model:?}/panel {panel_items}");
+                assert_eq!(a.items.len(), b.items.len());
+                for (x, y) in a.items.iter().zip(&b.items) {
+                    assert_eq!(x.item, y.item, "{model:?}/panel {panel_items}");
+                    assert_eq!(
+                        x.score.to_bits(),
+                        y.score.to_bits(),
+                        "{model:?}/panel {panel_items}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn recommend_batch_is_bit_identical_across_thread_counts() {
     for (model, strategy) in [
         (ModelKind::Ncf, Strategy::HeteFedRec(Ablation::FULL)),
