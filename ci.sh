@@ -66,6 +66,37 @@ cargo test -q --offline --release --test async_determinism -- --nocapture \
     | tee target/ci-artifacts/async_determinism.log
 grep -q "async resume verified" target/ci-artifacts/async_determinism.log
 
+echo "==> network serving smoke (hf-serve + hf-loadgen + net_throughput --json)"
+# The example saves the binary artifact, serves it over loopback TCP, and
+# proves served rankings bit-identical to in-process recommend_batch (it
+# exits non-zero on any mismatch).
+HF_ARTIFACT_PATH=target/ci-artifacts/serving_model.hfa \
+    cargo run -q --offline --release --example network_serving \
+    > target/ci-artifacts/network_serving_smoke.log
+grep -q "served == in-process" target/ci-artifacts/network_serving_smoke.log
+test -s target/ci-artifacts/serving_model.hfa
+# Boot the real hf-serve binary on the artifact the example just wrote,
+# drive it with the load generator (fixed seed, bounded duration), verify
+# every served exchange against an in-process replay, then shut the
+# server down over the wire and require a clean exit.
+cargo run -q --offline --release -p hf_net --bin hf-serve -- \
+    --artifact target/ci-artifacts/serving_model.hfa --addr 127.0.0.1:47731 \
+    > target/ci-artifacts/hf_serve_smoke.log &
+serve_pid=$!
+cargo run -q --offline --release -p hf_net --bin hf-loadgen -- \
+    --addr 127.0.0.1:47731 --connections 8 --rate 4000 --requests 2000 \
+    --seed 7 --max-seconds 30 \
+    --verify-artifact target/ci-artifacts/serving_model.hfa --shutdown \
+    > target/ci-artifacts/hf_loadgen_smoke.log
+wait "$serve_pid"
+grep -q "served == in-process" target/ci-artifacts/hf_loadgen_smoke.log
+grep -q "drained and stopped" target/ci-artifacts/hf_serve_smoke.log
+# Socket-to-socket latency sweep (batch window x connections) snapshot.
+cargo run -q --offline --release -p hf_bench --bin net_throughput -- \
+    --scale tiny --dataset ml --model ncf \
+    --json target/ci-artifacts/net_throughput_smoke.json
+test -s target/ci-artifacts/net_throughput_smoke.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

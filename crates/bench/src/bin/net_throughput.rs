@@ -1,0 +1,168 @@
+//! **Network serving throughput** — socket-to-socket queries/sec and
+//! latency percentiles of the framed TCP service, swept over the
+//! micro-batcher window and the number of concurrent connections.
+//!
+//! Trains one epoch, exports a `ModelArtifact`, serves it on an
+//! ephemeral loopback port through `hf_net::serve`, and drives it with
+//! the open-loop Poisson load generator (deterministic arrival
+//! schedule, per-connection latency histograms merged at the end).
+//! Latencies are measured from just before the request bytes hit the
+//! socket to the moment the matching response frame is decoded — the
+//! full socket-to-socket path including framing, queueing, batching and
+//! ranking.
+//!
+//! ```text
+//! cargo run --release -p hf_bench --bin net_throughput -- --scale tiny --dataset ml
+//! ```
+//!
+//! `--set net_rate=N` overrides the offered load (req/s, default 4000);
+//! `--set net_requests=N` the per-measurement request count (default
+//! 2000); `--json <path>` writes the usual snapshot rows.
+
+use hetefedrec_core::{Ablation, SessionBuilder, Strategy};
+use hf_bench::{make_config_with, make_split, rule, CliOptions, SnapshotRow};
+use hf_dataset::DatasetProfile;
+use hf_net::{run_loadgen, serve, LoadGen, ServerConfig};
+use hf_serve::{ExportArtifact, RecommenderBuilder};
+use std::time::Duration;
+
+/// Micro-batch windows swept (µs). 0 = dispatch immediately: every
+/// request is its own batch unless the queue is already backed up.
+const BATCH_WINDOWS_US: [u64; 2] = [0, 1000];
+/// Concurrent client connections swept. The acceptance bar is a
+/// latency report under at least 8 connections.
+const CONNECTIONS: [usize; 2] = [1, 8];
+
+fn main() {
+    let mut opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
+    // Serving-side knobs, not TrainConfig fields; strip them before the
+    // generic override application.
+    let mut net_rate: f64 = 4000.0;
+    let mut net_requests: usize = 2000;
+    let mut bad_override: Option<String> = None;
+    opts.overrides.retain(|(k, v)| match k.as_str() {
+        "net_rate" => {
+            match v.parse() {
+                Ok(n) => net_rate = n,
+                Err(_) => bad_override = Some(format!("net_rate={v}")),
+            }
+            false
+        }
+        "net_requests" => {
+            match v.parse() {
+                Ok(n) => net_requests = n,
+                Err(_) => bad_override = Some(format!("net_requests={v}")),
+            }
+            false
+        }
+        _ => true,
+    });
+    if let Some(bad) = bad_override {
+        // Match apply_overrides: a malformed value is a usage error,
+        // never a silent fallback.
+        eprintln!("error: bad value for --set {bad}");
+        std::process::exit(2);
+    }
+
+    println!(
+        "Network serving throughput: framed TCP service on loopback, open-loop \
+         Poisson load (scale={}, seed={}, offered {net_rate:.0} req/s)\n",
+        opts.scale.name, opts.seed
+    );
+
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
+    for profile in &opts.datasets {
+        for model in &opts.models {
+            let split = make_split(*profile, opts.scale, opts.seed);
+            let cfg = make_config_with(&opts, *model, *profile);
+            let mut session =
+                SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split.clone())
+                    .eval_every(0)
+                    .build()
+                    .expect("valid experiment configuration");
+            session.run_epoch();
+            let artifact = session.export_artifact();
+
+            let num_users = split.num_users();
+            println!(
+                "== {} / {} ({} users, {} items) ==",
+                profile.name(),
+                model.name(),
+                num_users,
+                split.num_items()
+            );
+            let header = format!(
+                "{:>10} {:>6} {:>10} {:>12} {:>10} {:>10} {:>10}",
+                "window µs", "conns", "requests", "achieved/s", "p50 ms", "p95 ms", "p99 ms"
+            );
+            println!("{header}");
+            println!("{}", rule(&header));
+
+            for &window_us in &BATCH_WINDOWS_US {
+                for &connections in &CONNECTIONS {
+                    // A fresh server per cell: the batcher window is fixed
+                    // at construction and queues must start empty.
+                    let recommender = RecommenderBuilder::new(artifact.clone())
+                        .default_k(20)
+                        .build()
+                        .expect("valid serving configuration");
+                    let handle = serve(
+                        recommender,
+                        "127.0.0.1:0",
+                        ServerConfig {
+                            batch_window: Duration::from_micros(window_us),
+                            ..ServerConfig::default()
+                        },
+                    )
+                    .expect("loopback server");
+
+                    let load = LoadGen {
+                        connections,
+                        target_qps: net_rate,
+                        requests: net_requests,
+                        max_duration: Duration::from_secs(120),
+                        seed: opts.seed ^ window_us ^ connections as u64,
+                        users: num_users as u64 + num_users as u64 / 20,
+                        k: 0,
+                        capture: false,
+                    };
+                    let report = run_loadgen(handle.local_addr(), &load).expect("load generation");
+                    handle.shutdown();
+                    assert_eq!(
+                        report.received, report.sent,
+                        "every request must be answered"
+                    );
+
+                    let q = |p: f64| report.latency.quantile_ms(p).unwrap_or(f64::NAN);
+                    let (p50, p95, p99) = (q(0.50), (q(0.95)), q(0.99));
+                    let qps = report.achieved_qps();
+                    println!(
+                        "{:>10} {:>6} {:>10} {:>12} {:>10} {:>10} {:>10}",
+                        window_us,
+                        connections,
+                        report.received,
+                        format!("{qps:.0}"),
+                        format!("{p50:.3}"),
+                        format!("{p95:.3}"),
+                        format!("{p99:.3}"),
+                    );
+                    snapshot.push(
+                        SnapshotRow::new()
+                            .label("dataset", profile.name())
+                            .label("model", model.name())
+                            .value("batch_window_us", window_us as f64)
+                            .value("connections", connections as f64)
+                            .value("requests", report.received as f64)
+                            .value("offered_qps", net_rate)
+                            .value("achieved_qps", qps)
+                            .value("p50_ms", p50)
+                            .value("p95_ms", p95)
+                            .value("p99_ms", p99),
+                    );
+                }
+            }
+            println!();
+        }
+    }
+    opts.emit_json(&snapshot);
+}

@@ -12,63 +12,7 @@
 //! and the Table III harness reports both the paper's dense accounting
 //! and the sparse bytes this format actually moves.
 
-/// Little-endian read cursor over a borrowed byte slice — the std-only
-/// replacement for `bytes::Buf`, sufficient for this wire format.
-struct Reader<'a> {
-    buf: &'a [u8],
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Self { buf }
-    }
-
-    fn remaining(&self) -> usize {
-        self.buf.len()
-    }
-
-    fn get_u8(&mut self) -> Option<u8> {
-        let (&b, rest) = self.buf.split_first()?;
-        self.buf = rest;
-        Some(b)
-    }
-
-    fn get_u32_le(&mut self) -> Option<u32> {
-        let (head, rest) = self.buf.split_first_chunk::<4>()?;
-        self.buf = rest;
-        Some(u32::from_le_bytes(*head))
-    }
-
-    fn get_f32_le(&mut self) -> Option<f32> {
-        self.get_u32_le().map(f32::from_bits)
-    }
-}
-
-/// Little-endian append-only writer — the std-only replacement for
-/// `bytes::BufMut`.
-struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    fn with_capacity(cap: usize) -> Self {
-        Self {
-            buf: Vec::with_capacity(cap),
-        }
-    }
-
-    fn put_u8(&mut self, x: u8) {
-        self.buf.push(x);
-    }
-
-    fn put_u32_le(&mut self, x: u32) {
-        self.buf.extend_from_slice(&x.to_le_bytes());
-    }
-
-    fn put_f32_le(&mut self, x: f32) {
-        self.put_u32_le(x.to_bits());
-    }
-}
+use crate::wire::{Reader, Writer};
 
 /// Sparse row-keyed update to an embedding table.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -152,8 +96,8 @@ impl ClientUpdate {
                 buf.put_f32_le(x);
             }
         }
-        debug_assert_eq!(buf.buf.len(), self.encoded_len());
-        buf.buf
+        debug_assert_eq!(buf.len(), self.encoded_len());
+        buf.into_vec()
     }
 
     /// Parses the binary wire format.

@@ -1,0 +1,215 @@
+//! Little-endian wire primitives — the std-only replacement for the
+//! `bytes` crate, shared by every binary format in the workspace.
+//!
+//! [`Reader`] is a borrowing cursor over `&[u8]`; every accessor returns
+//! `Option` so malformed or truncated input surfaces as a clean decode
+//! failure, never a panic. [`Writer`] is an append-only `Vec<u8>` builder.
+//! The update payloads in [`crate::transport`], the compact artifact
+//! format in `hf_serve`, and the `hf_net` frame vocabulary all encode
+//! through these two types, so "little-endian, length-prefixed" means the
+//! same thing everywhere.
+
+/// Little-endian read cursor over a borrowed byte slice.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Starts a cursor at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Option<u8> {
+        let (&b, rest) = self.buf.split_first()?;
+        self.buf = rest;
+        Some(b)
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16_le(&mut self) -> Option<u16> {
+        let (head, rest) = self.buf.split_first_chunk::<2>()?;
+        self.buf = rest;
+        Some(u16::from_le_bytes(*head))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32_le(&mut self) -> Option<u32> {
+        let (head, rest) = self.buf.split_first_chunk::<4>()?;
+        self.buf = rest;
+        Some(u32::from_le_bytes(*head))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64_le(&mut self) -> Option<u64> {
+        let (head, rest) = self.buf.split_first_chunk::<8>()?;
+        self.buf = rest;
+        Some(u64::from_le_bytes(*head))
+    }
+
+    /// Reads a little-endian `f32` (bit-exact: floats travel as their
+    /// IEEE-754 bits).
+    pub fn get_f32_le(&mut self) -> Option<f32> {
+        self.get_u32_le().map(f32::from_bits)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Some(head)
+    }
+
+    /// Reads `n` little-endian `f32`s into a vector, checking the length
+    /// up front so a hostile count cannot trigger a huge allocation.
+    pub fn get_f32_vec(&mut self, n: usize) -> Option<Vec<f32>> {
+        if self.remaining() < n.checked_mul(4)? {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f32_le()?);
+        }
+        Some(out)
+    }
+
+    /// Reads `n` little-endian `u32`s, with the same up-front length check
+    /// as [`Reader::get_f32_vec`].
+    pub fn get_u32_vec(&mut self, n: usize) -> Option<Vec<u32>> {
+        if self.remaining() < n.checked_mul(4)? {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_u32_le()?);
+        }
+        Some(out)
+    }
+}
+
+/// Little-endian append-only writer.
+#[derive(Clone, Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty writer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16_le(&mut self, x: u16) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32_le(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64_le(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32` as its IEEE-754 bits.
+    pub fn put_f32_le(&mut self, x: f32) {
+        self.put_u32_le(x.to_bits());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Consumes the writer, returning the encoded buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16_le(0xBEEF);
+        w.put_u32_le(123_456);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_f32_le(-0.0);
+        w.put_bytes(b"hi");
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8(), Some(7));
+        assert_eq!(r.get_u16_le(), Some(0xBEEF));
+        assert_eq!(r.get_u32_le(), Some(123_456));
+        assert_eq!(r.get_u64_le(), Some(u64::MAX - 1));
+        assert_eq!(r.get_f32_le().map(f32::to_bits), Some((-0.0f32).to_bits()));
+        assert_eq!(r.get_bytes(2), Some(&b"hi"[..]));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.get_u8(), None);
+    }
+
+    #[test]
+    fn truncated_reads_fail_cleanly() {
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u32_le(), None);
+        assert_eq!(r.get_bytes(4), None);
+        // A failed read consumes nothing.
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.get_u8(), Some(1));
+    }
+
+    #[test]
+    fn hostile_vec_counts_are_rejected_without_allocating() {
+        let buf = [0u8; 8];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_f32_vec(usize::MAX / 2), None);
+        assert_eq!(r.get_u32_vec(u32::MAX as usize), None);
+        // Valid small reads still work afterwards.
+        assert_eq!(r.get_f32_vec(2).map(|v| v.len()), Some(2));
+    }
+}

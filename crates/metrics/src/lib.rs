@@ -15,12 +15,17 @@
 //!   exclusion mask (train positives).
 //! * [`eval`] — per-user evaluation plus aggregation, including the
 //!   per-tier breakdown behind the paper's Fig. 6.
+//! * [`latency`] — log-bucketed, mergeable latency histogram (p50/p95/p99
+//!   with bounded relative error) for the serving and load-generation
+//!   stack.
 
 #![warn(missing_docs)]
 
 pub mod eval;
+pub mod latency;
 pub mod ranking;
 pub mod topk;
 
 pub use eval::{EvalResult, Evaluator, UserEval};
+pub use latency::LatencyHistogram;
 pub use topk::{top_k_excluding, top_k_scored};

@@ -1,0 +1,219 @@
+//! The bounded in-flight queue and the micro-batching policy.
+//!
+//! Connection reader threads push decoded requests into a [`JobQueue`];
+//! the single batcher thread pops them in **micro-batches**: the first
+//! job opens a batch and starts the coalescing window, and the batch
+//! closes when either `batch_max` jobs have joined or `batch_window` has
+//! elapsed since the batch opened — whichever comes first. A zero window
+//! degenerates to "whatever is already queued", which still coalesces
+//! under load but never delays an isolated request.
+//!
+//! Backpressure is the queue bound: [`JobQueue::push`] blocks while the
+//! queue holds `capacity` jobs, which stalls that connection's reader
+//! thread, which stops draining its socket, which fills the kernel
+//! buffers, which stalls the client's writes. No frame is ever dropped;
+//! the slowdown propagates to the sender, end to end.
+//!
+//! Coalescing never changes answers: `Recommender::recommend_batch` is
+//! bit-identical across batch compositions by the serving determinism
+//! contract, so the window size is purely a throughput/latency trade.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A queue slot: one decoded request plus the context needed to answer
+/// it (generic so tests can drive the policy without sockets).
+pub(crate) struct Queue<T> {
+    inner: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    closed: AtomicBool,
+}
+
+impl<T> Queue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// `true` once [`Queue::close`] has been called.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Closes the queue: pushes start failing, and poppers drain what is
+    /// left and then see `None`.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Blocks until there is room (backpressure), then enqueues.
+    /// Returns `false` — the job was not accepted — once closed.
+    pub(crate) fn push(&self, job: T) -> bool {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        while q.len() >= self.capacity {
+            if self.is_closed() {
+                return false;
+            }
+            q = self.not_full.wait(q).expect("queue poisoned");
+        }
+        if self.is_closed() {
+            return false;
+        }
+        q.push_back(job);
+        drop(q);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Pops the next micro-batch: blocks for the first job, then
+    /// coalesces arrivals until `max` jobs or `window` past the first
+    /// pop. Returns `None` when the queue is closed *and* drained.
+    pub(crate) fn pop_batch(&self, max: usize, window: Duration) -> Option<Vec<T>> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(first) = q.pop_front() {
+                let mut batch = Vec::with_capacity(max.min(self.capacity));
+                batch.push(first);
+                let deadline = Instant::now() + window;
+                loop {
+                    while batch.len() < max {
+                        match q.pop_front() {
+                            Some(job) => batch.push(job),
+                            None => break,
+                        }
+                    }
+                    if batch.len() >= max || self.is_closed() {
+                        break;
+                    }
+                    let now = Instant::now();
+                    let Some(remaining) = deadline.checked_duration_since(now) else {
+                        break;
+                    };
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    let (guard, timeout) = self
+                        .not_empty
+                        .wait_timeout(q, remaining)
+                        .expect("queue poisoned");
+                    q = guard;
+                    if timeout.timed_out() && q.is_empty() {
+                        break;
+                    }
+                }
+                drop(q);
+                self.not_full.notify_all();
+                return Some(batch);
+            }
+            if self.is_closed() {
+                return None;
+            }
+            q = self.not_empty.wait(q).expect("queue poisoned");
+        }
+    }
+
+    /// Number of queued jobs right now (diagnostics only).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pop_batch_coalesces_up_to_max() {
+        let q = Queue::new(64);
+        for i in 0..10 {
+            assert!(q.push(i));
+        }
+        let batch = q.pop_batch(4, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        let batch = q.pop_batch(64, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn window_waits_for_stragglers() {
+        let q = Arc::new(Queue::new(64));
+        q.push(1u32);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                q.push(2);
+            })
+        };
+        // A generous window lets the second job join the first batch.
+        let batch = q.pop_batch(8, Duration::from_millis(500)).unwrap();
+        producer.join().unwrap();
+        assert_eq!(batch, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_window_serves_immediately() {
+        let q = Queue::new(8);
+        q.push(7u32);
+        let t0 = Instant::now();
+        let batch = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![7]);
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn push_blocks_at_capacity_until_popped() {
+        let q = Arc::new(Queue::new(2));
+        assert!(q.push(1u32));
+        assert!(q.push(2));
+        let blocked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(3))
+        };
+        // The push cannot complete while the queue is full.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 2);
+        let batch = q.pop_batch(2, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        assert!(blocked.join().unwrap());
+        assert_eq!(q.pop_batch(8, Duration::ZERO).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Queue::new(8);
+        q.push(1u32);
+        q.push(2);
+        q.close();
+        assert!(!q.push(3), "closed queue rejects new jobs");
+        assert_eq!(q.pop_batch(8, Duration::from_secs(1)).unwrap(), vec![1, 2]);
+        assert!(q.pop_batch(8, Duration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn close_unblocks_a_full_queue_push() {
+        let q = Arc::new(Queue::new(1));
+        assert!(q.push(1u32));
+        let blocked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(!blocked.join().unwrap(), "push fails after close");
+    }
+}

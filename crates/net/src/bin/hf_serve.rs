@@ -1,0 +1,149 @@
+//! `hf-serve` — load a model artifact, serve it over TCP.
+//!
+//! ```text
+//! hf-serve --artifact model.hfa [--addr 127.0.0.1:7878]
+//!          [--batch-window-us 500] [--batch-max 64] [--queue-cap 1024]
+//!          [--threads 1] [--k 10] [--cold-start-blend 0.0]
+//! ```
+//!
+//! The model comes from the compact binary artifact format
+//! (`ModelArtifact::load_file`) — the deployment path: no checkpoint
+//! replay, no dataset in sight. The process prints one
+//! `listening on <addr>` line once the socket is bound and serves until
+//! a client sends a `Shutdown` frame, then drains in-flight requests
+//! and exits 0.
+
+use hf_net::{serve, ServerConfig};
+use hf_serve::{ModelArtifact, RecommenderBuilder};
+use std::time::Duration;
+
+struct Args {
+    artifact: String,
+    addr: String,
+    batch_window_us: u64,
+    batch_max: usize,
+    queue_cap: usize,
+    threads: usize,
+    k: usize,
+    blend: f32,
+}
+
+const USAGE: &str = "usage: hf-serve --artifact <model.hfa>\n\
+    \x20   [--addr 127.0.0.1:7878] [--batch-window-us 500] [--batch-max 64]\n\
+    \x20   [--queue-cap 1024] [--threads 1] [--k 10] [--cold-start-blend 0.0]";
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut artifact: Option<String> = None;
+    let mut args = Args {
+        artifact: String::new(),
+        addr: "127.0.0.1:7878".to_string(),
+        batch_window_us: 500,
+        batch_max: 64,
+        queue_cap: 1024,
+        threads: 1,
+        k: 10,
+        blend: 0.0,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> String {
+            argv.next()
+                .unwrap_or_else(|| usage_exit(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--artifact" => artifact = Some(value("--artifact")),
+            "--addr" => args.addr = value("--addr"),
+            "--batch-window-us" => {
+                args.batch_window_us = value("--batch-window-us")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("bad --batch-window-us"))
+            }
+            "--batch-max" => {
+                args.batch_max = value("--batch-max")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("bad --batch-max"))
+            }
+            "--queue-cap" => {
+                args.queue_cap = value("--queue-cap")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("bad --queue-cap"))
+            }
+            "--threads" => {
+                args.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("bad --threads"))
+            }
+            "--k" => {
+                args.k = value("--k")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("bad --k"))
+            }
+            "--cold-start-blend" => {
+                args.blend = value("--cold-start-blend")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("bad --cold-start-blend"))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_exit(&format!("unknown flag `{other}`")),
+        }
+    }
+    match artifact {
+        Some(path) => args.artifact = path,
+        None => usage_exit("--artifact is required"),
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let artifact = ModelArtifact::load_file(&args.artifact).unwrap_or_else(|e| {
+        eprintln!("error: cannot load model: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "hf-serve: artifact v{} — {} users, {} items, model {:?}",
+        artifact.version(),
+        artifact.num_users(),
+        artifact.num_items(),
+        artifact.model()
+    );
+
+    let recommender = RecommenderBuilder::new(artifact)
+        .default_k(args.k)
+        .threads(args.threads)
+        .cold_start_blend(args.blend)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("error: invalid serving configuration: {e}");
+            std::process::exit(1);
+        });
+
+    let config = ServerConfig {
+        batch_window: Duration::from_micros(args.batch_window_us),
+        batch_max: args.batch_max,
+        queue_capacity: args.queue_cap,
+    };
+    let handle = serve(recommender, &args.addr, config).unwrap_or_else(|e| {
+        eprintln!("error: cannot serve on {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    println!(
+        "hf-serve: listening on {} (window {} us, batch <= {}, queue <= {})",
+        handle.local_addr(),
+        args.batch_window_us,
+        args.batch_max,
+        args.queue_cap
+    );
+    // Serve until a client sends a Shutdown frame, then drain and exit.
+    handle.wait();
+    println!("hf-serve: drained and stopped");
+}

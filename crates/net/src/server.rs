@@ -1,0 +1,369 @@
+//! The threaded TCP serving loop.
+//!
+//! [`serve`] binds a `std::net::TcpListener` and returns a
+//! [`ServerHandle`]; the server owns three kinds of threads:
+//!
+//! * **accept loop** — one thread accepting connections until shutdown;
+//! * **connection readers** — one thread per connection decoding frames:
+//!   requests are pushed into the bounded job queue (blocking when full,
+//!   which is the backpressure contract — see [`crate::batcher`]), pings
+//!   are answered inline, a shutdown frame triggers the graceful stop,
+//!   and a malformed-but-framed payload is answered with a typed error
+//!   frame *without* closing the connection (frames are length-delimited,
+//!   so the stream can resynchronise);
+//! * **micro-batcher** — one thread popping coalesced batches and
+//!   answering them through a single `Recommender::recommend_batch` call
+//!   each; answers are written back under each connection's write lock.
+//!
+//! Graceful shutdown (via [`ServerHandle::shutdown`] or a client's
+//! `Shutdown` frame) stops accepting, lets readers push what they have
+//! already decoded, drains the queue to completion — every accepted
+//! request is answered — then closes the sockets and joins every thread.
+
+use crate::batcher::Queue;
+use crate::frame::{ErrorCode, Frame, ReadFrameError, WireError, WireRequest, WireResponse};
+use crate::NetError;
+use hf_serve::Recommender;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`serve`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Coalescing window measured from the first request of a batch
+    /// (default 500 µs). Zero serves whatever is already queued without
+    /// ever delaying an isolated request.
+    pub batch_window: Duration,
+    /// Largest micro-batch handed to one `recommend_batch` call
+    /// (default 64).
+    pub batch_max: usize,
+    /// Bound on queued-but-unserved requests (default 1024). When full,
+    /// connection readers block — backpressure, not load shedding.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            batch_window: Duration::from_micros(500),
+            batch_max: 64,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn validate(&self) -> Result<(), NetError> {
+        if self.batch_max == 0 {
+            return Err(NetError::Config("batch_max must be at least 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(NetError::Config("queue_capacity must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// One accepted connection: the stream (shared by its reader thread and
+/// every writer) plus write serialisation.
+struct Conn {
+    stream: Mutex<TcpStream>,
+    /// The raw handle readers use to `Shutdown` the socket on server
+    /// stop (taking the `stream` lock could deadlock with a blocked
+    /// writer).
+    raw: TcpStream,
+}
+
+impl Conn {
+    fn send(&self, frame: &Frame) -> io::Result<()> {
+        let mut stream = self.stream.lock().expect("connection poisoned");
+        frame.write_to(&mut *stream)
+    }
+}
+
+/// One queued unit of work: a decoded request plus where to answer it.
+struct Job {
+    conn: Arc<Conn>,
+    request: WireRequest,
+}
+
+struct Shared {
+    queue: Queue<Job>,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+    /// Live connections, registered by the accept loop so shutdown can
+    /// unblock their readers.
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    /// Reader threads still running (joined at shutdown).
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Flips into shutdown mode: stop accepting, stop reading, let the
+    /// batcher drain. Idempotent.
+    fn begin_shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop (it is parked in `accept`).
+        let _ = TcpStream::connect(self.addr);
+        // Unblock readers parked in `read` — shut the sockets down for
+        // reading only, so queued responses can still be written.
+        let conns = self.conns.lock().expect("connection table poisoned");
+        for conn in conns.values() {
+            let _ = conn.raw.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// A running server. Dropping the handle **aborts** the process threads
+/// only at process exit; call [`ServerHandle::shutdown`] (or send a
+/// `Shutdown` frame) for a graceful stop, or [`ServerHandle::wait`] to
+/// park until a client stops the server remotely.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful when serving on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Requests a graceful stop and blocks until every accepted request
+    /// has been answered and every thread has exited.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        self.join_all();
+    }
+
+    /// Parks until the server stops (e.g. a client sent a `Shutdown`
+    /// frame), then completes the same drain-and-join as
+    /// [`ServerHandle::shutdown`].
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        let readers = std::mem::take(&mut *self.shared.readers.lock().expect("readers poisoned"));
+        for h in readers {
+            let _ = h.join();
+        }
+        // Close any write halves still open.
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns poisoned"));
+        for (_, conn) in conns {
+            let _ = conn.raw.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        self.join_all();
+    }
+}
+
+/// Binds `addr` and serves `recommender` until shutdown.
+pub fn serve(
+    recommender: Recommender,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> Result<ServerHandle, NetError> {
+    config.validate()?;
+    let listener = TcpListener::bind(addr).map_err(NetError::Io)?;
+    let addr = listener.local_addr().map_err(NetError::Io)?;
+    let shared = Arc::new(Shared {
+        queue: Queue::new(config.queue_capacity),
+        stopping: AtomicBool::new(false),
+        addr,
+        conns: Mutex::new(HashMap::new()),
+        readers: Mutex::new(Vec::new()),
+    });
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("hf-net-accept".into())
+            .spawn(move || accept_loop(listener, shared))
+            .map_err(NetError::Io)?
+    };
+
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        let window = config.batch_window;
+        let max = config.batch_max;
+        std::thread::Builder::new()
+            .name("hf-net-batcher".into())
+            .spawn(move || batcher_loop(recommender, shared, max, window))
+            .map_err(NetError::Io)?
+    };
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        batcher: Some(batcher),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let next_conn = AtomicU64::new(0);
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) if shared.stopping.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            // The wake-up connection from begin_shutdown lands here too.
+            break;
+        }
+        let _ = stream.set_nodelay(true);
+        // A client that stops draining its socket must not wedge the
+        // batcher behind its write lock forever.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+        let raw = match stream.try_clone() {
+            Ok(raw) => raw,
+            Err(_) => continue,
+        };
+        let conn = Arc::new(Conn {
+            stream: Mutex::new(stream),
+            raw,
+        });
+        let conn_id = next_conn.fetch_add(1, Ordering::Relaxed);
+        shared
+            .conns
+            .lock()
+            .expect("connection table poisoned")
+            .insert(conn_id, Arc::clone(&conn));
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("hf-net-conn-{conn_id}"))
+                .spawn(move || {
+                    reader_loop(conn_id, conn, &shared);
+                })
+        };
+        if let Ok(handle) = reader {
+            shared
+                .readers
+                .lock()
+                .expect("reader table poisoned")
+                .push(handle);
+        }
+    }
+    // No more readers will be created; once existing readers exit, the
+    // queue is complete. Close it so the batcher drains and stops.
+    // Readers may still be pushing — `close` lets poppers drain what is
+    // already queued, and readers observe `stopping` on their next frame.
+    shared.queue.close();
+}
+
+fn reader_loop(conn_id: u64, conn: Arc<Conn>, shared: &Shared) {
+    let mut read_half = match conn.raw.try_clone() {
+        Ok(s) => Some(s),
+        Err(_) => None,
+    };
+    while let Some(stream) = read_half.as_mut() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        match Frame::read_from(stream) {
+            Ok(None) => break, // peer closed cleanly
+            Ok(Some(Frame::Request(request))) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    let _ = conn.send(&Frame::Error(WireError {
+                        id: request.id,
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is draining".to_string(),
+                    }));
+                    break;
+                }
+                let request_id = request.id;
+                let job = Job {
+                    conn: Arc::clone(&conn),
+                    request,
+                };
+                if !shared.queue.push(job) {
+                    // The queue closed mid-push (shutdown raced us): the
+                    // request will never be served, say so.
+                    let _ = conn.send(&Frame::Error(WireError {
+                        id: request_id,
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is draining".to_string(),
+                    }));
+                    break;
+                }
+            }
+            Ok(Some(Frame::Ping(token))) => {
+                if conn.send(&Frame::Pong(token)).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Frame::Shutdown)) => {
+                shared.begin_shutdown();
+                break;
+            }
+            Ok(Some(other)) => {
+                // Response/Error/Pong arriving at the server is a
+                // protocol violation worth reporting, not a framing
+                // failure worth disconnecting over.
+                let _ = conn.send(&Frame::Error(WireError {
+                    id: 0,
+                    code: ErrorCode::Unsupported,
+                    message: format!("unexpected {other:?} frame on the server side"),
+                }));
+            }
+            Err(ReadFrameError::Frame(e)) => {
+                // The length prefix framed the payload, so the stream is
+                // still in sync; answer with a typed error and keep
+                // serving this connection.
+                let _ = conn.send(&Frame::Error(WireError {
+                    id: 0,
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                }));
+            }
+            Err(ReadFrameError::Io(_)) => break,
+        }
+    }
+    shared
+        .conns
+        .lock()
+        .expect("connection table poisoned")
+        .remove(&conn_id);
+}
+
+fn batcher_loop(recommender: Recommender, shared: Arc<Shared>, max: usize, window: Duration) {
+    while let Some(batch) = shared.queue.pop_batch(max, window) {
+        let requests: Vec<_> = batch.iter().map(|job| job.request.to_request()).collect();
+        let responses = recommender.recommend_batch(&requests);
+        debug_assert_eq!(responses.len(), batch.len());
+        for (job, response) in batch.iter().zip(&responses) {
+            let frame = Frame::Response(WireResponse::from_response(job.request.id, response));
+            // A send failure means the client went away; its answer is
+            // undeliverable, which harms no one else.
+            let _ = job.conn.send(&frame);
+        }
+    }
+    // Queue closed and drained: every accepted request is answered.
+    // Release the read halves so lingering readers (blocked clients)
+    // exit too.
+    let conns = shared.conns.lock().expect("connection table poisoned");
+    for conn in conns.values() {
+        let _ = conn.raw.shutdown(Shutdown::Both);
+    }
+}

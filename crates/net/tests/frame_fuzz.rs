@@ -1,0 +1,151 @@
+//! Malformed-frame property test: no buffer, however mangled, may panic
+//! the decoder — and anything it *does* accept must be canonical.
+//!
+//! Strategy: round-trip a corpus of valid frames of every kind (with
+//! RNG-driven field values), then attack each encoding three seeded
+//! ways:
+//!
+//! * **truncation** — every strict prefix must fail with a typed error
+//!   (the encoding is length-exact, so no prefix is a valid frame);
+//! * **byte mutation** — flip random bytes; the decode must either fail
+//!   with a typed [`FrameError`] or succeed *canonically* (re-encoding
+//!   the accepted frame reproduces the mutated buffer bit for bit — a
+//!   mutation in a score travels as data, a mutation in a discriminant
+//!   or count is rejected);
+//! * **hostile prefixes** — random oversized/undersized outer length
+//!   prefixes fed through the stream reader must fail before allocating.
+
+use hf_dataset::Tier;
+use hf_net::{Frame, FrameError, ReadFrameError, WireError, WireRequest, WireResponse};
+use hf_serve::ScoredItem;
+use hf_tensor::rng::{stream, Rng, SeedStream};
+
+const FUZZ_SEED: u64 = 0x4652_414d; // "FRAM"
+
+/// A valid frame with RNG-driven field values.
+fn random_frame(rng: &mut impl Rng) -> Frame {
+    match rng.gen_range(0..6u32) {
+        0 => {
+            let mut request = WireRequest::new(rng.gen(), rng.gen_range(0..1_000_000u64));
+            request.k = rng.gen_range(0..100u32);
+            request.exclude_seen = rng.gen_bool(0.5);
+            request.min_popularity = rng.gen_range(0..5u32);
+            let n = rng.gen_range(0..8usize);
+            request.exclude = (0..n).map(|_| rng.gen_range(0..10_000u32)).collect();
+            Frame::Request(request)
+        }
+        1 => {
+            let n = rng.gen_range(0..12usize);
+            Frame::Response(WireResponse {
+                id: rng.gen(),
+                user: rng.gen_range(0..1_000_000u64),
+                tier: Tier::ALL[rng.gen_range(0..3usize)],
+                cold_start: rng.gen_bool(0.2),
+                items: (0..n)
+                    .map(|_| ScoredItem {
+                        item: rng.gen_range(0..10_000u32),
+                        score: rng.standard_normal_f32(),
+                    })
+                    .collect(),
+            })
+        }
+        2 => Frame::Error(WireError {
+            id: rng.gen(),
+            code: hf_net::ErrorCode::Malformed,
+            message: "x".repeat(rng.gen_range(0..64usize)),
+        }),
+        3 => Frame::Ping(rng.gen()),
+        4 => Frame::Pong(rng.gen()),
+        _ => Frame::Shutdown,
+    }
+}
+
+#[test]
+fn every_truncation_of_every_frame_fails_cleanly() {
+    let mut rng = stream(FUZZ_SEED, SeedStream::Custom(1));
+    for _ in 0..200 {
+        let frame = random_frame(&mut rng);
+        let payload = frame.encode();
+        assert_eq!(Frame::decode(&payload).as_ref(), Ok(&frame));
+        for cut in 0..payload.len() {
+            let err = Frame::decode(&payload[..cut])
+                .expect_err("a strict prefix must never decode as a frame");
+            // Typed, never a panic; the only acceptable causes are
+            // running out of bytes or a field check that fired early.
+            assert!(
+                matches!(
+                    err,
+                    FrameError::Truncated
+                        | FrameError::BadField { .. }
+                        | FrameError::Trailing { .. }
+                ),
+                "cut {cut} of {frame:?}: unexpected {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_byte_mutations_never_panic_and_accepts_are_canonical() {
+    let mut rng = stream(FUZZ_SEED, SeedStream::Custom(2));
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for _ in 0..300 {
+        let frame = random_frame(&mut rng);
+        let payload = frame.encode();
+        for _ in 0..40 {
+            let mut mutated = payload.clone();
+            // 1-3 random byte flips.
+            for _ in 0..rng.gen_range(1..4usize) {
+                let pos = rng.gen_range(0..mutated.len());
+                mutated[pos] ^= rng.gen_range(1..=255u32) as u8;
+            }
+            match Frame::decode(&mutated) {
+                Ok(decoded) => {
+                    accepted += 1;
+                    assert_eq!(
+                        decoded.encode(),
+                        mutated,
+                        "accepted a non-canonical mutation of {frame:?}"
+                    );
+                }
+                Err(_) => rejected += 1, // typed error: exactly the contract
+            }
+        }
+    }
+    // Both outcomes must actually occur, or the test is vacuous: flips
+    // in payload data decode fine, flips in structure get rejected.
+    assert!(accepted > 0, "no mutation was ever accepted");
+    assert!(rejected > 0, "no mutation was ever rejected");
+}
+
+#[test]
+fn hostile_length_prefixes_fail_before_allocating() {
+    let mut rng = stream(FUZZ_SEED, SeedStream::Custom(3));
+    for _ in 0..200 {
+        // A random oversized prefix followed by garbage.
+        let claimed = rng.gen_range(hf_net::MAX_FRAME_LEN as u64 + 1..=u32::MAX as u64);
+        let mut buf = (claimed as u32).to_le_bytes().to_vec();
+        buf.extend((0..rng.gen_range(0..32usize)).map(|_| rng.gen_range(0..=255u32) as u8));
+        match Frame::read_from(&mut &buf[..]) {
+            Err(ReadFrameError::Frame(FrameError::Oversized { len })) => {
+                assert_eq!(len, claimed);
+            }
+            other => panic!("claimed {claimed}: expected Oversized, got {other:?}"),
+        }
+    }
+    // An honest prefix with a short body is an I/O error (mid-frame EOF),
+    // not a hang or a panic.
+    for _ in 0..100 {
+        let frame = random_frame(&mut rng);
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        let cut = rng.gen_range(4..buf.len());
+        match Frame::read_from(&mut &buf[..cut]) {
+            Err(ReadFrameError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => panic!("mid-frame EOF must be an I/O error, got {other:?}"),
+        }
+    }
+}

@@ -60,20 +60,20 @@ pub struct SoloModel {
 /// An immutable, versioned snapshot of a trained model, ready to serve.
 #[derive(Clone, Debug)]
 pub struct ModelArtifact {
-    model: ModelKind,
-    dims: TierDims,
-    standalone: bool,
-    num_items: usize,
+    pub(crate) model: ModelKind,
+    pub(crate) dims: TierDims,
+    pub(crate) standalone: bool,
+    pub(crate) num_items: usize,
     /// Frozen tier item tables `{Vs, Vm, Vl}` (each at its exact width).
-    tables: [Matrix; 3],
+    pub(crate) tables: [Matrix; 3],
     /// Frozen tier predictors `{Θs, Θm, Θl}`.
-    thetas: [Ffn; 3],
-    users: Vec<UserRecord>,
+    pub(crate) thetas: [Ffn; 3],
+    pub(crate) users: Vec<UserRecord>,
     /// Per-item training-interaction counts (popularity floor support).
-    popularity: Vec<u32>,
+    pub(crate) popularity: Vec<u32>,
     /// Per-tier mean user embedding — the cold-start fallback
     /// representation (zeros when a tier has no users).
-    fallback: [Vec<f32>; 3],
+    pub(crate) fallback: [Vec<f32>; 3],
 }
 
 impl ModelArtifact {
@@ -157,6 +157,45 @@ impl ModelArtifact {
         let json = std::fs::read_to_string(path.as_ref())
             .map_err(|e| ServeError::Artifact(format!("cannot read checkpoint: {e}")))?;
         Self::from_checkpoint(&json, split)
+    }
+
+    /// Serialises the artifact to the compact binary on-disk format
+    /// (`crate::binfmt`): length-prefixed sections of little-endian
+    /// scalars, floats as IEEE-754 bits, so a reload is bit-identical.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::binfmt::encode(self)
+    }
+
+    /// Parses the binary on-disk format. Truncated, malformed, or
+    /// version-mismatched buffers are rejected with
+    /// [`ServeError::Artifact`], never a panic.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, ServeError> {
+        crate::binfmt::decode(buf)
+    }
+
+    /// Writes the binary format to `path`, creating parent directories.
+    /// Serving hosts load this file directly ([`ModelArtifact::load_file`])
+    /// instead of replaying a checkpoint restore.
+    pub fn save_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    ServeError::Artifact(format!("cannot create {}: {e}", parent.display()))
+                })?;
+            }
+        }
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| ServeError::Artifact(format!("cannot write {}: {e}", path.display())))
+    }
+
+    /// Reads an artifact from the binary file format written by
+    /// [`ModelArtifact::save_file`].
+    pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<Self, ServeError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| ServeError::Artifact(format!("cannot read {}: {e}", path.display())))?;
+        Self::from_bytes(&bytes)
     }
 
     /// Artifact schema version.

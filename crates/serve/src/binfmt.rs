@@ -1,0 +1,487 @@
+//! Compact binary on-disk format for [`ModelArtifact`].
+//!
+//! Serving hosts should boot from a file, not by replaying a training
+//! checkpoint restore: the JSON checkpoint carries optimiser moments,
+//! scheduler queues, and RNG state the deployment side never reads, and
+//! parsing it costs a full session rebuild. This module is the
+//! deployment-shaped alternative — exactly the artifact fields, encoded
+//! through the workspace-wide little-endian [`hf_fedsim::wire`]
+//! primitives, floats as raw IEEE-754 bits so a reload is **bit-identical**
+//! to the exported artifact.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic       b"HFAB"
+//! container   u16   BINFMT_VERSION (1)
+//! schema      u32   ARTIFACT_VERSION the payload snapshots
+//! sections    tag:u8  len:u64  payload:[u8; len]   (repeated until EOF)
+//! ```
+//!
+//! Version 1 requires each of the six sections (`meta`, `tables`,
+//! `thetas`, `users`, `popularity`, `fallback`) exactly once, in any
+//! order; unknown tags and duplicates are errors. Every count is
+//! validated against `meta` (and against the buffer length *before*
+//! allocating), so hostile inputs fail with [`ServeError::Artifact`]
+//! instead of panicking or over-allocating.
+
+use crate::artifact::{ModelArtifact, SoloModel, UserRecord, ARTIFACT_VERSION};
+use crate::ServeError;
+use hetefedrec_core::config::TierDims;
+use hf_dataset::Tier;
+use hf_fedsim::wire::{Reader, Writer};
+use hf_models::{Ffn, ModelKind};
+use hf_tensor::Matrix;
+use std::collections::HashMap;
+
+/// File magic: "HeteFedrec Artifact Binary".
+const MAGIC: &[u8; 4] = b"HFAB";
+
+/// Container format version this module writes and the only one it reads.
+pub const BINFMT_VERSION: u16 = 1;
+
+/// Section tags (v1: all mandatory, each exactly once).
+const SEC_META: u8 = 1;
+const SEC_TABLES: u8 = 2;
+const SEC_THETAS: u8 = 3;
+const SEC_USERS: u8 = 4;
+const SEC_POPULARITY: u8 = 5;
+const SEC_FALLBACK: u8 = 6;
+
+fn err(msg: impl Into<String>) -> ServeError {
+    ServeError::Artifact(msg.into())
+}
+
+/// Encodes an artifact into the binary container.
+pub fn encode(a: &ModelArtifact) -> Vec<u8> {
+    let mut out = Writer::with_capacity(64 + 4 * a.tables.iter().map(Matrix::len).sum::<usize>());
+    out.put_bytes(MAGIC);
+    out.put_u16_le(BINFMT_VERSION);
+    out.put_u32_le(ARTIFACT_VERSION as u32);
+
+    let section = |tag: u8, payload: Writer, out: &mut Writer| {
+        out.put_u8(tag);
+        out.put_u64_le(payload.len() as u64);
+        out.put_bytes(payload.as_slice());
+    };
+
+    // meta
+    let mut w = Writer::new();
+    w.put_u8(model_tag(a.model));
+    w.put_u8(a.standalone as u8);
+    for tier in Tier::ALL {
+        w.put_u32_le(a.dims.dim(tier) as u32);
+    }
+    w.put_u64_le(a.num_items as u64);
+    w.put_u64_le(a.users.len() as u64);
+    section(SEC_META, w, &mut out);
+
+    // tables
+    let mut w = Writer::new();
+    for table in &a.tables {
+        put_matrix(&mut w, table);
+    }
+    section(SEC_TABLES, w, &mut out);
+
+    // thetas
+    let mut w = Writer::new();
+    for theta in &a.thetas {
+        put_ffn(&mut w, theta);
+    }
+    section(SEC_THETAS, w, &mut out);
+
+    // users
+    let mut w = Writer::new();
+    for user in &a.users {
+        w.put_u8(user.tier.index() as u8);
+        w.put_u32_le(user.emb.len() as u32);
+        for &x in &user.emb {
+            w.put_f32_le(x);
+        }
+        w.put_u32_le(user.history.len() as u32);
+        for &item in &user.history {
+            w.put_u32_le(item);
+        }
+        match &user.solo {
+            None => w.put_u8(0),
+            Some(solo) => {
+                w.put_u8(1);
+                put_ffn(&mut w, &solo.theta);
+                // Deterministic row order: the HashMap iteration order must
+                // not leak into the file bytes.
+                let mut rows: Vec<(&u32, &Vec<f32>)> = solo.rows.iter().collect();
+                rows.sort_by_key(|(&item, _)| item);
+                w.put_u32_le(rows.len() as u32);
+                for (&item, row) in rows {
+                    w.put_u32_le(item);
+                    w.put_u32_le(row.len() as u32);
+                    for &x in row {
+                        w.put_f32_le(x);
+                    }
+                }
+            }
+        }
+    }
+    section(SEC_USERS, w, &mut out);
+
+    // popularity
+    let mut w = Writer::new();
+    for &count in &a.popularity {
+        w.put_u32_le(count);
+    }
+    section(SEC_POPULARITY, w, &mut out);
+
+    // fallback
+    let mut w = Writer::new();
+    for f in &a.fallback {
+        w.put_u32_le(f.len() as u32);
+        for &x in f {
+            w.put_f32_le(x);
+        }
+    }
+    section(SEC_FALLBACK, w, &mut out);
+
+    out.into_vec()
+}
+
+/// Decodes the binary container, validating every section against `meta`.
+pub fn decode(buf: &[u8]) -> Result<ModelArtifact, ServeError> {
+    let mut r = Reader::new(buf);
+    let magic = r.get_bytes(4).ok_or_else(|| err("truncated header"))?;
+    if magic != MAGIC {
+        return Err(err("not an artifact file (bad magic)"));
+    }
+    let container = r
+        .get_u16_le()
+        .ok_or_else(|| err("truncated container version"))?;
+    if container != BINFMT_VERSION {
+        return Err(err(format!(
+            "unsupported container version {container} (this reader speaks {BINFMT_VERSION})"
+        )));
+    }
+    let schema = r.get_u32_le().ok_or_else(|| err("truncated schema"))? as u64;
+    if schema != ARTIFACT_VERSION {
+        return Err(err(format!(
+            "artifact schema v{schema} not supported (want v{ARTIFACT_VERSION})"
+        )));
+    }
+
+    let mut sections: [Option<&[u8]>; 7] = [None; 7];
+    while r.remaining() > 0 {
+        let tag = r.get_u8().ok_or_else(|| err("truncated section tag"))?;
+        let len = r
+            .get_u64_le()
+            .ok_or_else(|| err("truncated section length"))? as usize;
+        let payload = r
+            .get_bytes(len)
+            .ok_or_else(|| err(format!("section {tag} claims {len} bytes past end of file")))?;
+        let slot = sections
+            .get_mut(tag as usize)
+            .filter(|_| (SEC_META..=SEC_FALLBACK).contains(&tag))
+            .ok_or_else(|| err(format!("unknown section tag {tag}")))?;
+        if slot.replace(payload).is_some() {
+            return Err(err(format!("duplicate section tag {tag}")));
+        }
+    }
+    let section = |tag: u8, name: &str| {
+        sections[tag as usize].ok_or_else(|| err(format!("missing `{name}` section")))
+    };
+
+    // meta
+    let mut m = Reader::new(section(SEC_META, "meta")?);
+    let meta = (|| {
+        let model = model_from_tag(m.get_u8()?)?;
+        let standalone = match m.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let s = m.get_u32_le()? as usize;
+        let md = m.get_u32_le()? as usize;
+        let l = m.get_u32_le()? as usize;
+        if !(s > 0 && s < md && md < l) {
+            return None;
+        }
+        let num_items = m.get_u64_le()? as usize;
+        let num_users = m.get_u64_le()? as usize;
+        if m.remaining() != 0 {
+            return None;
+        }
+        Some((
+            model,
+            standalone,
+            TierDims::new(s, md, l),
+            num_items,
+            num_users,
+        ))
+    })()
+    .ok_or_else(|| err("`meta` section is malformed"))?;
+    let (model, standalone, dims, num_items, num_users) = meta;
+
+    // tables
+    let mut t = Reader::new(section(SEC_TABLES, "tables")?);
+    let mut tables = Vec::with_capacity(3);
+    for tier in Tier::ALL {
+        let table = get_matrix(&mut t)
+            .ok_or_else(|| err(format!("`tables` section is malformed at {tier:?}")))?;
+        if table.rows() != num_items || table.cols() != dims.dim(tier) {
+            return Err(err(format!(
+                "{tier:?} table is {}x{}, expected {}x{}",
+                table.rows(),
+                table.cols(),
+                num_items,
+                dims.dim(tier)
+            )));
+        }
+        tables.push(table);
+    }
+    if t.remaining() != 0 {
+        return Err(err("`tables` section has trailing bytes"));
+    }
+    let tables: [Matrix; 3] = tables.try_into().expect("three tables");
+
+    // thetas
+    let mut t = Reader::new(section(SEC_THETAS, "thetas")?);
+    let mut thetas = Vec::with_capacity(3);
+    for tier in Tier::ALL {
+        let theta = get_ffn(&mut t)
+            .ok_or_else(|| err(format!("`thetas` section is malformed at {tier:?}")))?;
+        thetas.push(theta);
+    }
+    if t.remaining() != 0 {
+        return Err(err("`thetas` section has trailing bytes"));
+    }
+    let thetas: [Ffn; 3] = thetas.try_into().expect("three predictors");
+
+    // users
+    let mut u = Reader::new(section(SEC_USERS, "users")?);
+    let mut users = Vec::with_capacity(num_users.min(u.remaining() / 10 + 1));
+    for user in 0..num_users {
+        let record = get_user(&mut u, &dims)
+            .ok_or_else(|| err(format!("`users` section is malformed at user {user}")))?;
+        users.push(record);
+    }
+    if u.remaining() != 0 {
+        return Err(err("`users` section has trailing bytes"));
+    }
+
+    // popularity
+    let mut p = Reader::new(section(SEC_POPULARITY, "popularity")?);
+    let popularity = p
+        .get_u32_vec(num_items)
+        .filter(|_| p.remaining() == 0)
+        .ok_or_else(|| err("`popularity` section is malformed"))?;
+
+    // fallback
+    let mut f = Reader::new(section(SEC_FALLBACK, "fallback")?);
+    let mut fallback = Vec::with_capacity(3);
+    for tier in Tier::ALL {
+        let v = (|| {
+            let n = f.get_u32_le()? as usize;
+            if n != dims.dim(tier) {
+                return None;
+            }
+            f.get_f32_vec(n)
+        })()
+        .ok_or_else(|| err(format!("`fallback` section is malformed at {tier:?}")))?;
+        fallback.push(v);
+    }
+    if f.remaining() != 0 {
+        return Err(err("`fallback` section has trailing bytes"));
+    }
+    let fallback: [Vec<f32>; 3] = fallback.try_into().expect("three fallbacks");
+
+    Ok(ModelArtifact {
+        model,
+        dims,
+        standalone,
+        num_items,
+        tables,
+        thetas,
+        users,
+        popularity,
+        fallback,
+    })
+}
+
+fn model_tag(model: ModelKind) -> u8 {
+    match model {
+        ModelKind::Ncf => 0,
+        ModelKind::LightGcn => 1,
+    }
+}
+
+fn model_from_tag(tag: u8) -> Option<ModelKind> {
+    match tag {
+        0 => Some(ModelKind::Ncf),
+        1 => Some(ModelKind::LightGcn),
+        _ => None,
+    }
+}
+
+fn put_matrix(w: &mut Writer, m: &Matrix) {
+    w.put_u64_le(m.rows() as u64);
+    w.put_u32_le(m.cols() as u32);
+    for &x in m.as_slice() {
+        w.put_f32_le(x);
+    }
+}
+
+fn get_matrix(r: &mut Reader) -> Option<Matrix> {
+    let rows = r.get_u64_le()? as usize;
+    let cols = r.get_u32_le()? as usize;
+    let data = r.get_f32_vec(rows.checked_mul(cols)?)?;
+    Some(Matrix::from_vec(rows, cols, data))
+}
+
+fn put_ffn(w: &mut Writer, ffn: &Ffn) {
+    let dims = ffn.dims();
+    w.put_u32_le(dims.len() as u32);
+    for &d in dims {
+        w.put_u32_le(d as u32);
+    }
+    let flat = ffn.to_flat();
+    w.put_u64_le(flat.len() as u64);
+    for &x in &flat {
+        w.put_f32_le(x);
+    }
+}
+
+fn get_ffn(r: &mut Reader) -> Option<Ffn> {
+    let ndims = r.get_u32_le()? as usize;
+    if !(2..=16).contains(&ndims) {
+        return None; // no predictor in this workspace is deeper
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let d = r.get_u32_le()? as usize;
+        if d == 0 {
+            return None;
+        }
+        dims.push(d);
+    }
+    let flat_len = r.get_u64_le()? as usize;
+    // `Ffn::from_flat` panics on a length mismatch; check first.
+    let expect: usize = dims.windows(2).map(|w| w[1] * w[0] + w[1]).sum();
+    if flat_len != expect {
+        return None;
+    }
+    let flat = r.get_f32_vec(flat_len)?;
+    Some(Ffn::from_flat(&dims, &flat))
+}
+
+fn get_user(r: &mut Reader, dims: &TierDims) -> Option<UserRecord> {
+    let tier = *Tier::ALL.get(r.get_u8()? as usize)?;
+    let emb_len = r.get_u32_le()? as usize;
+    if emb_len != dims.dim(tier) {
+        return None;
+    }
+    let emb = r.get_f32_vec(emb_len)?;
+    let history_len = r.get_u32_le()? as usize;
+    let history = r.get_u32_vec(history_len)?;
+    let solo = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let theta = get_ffn(r)?;
+            let n_rows = r.get_u32_le()? as usize;
+            let mut rows = HashMap::with_capacity(n_rows.min(r.remaining() / 8 + 1));
+            for _ in 0..n_rows {
+                let item = r.get_u32_le()?;
+                let width = r.get_u32_le()? as usize;
+                if width != dims.dim(tier) {
+                    return None;
+                }
+                rows.insert(item, r.get_f32_vec(width)?);
+            }
+            Some(SoloModel { rows, theta })
+        }
+        _ => return None,
+    };
+    Some(UserRecord {
+        tier,
+        emb,
+        history,
+        solo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExportArtifact, RecommendRequest, RecommenderBuilder};
+    use hetefedrec_core::{Ablation, SessionBuilder, Strategy, TrainConfig};
+    use hf_dataset::{SplitDataset, SyntheticConfig};
+
+    fn artifact(strategy: Strategy, model: ModelKind) -> ModelArtifact {
+        let data = SyntheticConfig::tiny().generate(13);
+        let split = SplitDataset::paper_split(&data, 13);
+        let mut s = SessionBuilder::new(TrainConfig::test_default(model), strategy, split)
+            .eval_every(0)
+            .build()
+            .expect("valid config");
+        s.run_epoch();
+        s.export_artifact()
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bit_identical() {
+        for (strategy, model) in [
+            (Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf),
+            (Strategy::HeteFedRec(Ablation::FULL), ModelKind::LightGcn),
+            (Strategy::Standalone, ModelKind::Ncf),
+        ] {
+            let a = artifact(strategy, model);
+            let bytes = a.to_bytes();
+            let b = ModelArtifact::from_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("{model:?}/{strategy:?}: {e}"));
+            // Encoding the reload reproduces the file bytes exactly —
+            // stronger than field-by-field equality, and it pins the
+            // deterministic solo-row ordering.
+            assert_eq!(bytes, b.to_bytes(), "{model:?}: reload changed bytes");
+            // And the reloaded artifact serves bit-identical rankings.
+            let ra = RecommenderBuilder::new(a).default_k(6).build().unwrap();
+            let rb = RecommenderBuilder::new(b).default_k(6).build().unwrap();
+            for user in 0..ra.artifact().num_users() {
+                let x = ra.recommend(&RecommendRequest::new(user));
+                let y = rb.recommend(&RecommendRequest::new(user));
+                assert_eq!(x, y, "user {user}");
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = artifact(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf);
+        let dir = std::env::temp_dir().join(format!("hf_binfmt_test_{}", std::process::id()));
+        let path = dir.join("nested").join("model.hfa");
+        a.save_file(&path).expect("saved");
+        let b = ModelArtifact::load_file(&path).expect("loaded");
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        assert!(ModelArtifact::load_file(dir.join("missing.hfa")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncations_and_mutations_never_panic() {
+        let a = artifact(Strategy::Standalone, ModelKind::Ncf);
+        let bytes = a.to_bytes();
+        // Every prefix must fail cleanly (the full buffer is the only
+        // valid length).
+        for cut in [0, 3, 4, 6, 10, 17, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                ModelArtifact::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+        // Header corruptions produce typed errors.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(ModelArtifact::from_bytes(&bad).is_err(), "bad magic");
+        let mut bad = bytes.clone();
+        bad[4] = 0xFF; // container version
+        assert!(ModelArtifact::from_bytes(&bad).is_err(), "bad version");
+        let mut bad = bytes.clone();
+        bad[6] = 0xFF; // schema version
+        assert!(ModelArtifact::from_bytes(&bad).is_err(), "bad schema");
+    }
+}

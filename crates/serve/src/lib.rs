@@ -51,9 +51,11 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod binfmt;
 pub mod recommender;
 
 pub use artifact::{ModelArtifact, SoloModel, UserRecord, ARTIFACT_VERSION};
+pub use binfmt::BINFMT_VERSION;
 pub use recommender::{
     ItemFilter, RecommendRequest, RecommendResponse, Recommender, RecommenderBuilder, ScoredItem,
 };
@@ -312,6 +314,78 @@ mod tests {
                     assert_eq!(x.score.to_bits(), y.score.to_bits(), "{threads} threads");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn cold_start_blend_off_is_bit_identical_and_validated() {
+        let s = trained_session(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf, 1);
+        let plain = RecommenderBuilder::new(s.export_artifact())
+            .default_k(7)
+            .build()
+            .unwrap();
+        let zero = RecommenderBuilder::new(s.export_artifact())
+            .default_k(7)
+            .cold_start_blend(0.0)
+            .build()
+            .unwrap();
+        let cold = RecommendRequest::new(usize::MAX);
+        assert_eq!(plain.recommend(&cold), zero.recommend(&cold));
+
+        // Out-of-range weights are rejected by field name.
+        for bad in [-0.1, 1.5, f32::NAN] {
+            let err = RecommenderBuilder::new(s.export_artifact())
+                .cold_start_blend(bad)
+                .build()
+                .expect_err("invalid blend");
+            assert!(
+                matches!(
+                    err,
+                    ServeError::Config {
+                        field: "cold_start_blend",
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn cold_start_blend_reshapes_cold_users_only() {
+        for model in [ModelKind::Ncf, ModelKind::LightGcn] {
+            let s = trained_session(Strategy::HeteFedRec(Ablation::FULL), model, 2);
+            let plain = RecommenderBuilder::new(s.export_artifact())
+                .default_k(10)
+                .build()
+                .unwrap();
+            let blended = RecommenderBuilder::new(s.export_artifact())
+                .default_k(10)
+                .cold_start_blend(1.0) // pure popularity prior
+                .build()
+                .unwrap();
+            // Known users never blend: bit-identical responses.
+            for user in 0..s.split().num_users() {
+                let a = plain.recommend(&RecommendRequest::new(user));
+                let b = blended.recommend(&RecommendRequest::new(user));
+                for (x, y) in a.items.iter().zip(&b.items) {
+                    assert_eq!(x.item, y.item, "{model:?} user {user}");
+                    assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+            // Cold users see different *scores* under the prior (the
+            // pseudo-user is not the tier mean), deterministically.
+            let cold = RecommendRequest::new(usize::MAX);
+            let a = blended.recommend(&cold);
+            assert!(a.cold_start && !a.items.is_empty());
+            assert_eq!(a, blended.recommend(&cold));
+            let b = plain.recommend(&cold);
+            let same_scores = a
+                .items
+                .iter()
+                .zip(&b.items)
+                .all(|(x, y)| x.score.to_bits() == y.score.to_bits());
+            assert!(!same_scores, "{model:?}: γ=1 must change cold scores");
         }
     }
 

@@ -153,13 +153,14 @@ pub struct RecommenderBuilder {
     threads: usize,
     panel_items: usize,
     cold_start_tier: Tier,
+    cold_start_blend: f32,
     precompute: bool,
 }
 
 impl RecommenderBuilder {
     /// Starts a builder over an artifact with serving defaults: `k = 10`,
-    /// single-threaded, 512-item panels, small-tier cold start,
-    /// item halves precomputed.
+    /// single-threaded, 512-item panels, small-tier cold start (no
+    /// popularity blend), item halves precomputed.
     pub fn new(artifact: ModelArtifact) -> Self {
         Self {
             artifact,
@@ -167,6 +168,7 @@ impl RecommenderBuilder {
             threads: 1,
             panel_items: 512,
             cold_start_tier: Tier::Small,
+            cold_start_blend: 0.0,
             precompute: true,
         }
     }
@@ -193,6 +195,24 @@ impl RecommenderBuilder {
     /// Tier whose model and fallback embedding serve unknown users.
     pub fn cold_start_tier(mut self, tier: Tier) -> Self {
         self.cold_start_tier = tier;
+        self
+    }
+
+    /// Blend weight `γ ∈ [0, 1]` mixing the popularity prior into the
+    /// cold-start representation (default `0`, off).
+    ///
+    /// The artifact already carries both halves of the mix: the per-tier
+    /// mean user embedding (the fallback) and per-item training
+    /// interaction counts. At `build()` the counts become a per-tier
+    /// *popularity prior* — the popularity-weighted mean item-embedding
+    /// row, i.e. the pseudo-user whose taste is the catalogue's traffic —
+    /// and unknown users are served from
+    /// `(1 - γ) · fallback + γ · prior` instead of the bare fallback.
+    /// At `γ = 0` the blend arithmetic is skipped entirely, so responses
+    /// are **bit-identical** to a recommender built without the knob.
+    /// Known users never blend.
+    pub fn cold_start_blend(mut self, gamma: f32) -> Self {
+        self.cold_start_blend = gamma;
         self
     }
 
@@ -229,6 +249,15 @@ impl RecommenderBuilder {
                 "scoring panels must hold at least one item",
             ));
         }
+        if !(0.0..=1.0).contains(&self.cold_start_blend) {
+            return Err(ServeError::config(
+                "cold_start_blend",
+                format!(
+                    "blend weight must be in [0, 1], got {}",
+                    self.cold_start_blend
+                ),
+            ));
+        }
         let artifact = self.artifact;
         let dims = artifact.dims();
         for tier in Tier::ALL {
@@ -253,14 +282,39 @@ impl RecommenderBuilder {
                 scorers[t].item_half_block(artifact.table(Tier::ALL[t]), 0, artifact.num_items())
             })
         });
+        // Popularity prior per tier: the popularity-weighted mean item
+        // row, accumulated in ascending item order so the result is
+        // deterministic. Only materialised when the blend is on.
+        let pop_prior = (self.cold_start_blend > 0.0).then(|| {
+            std::array::from_fn(|t| {
+                let tier = Tier::ALL[t];
+                let table = artifact.table(tier);
+                let mut prior = vec![0.0f32; dims.dim(tier)];
+                let mut total = 0.0f32;
+                for item in 0..artifact.num_items() {
+                    let w = artifact.popularity(item as u32) as f32;
+                    if w > 0.0 {
+                        hf_tensor::ops::axpy_slice(&mut prior, w, table.row(item));
+                        total += w;
+                    }
+                }
+                if total > 0.0 {
+                    let inv = 1.0 / total;
+                    prior.iter_mut().for_each(|x| *x *= inv);
+                }
+                prior
+            })
+        });
         Ok(Recommender {
             artifact,
             scorers,
             item_halves,
+            pop_prior,
             default_k: self.default_k,
             threads: self.threads,
             panel_items: self.panel_items,
             cold_start_tier: self.cold_start_tier,
+            cold_start_blend: self.cold_start_blend,
         })
     }
 }
@@ -274,10 +328,14 @@ pub struct Recommender {
     /// Whole-catalogue first-layer item halves per tier, precomputed at
     /// build time; `None` in the memory-lean per-batch mode.
     item_halves: Option<[Matrix; 3]>,
+    /// Per-tier popularity-weighted mean item row; `Some` only when the
+    /// cold-start blend is on.
+    pop_prior: Option<[Vec<f32>; 3]>,
     default_k: usize,
     threads: usize,
     panel_items: usize,
     cold_start_tier: Tier,
+    cold_start_blend: f32,
 }
 
 /// A resolved request: serving tier, first-layer user half, exclusions,
@@ -582,9 +640,25 @@ impl Recommender {
                 // Cold start: unknown user, fallback embedding, no history.
                 let tier = self.cold_start_tier;
                 let fallback = self.artifact.fallback(tier);
+                // With the blend on, mix the popularity prior into the
+                // fallback; at γ = 0 the original slice is used untouched
+                // (no arithmetic, so responses stay bit-identical).
+                let blended: Vec<f32>;
+                let base: &[f32] = match &self.pop_prior {
+                    Some(prior) if self.cold_start_blend > 0.0 => {
+                        let gamma = self.cold_start_blend;
+                        blended = fallback
+                            .iter()
+                            .zip(&prior[tier.index()])
+                            .map(|(&f, &p)| (1.0 - gamma) * f + gamma * p)
+                            .collect();
+                        &blended
+                    }
+                    _ => fallback,
+                };
                 let repr = match self.artifact.model() {
-                    ModelKind::Ncf => fallback.to_vec(),
-                    ModelKind::LightGcn => propagate_lightgcn(fallback, 0, std::iter::empty()),
+                    ModelKind::Ncf => base.to_vec(),
+                    ModelKind::LightGcn => propagate_lightgcn(base, 0, std::iter::empty()),
                 };
                 let mut exclude = request.exclude.clone();
                 exclude.sort_unstable();

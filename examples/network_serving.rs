@@ -1,0 +1,127 @@
+//! Domain example: from a trained session to a network deployment.
+//!
+//! Trains a small federated model, saves the compact binary artifact to
+//! disk, reloads it the way a serving host would (`hf-serve` style: no
+//! dataset, no checkpoint replay), serves it over a loopback TCP socket
+//! with the micro-batching server, and proves the deployment contracts
+//! end to end:
+//!
+//! 1. **Binary artifact round trip** — the artifact reloaded from disk
+//!    re-encodes to the exact bytes that were written.
+//! 2. **Served == in-process** — every ranking fetched through the
+//!    socket (framing, queueing, micro-batching and all) is
+//!    bit-identical to `Recommender::recommend_batch` on the same
+//!    requests in process.
+//! 3. **Graceful shutdown** — the wire-level `Shutdown` frame drains the
+//!    server and `wait()` returns.
+//!
+//! ```text
+//! cargo run --release --example network_serving
+//! ```
+//!
+//! The artifact path defaults to `target/ci-artifacts/serving_model.hfa`
+//! and can be overridden with the `HF_ARTIFACT_PATH` environment
+//! variable (ci.sh greps this example's proof lines).
+
+use hetefedrec::net::serve;
+use hetefedrec::prelude::*;
+use hetefedrec::serve::ExportArtifact;
+
+fn main() {
+    let seed = 11;
+    let data = DatasetProfile::MovieLens.config_scaled(0.02).generate(seed);
+    let split = SplitDataset::paper_split(&data, seed);
+
+    let mut cfg = TrainConfig::paper_defaults(ModelKind::Ncf, DatasetProfile::MovieLens);
+    cfg.epochs = 2;
+    cfg.seed = seed;
+    let mut session = SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split.clone())
+        .eval_every(0)
+        .build()
+        .expect("valid configuration");
+    for epoch in 1..=2 {
+        let loss = session.run_epoch();
+        println!("epoch {epoch}: train loss {loss:.4}");
+    }
+
+    // --- Save the deployment artifact, reload it like a serving host ------
+    let artifact_path = std::env::var("HF_ARTIFACT_PATH")
+        .unwrap_or_else(|_| "target/ci-artifacts/serving_model.hfa".into());
+    let artifact = session.export_artifact();
+    let written = artifact.to_bytes();
+    artifact.save_file(&artifact_path).expect("artifact saved");
+    let reloaded = ModelArtifact::load_file(&artifact_path).expect("artifact reloads");
+    assert_eq!(
+        written,
+        reloaded.to_bytes(),
+        "reload must reproduce the written bytes exactly"
+    );
+    println!(
+        "artifact round trip: {} bytes at {artifact_path} re-encode bit-identically \
+         ({} users, {} items)",
+        written.len(),
+        reloaded.num_users(),
+        reloaded.num_items()
+    );
+
+    // --- Serve the reloaded artifact over TCP ------------------------------
+    // One recommender answers in process (the reference), an identically
+    // configured one answers behind the socket.
+    let reference = RecommenderBuilder::new(artifact)
+        .default_k(10)
+        .build()
+        .expect("valid serving configuration");
+    let served = RecommenderBuilder::new(reloaded)
+        .default_k(10)
+        .build()
+        .expect("valid serving configuration");
+    let handle = serve(served, "127.0.0.1:0", ServerConfig::default()).expect("loopback server");
+    println!("serving on {}", handle.local_addr());
+
+    // The full wire-expressible request vocabulary, plus cold-start ids.
+    let num_users = split.num_users();
+    let mut requests = Vec::new();
+    for user in (0..num_users).step_by(7) {
+        requests.push(RecommendRequest::new(user));
+        requests.push(RecommendRequest::new(user).with_k(5).exclude([3u32, 9]));
+        requests.push(
+            RecommendRequest::new(user)
+                .keep_seen()
+                .with_min_popularity(2),
+        );
+    }
+    requests.push(RecommendRequest::new(num_users + 1)); // unknown → fallback
+    let expected = reference.recommend_batch(&requests);
+
+    let mut client = Client::connect(handle.local_addr()).expect("client connects");
+    client.ping().expect("server answers ping");
+    let mut compared = 0usize;
+    for (request, expect) in requests.iter().zip(&expected) {
+        let answer = client.recommend(request).expect("served");
+        assert_eq!(answer.user, expect.user);
+        assert_eq!(answer.items.len(), expect.items.len());
+        for (a, b) in answer.items.iter().zip(&expect.items) {
+            assert_eq!(a.item, b.item, "user {}", request.user);
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "user {}: socket must not change a single bit",
+                request.user
+            );
+        }
+        compared += 1;
+    }
+    println!("served == in-process ({compared} responses bit-identical)");
+
+    let top = client.recommend(&RecommendRequest::new(0)).expect("served");
+    let ids: Vec<u32> = top.items.iter().map(|it| it.item).collect();
+    println!(
+        "user 0 over the wire (tier {}): top-10 {ids:?}",
+        top.tier.label()
+    );
+
+    // --- Graceful shutdown over the wire ------------------------------------
+    client.shutdown_server().expect("shutdown frame sent");
+    handle.wait();
+    println!("server drained and stopped");
+}

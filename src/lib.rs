@@ -57,12 +57,14 @@
 //! | [`metrics`] | Recall@K / NDCG@K and the ranking evaluator |
 //! | [`core`] | HeteFedRec itself: UDL, DDR, RESKD, baselines, sessions |
 //! | [`serve`] | model artifacts and the batched top-K `Recommender` |
+//! | [`net`] | framed TCP serving: micro-batching server, client, load generator |
 
 pub use hetefedrec_core as core;
 pub use hf_dataset as dataset;
 pub use hf_fedsim as fedsim;
 pub use hf_metrics as metrics;
 pub use hf_models as models;
+pub use hf_net as net;
 pub use hf_serve as serve;
 pub use hf_tensor as tensor;
 
@@ -82,6 +84,10 @@ pub mod prelude {
     pub use hf_fedsim::faults::ChurnProfile;
     pub use hf_metrics::eval::EvalResult;
     pub use hf_models::ModelKind;
+    pub use hf_net::{
+        Client, Frame, LoadGen, LoadReport, NetError, ServerConfig, ServerHandle, WireRequest,
+        WireResponse,
+    };
     pub use hf_serve::{
         ExportArtifact, ModelArtifact, RecommendRequest, RecommendResponse, Recommender,
         RecommenderBuilder, ScoredItem, ServeError,
