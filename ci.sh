@@ -97,6 +97,37 @@ cargo run -q --offline --release -p hf_bench --bin net_throughput -- \
     --json target/ci-artifacts/net_throughput_smoke.json
 test -s target/ci-artifacts/net_throughput_smoke.json
 
+echo "==> capacity smoke (synthetic profile + lazy serving + capacity --json)"
+# The example synthesizes a 100k x 100k artifact straight to disk, boots
+# it lazily, and proves lazy/tiled/sharded rankings bit-identical to the
+# eager load (it exits non-zero on any mismatch).
+HF_CAPACITY_USERS=100000 HF_CAPACITY_ITEMS=100000 \
+    HF_CAPACITY_ARTIFACT=target/ci-artifacts/capacity_model.hfa \
+    cargo run -q --offline --release --example capacity \
+    > target/ci-artifacts/capacity_smoke.log
+grep -q "lazy == eager rankings verified" target/ci-artifacts/capacity_smoke.log
+test -s target/ci-artifacts/capacity_model.hfa
+# Boot the real hf-serve binary lazily on that artifact and verify every
+# served exchange against an in-process replay of the same file.
+cargo run -q --offline --release -p hf_net --bin hf-serve -- \
+    --artifact target/ci-artifacts/capacity_model.hfa --lazy \
+    --addr 127.0.0.1:47733 \
+    > target/ci-artifacts/hf_serve_lazy_smoke.log &
+lazy_pid=$!
+cargo run -q --offline --release -p hf_net --bin hf-loadgen -- \
+    --addr 127.0.0.1:47733 --connections 4 --rate 2000 --requests 500 \
+    --seed 7 --max-seconds 30 \
+    --verify-artifact target/ci-artifacts/capacity_model.hfa --shutdown \
+    > target/ci-artifacts/hf_loadgen_lazy_smoke.log
+wait "$lazy_pid"
+grep -q "served == in-process" target/ci-artifacts/hf_loadgen_lazy_smoke.log
+grep -q "resident footprint" target/ci-artifacts/hf_serve_lazy_smoke.log
+grep -q "drained and stopped" target/ci-artifacts/hf_serve_lazy_smoke.log
+# Capacity sweep snapshot (10k profile at tiny scale) as a CI artefact.
+cargo run -q --offline --release -p hf_bench --bin capacity -- \
+    --scale tiny --json target/ci-artifacts/capacity_smoke.json
+test -s target/ci-artifacts/capacity_smoke.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

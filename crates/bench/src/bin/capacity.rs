@@ -1,0 +1,197 @@
+//! **Capacity sweep** — what serving costs at 10k, 100k, and a million
+//! users × items, eager vs. lazy.
+//!
+//! For each population size this synthesizes a `SyntheticProfile`
+//! artifact straight to disk (no training — streaming writer, constant
+//! memory), then measures the lazy path: open time, resident delta
+//! after boot, steady-state queries/sec over 64-request batches with
+//! tiled item halves, and how many user records actually ended up
+//! resident. The eager path is loaded *afterwards* (so its allocations
+//! cannot pollute the lazy resident numbers) and is skipped above 200k
+//! users unless `HF_BENCH_FULL=1` — its in-memory cost is also reported
+//! analytically from the section sizes either way, which is the number
+//! the lazy path is holding the line against.
+//!
+//! ```text
+//! cargo run --release -p hf_bench --bin capacity -- --scale small --json out.json
+//! ```
+//!
+//! Scales: `tiny` sweeps 10k, `small` adds 100k, `medium`/`paper` add
+//! the full million-user, million-item profile.
+
+use hetefedrec_core::config::TierDims;
+use hf_bench::{rule, CliOptions, SnapshotRow};
+use hf_dataset::{DatasetProfile, SyntheticProfile};
+use hf_serve::{
+    footprint, ItemHalfMode, LazyConfig, ModelArtifact, RecommendRequest, Recommender,
+    RecommenderBuilder,
+};
+use std::time::Instant;
+
+/// Requests per serving batch (the ISSUE's acceptance batch shape).
+const BATCH: usize = 64;
+/// Measured eager loads stop above this many users unless
+/// `HF_BENCH_FULL=1` — past it the point of the sweep is precisely that
+/// one *shouldn't* materialise everything.
+const EAGER_MEASURE_CAP: usize = 200_000;
+
+fn sizes_for(scale: &str) -> Vec<(usize, usize)> {
+    let mut sizes = vec![(10_000, 10_000)];
+    if scale != "tiny" {
+        sizes.push((100_000, 100_000));
+    }
+    if scale == "medium" || scale == "paper" {
+        sizes.push((1_000_000, 1_000_000));
+    }
+    sizes
+}
+
+/// Serve `batches` waves of [`BATCH`] requests striding the population
+/// (large prime step → touches many shards, like real traffic would)
+/// and return steady-state queries/sec.
+fn serve_waves(r: &Recommender, num_users: usize, batches: usize) -> f64 {
+    let make = |wave: usize| -> Vec<RecommendRequest> {
+        (0..BATCH)
+            .map(|i| RecommendRequest::new((wave * BATCH + i) * 104_729 % num_users))
+            .collect()
+    };
+    let _ = r.recommend_batch(&make(0)); // warm-up: page caches, size pools
+    let t0 = Instant::now();
+    for wave in 1..=batches {
+        let responses = r.recommend_batch(&make(wave));
+        assert_eq!(responses.len(), BATCH);
+    }
+    (batches * BATCH) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn rss() -> u64 {
+    footprint::resident_bytes().unwrap_or(0)
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let opts = CliOptions::parse(&[DatasetProfile::MovieLens]);
+    let full_eager = std::env::var("HF_BENCH_FULL").is_ok_and(|v| v == "1");
+    let dims = TierDims::new(4, 8, 16);
+    println!(
+        "Capacity sweep: synthetic artifacts, lazy vs eager serving \
+         (scale={}, seed={})\n",
+        opts.scale.name, opts.seed
+    );
+    let header = format!(
+        "{:>9} {:>9} {:>9} {:>8} {:>9} {:>10} {:>9} {:>10} {:>10}",
+        "users",
+        "items",
+        "file MiB",
+        "synth s",
+        "lazy s",
+        "lazy ΔMiB",
+        "qps",
+        "cached",
+        "eager MiB"
+    );
+    println!("{header}");
+    println!("{}", rule(&header));
+
+    let dir = std::env::temp_dir().join(format!("hf_capacity_{}", std::process::id()));
+    let mut snapshot: Vec<SnapshotRow> = Vec::new();
+    for (users, items) in sizes_for(opts.scale.name) {
+        let profile = SyntheticProfile::new(users, items);
+        let path = dir.join(format!("capacity_{users}_{items}.hfa"));
+
+        let t0 = Instant::now();
+        let stats = ModelArtifact::synthesize_to_file(&profile, dims, opts.seed, &path)
+            .expect("synthesize artifact");
+        let synth_s = t0.elapsed().as_secs_f64();
+
+        // The number the lazy path is holding the line against: what an
+        // eager load must materialise (tables + every user record +
+        // popularity), straight from the section sizes.
+        let eager_bytes_est = stats.tables_bytes + stats.users_bytes + 4 * items as u64;
+
+        // Lazy first — measured before eager so eager's allocations
+        // can't inflate the lazy resident delta.
+        let rss_before = rss();
+        let t0 = Instant::now();
+        let lazy = ModelArtifact::load_file_lazy(&path, LazyConfig::default()).expect("lazy open");
+        let lazy_open_s = t0.elapsed().as_secs_f64();
+        assert!(lazy.is_lazy());
+        let r = RecommenderBuilder::new(lazy)
+            .default_k(10)
+            .item_half_mode(ItemHalfMode::Tiled { max_panels: 64 })
+            .build()
+            .expect("lazy recommender");
+        let batches = if users >= 1_000_000 { 8 } else { 32 };
+        let qps = serve_waves(&r, users, batches);
+        let cached = r.artifact().cached_user_records();
+        let lazy_delta = rss().saturating_sub(rss_before);
+        drop(r);
+
+        // Eager afterwards, and only where materialising is sane.
+        let eager_measured = users <= EAGER_MEASURE_CAP || full_eager;
+        let (eager_load_s, eager_qps) = if eager_measured {
+            let t0 = Instant::now();
+            let eager = ModelArtifact::load_file(&path).expect("eager load");
+            let load_s = t0.elapsed().as_secs_f64();
+            // PerBatch halves: don't precompute 3 full item-half matrices
+            // on top of the tables at 1M items.
+            let r = RecommenderBuilder::new(eager)
+                .default_k(10)
+                .item_half_mode(ItemHalfMode::PerBatch)
+                .build()
+                .expect("eager recommender");
+            let qps = serve_waves(&r, users, batches);
+            (Some(load_s), Some(qps))
+        } else {
+            (None, None)
+        };
+
+        println!(
+            "{:>9} {:>9} {:>9.1} {:>8.2} {:>9.3} {:>10.1} {:>9.0} {:>10} {:>10.1}{}",
+            users,
+            items,
+            mib(stats.file_bytes),
+            synth_s,
+            lazy_open_s,
+            mib(lazy_delta),
+            qps,
+            cached,
+            mib(eager_bytes_est),
+            if eager_measured { "" } else { " (est only)" },
+        );
+
+        let mut row = SnapshotRow::new()
+            .label("profile", format!("{users}x{items}"))
+            .value("users", users as f64)
+            .value("items", items as f64)
+            .value("file_bytes", stats.file_bytes as f64)
+            .value("interactions", stats.interactions as f64)
+            .value("synth_s", synth_s)
+            .value("lazy_open_s", lazy_open_s)
+            .value("lazy_resident_delta_bytes", lazy_delta as f64)
+            .value("lazy_qps", qps)
+            .value("cached_user_records", cached as f64)
+            .value("eager_bytes_est", eager_bytes_est as f64);
+        if let (Some(load_s), Some(qps)) = (eager_load_s, eager_qps) {
+            row = row.value("eager_load_s", load_s).value("eager_qps", qps);
+        }
+        snapshot.push(row);
+
+        std::fs::remove_file(&path).ok();
+    }
+    if let Some(peak) = footprint::peak_resident_bytes() {
+        println!(
+            "\npeak resident over the whole sweep: {}",
+            footprint::fmt_bytes(peak)
+        );
+    }
+    println!(
+        "\nlazy ΔMiB is resident growth from open + {BATCH}-request serving; \
+         eager MiB is the materialised in-memory floor the lazy path avoids."
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    opts.emit_json(&snapshot);
+}

@@ -1,0 +1,211 @@
+//! Million-scale synthetic serving profiles.
+//!
+//! The latent-factor generator in [`crate::synthetic`] buys statistical
+//! fidelity with an `O(num_items)` Gumbel-top-k pass *per user* — fine
+//! at paper scale, hopeless at a million users × a million items (10¹²
+//! scores). Capacity work needs the opposite trade: a
+//! [`SyntheticProfile`] whose per-user cost is `O(interactions)`, so
+//! million-scale artifacts can be synthesized in seconds, while keeping
+//! the two properties serving capacity actually exercises — a
+//! **heavy-tailed per-user interaction count** (capped Pareto) and a
+//! **Zipf-skewed item popularity** (inverse-CDF sampling; low item ids
+//! are the head — the profile makes no attempt to decorrelate id order
+//! from popularity, it is a load shape, not a learning benchmark).
+//!
+//! Determinism contract: [`SyntheticProfile::user`] is a pure function
+//! of `(profile, seed, user id)` — each user draws from its own
+//! [`substream`], in a fixed draw order — so a streaming artifact
+//! builder that visits users once and an eager builder that materialises
+//! all of them produce **identical** records, and any subset of users
+//! can be regenerated without the rest.
+
+use crate::grouping::Tier;
+use crate::types::ItemId;
+use hf_tensor::rng::{substream, Rng, SeedStream};
+
+/// Purpose key for the capacity-profile RNG streams (distinct from every
+/// other [`SeedStream::Custom`] user in the workspace).
+const PROFILE_STREAM: u64 = 0x6361_7061; // "capa"
+
+/// A deterministic million-scale serving-load profile.
+#[derive(Clone, Debug)]
+pub struct SyntheticProfile {
+    /// Number of users.
+    pub num_users: usize,
+    /// Item-universe size.
+    pub num_items: usize,
+    /// Fraction of users per tier `[small, medium, large]`; must sum to
+    /// ~1. Users draw their tier independently from this mix.
+    pub tier_mix: [f64; 3],
+    /// Mean of the per-user interaction count (before capping).
+    pub mean_interactions: f64,
+    /// Hard cap on per-user interactions (bounds record size).
+    pub max_interactions: usize,
+    /// Zipf exponent `s ∈ [0, 1)` of item popularity; higher
+    /// concentrates interactions on the head (low ids).
+    pub zipf_exponent: f64,
+}
+
+impl SyntheticProfile {
+    /// A profile with the default shape (`tier mix 50/30/20`, mean 20
+    /// interactions capped at 512, Zipf 0.7) at the given scale.
+    pub fn new(num_users: usize, num_items: usize) -> Self {
+        Self {
+            num_users,
+            num_items,
+            tier_mix: [0.5, 0.3, 0.2],
+            mean_interactions: 20.0,
+            max_interactions: 512,
+            zipf_exponent: 0.7,
+        }
+    }
+
+    /// Sanity-checks the profile shape (positive universe, usable tier
+    /// mix, Zipf exponent below 1 so the inverse CDF is defined).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_users == 0 || self.num_items < 2 {
+            return Err("profile needs at least 1 user and 2 items".into());
+        }
+        let total: f64 = self.tier_mix.iter().sum();
+        if self.tier_mix.iter().any(|&p| p < 0.0) || (total - 1.0).abs() > 1e-6 {
+            return Err(format!(
+                "tier mix must be non-negative and sum to 1, got {total}"
+            ));
+        }
+        if !(0.0..1.0).contains(&self.zipf_exponent) {
+            return Err("zipf exponent must be in [0, 1)".into());
+        }
+        if self.mean_interactions < 1.0 || self.max_interactions == 0 {
+            return Err("profile needs at least one interaction per user".into());
+        }
+        Ok(())
+    }
+
+    /// One user's load shape: serving tier and sorted, deduplicated
+    /// interaction list. Pure in `(self, seed, user)` — `O(interactions)`
+    /// work, independent of every other user.
+    pub fn user(&self, seed: u64, user: usize) -> (Tier, Vec<ItemId>) {
+        let mut rng = substream(seed, SeedStream::Custom(PROFILE_STREAM), user as u64 + 1);
+        // Fixed draw order: tier, count, then items — so adding draws
+        // later stays an explicit format change, not a silent one.
+        let tier = self.draw_tier(&mut rng);
+        let n = self.draw_count(&mut rng);
+        let items = self.draw_items(n, &mut rng);
+        (tier, items)
+    }
+
+    fn draw_tier(&self, rng: &mut impl Rng) -> Tier {
+        let x: f64 = rng.gen::<f64>() * self.tier_mix.iter().sum::<f64>();
+        if x < self.tier_mix[0] {
+            Tier::Small
+        } else if x < self.tier_mix[0] + self.tier_mix[1] {
+            Tier::Medium
+        } else {
+            Tier::Large
+        }
+    }
+
+    /// Capped Pareto count: shape `α = 2` with minimum `m = mean/2`, so
+    /// `E[X] = α·m/(α-1) = mean` while the `1/x²` tail survives the cap
+    /// nearly intact (truncation shaves `m²/cap` off the mean — under 1%
+    /// at the defaults). Clamped to `[1, max_interactions]` and to half
+    /// the catalogue (so distinct-item sampling stays cheap).
+    fn draw_count(&self, rng: &mut impl Rng) -> usize {
+        let m = self.mean_interactions / 2.0;
+        let u: f64 = (1.0 - rng.gen::<f64>()).max(1e-12); // (0, 1]
+        let x = m / u.sqrt(); // inverse CDF of Pareto(α = 2, m)
+        let cap = self.max_interactions.min(self.num_items / 2).max(1);
+        (x.round() as usize).clamp(1, cap)
+    }
+
+    /// `n` distinct items, Zipf-skewed toward low ids, sorted ascending.
+    /// Inverse-CDF draw: for rank CDF `∝ r^(1-s)`,
+    /// `r = N·U^(1/(1-s))`. Duplicates retry (bounded: `n` is at most
+    /// half the catalogue, so each retry succeeds with probability ≥ ½).
+    fn draw_items(&self, n: usize, rng: &mut impl Rng) -> Vec<ItemId> {
+        let inv = 1.0 / (1.0 - self.zipf_exponent);
+        let mut picked = std::collections::BTreeSet::new();
+        while picked.len() < n {
+            let u: f64 = rng.gen::<f64>();
+            let r = (self.num_items as f64 * u.powf(inv)) as usize;
+            picked.insert(r.min(self.num_items - 1) as ItemId);
+        }
+        picked.into_iter().collect()
+    }
+
+    /// Total interactions across a user range (used for progress and
+    /// analytic size estimates without materialising records twice).
+    pub fn interactions_in(&self, seed: u64, users: std::ops::Range<usize>) -> u64 {
+        users.map(|u| self.user(seed, u).1.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_user_generation_is_pure_and_order_free() {
+        let p = SyntheticProfile::new(500, 2_000);
+        // Same (seed, user) twice → identical; and regenerating user 321
+        // alone matches a full forward sweep (no cross-user state).
+        let sweep: Vec<_> = (0..500).map(|u| p.user(99, u)).collect();
+        for u in [0, 1, 321, 499] {
+            assert_eq!(p.user(99, u), sweep[u], "user {u}");
+        }
+        assert_ne!(p.user(99, 3), p.user(100, 3), "seed must matter");
+    }
+
+    #[test]
+    fn records_are_sorted_distinct_and_bounded() {
+        let p = SyntheticProfile::new(300, 1_000);
+        for u in 0..300 {
+            let (_, items) = p.user(5, u);
+            assert!(!items.is_empty() && items.len() <= p.max_interactions);
+            assert!(
+                items.windows(2).all(|w| w[0] < w[1]),
+                "user {u} not sorted-distinct"
+            );
+            assert!(items.iter().all(|&i| (i as usize) < p.num_items));
+        }
+    }
+
+    #[test]
+    fn tier_mix_and_popularity_are_shaped() {
+        let p = SyntheticProfile::new(4_000, 10_000);
+        let mut tiers = [0usize; 3];
+        let mut head = 0u64;
+        let mut total = 0u64;
+        for u in 0..p.num_users {
+            let (tier, items) = p.user(7, u);
+            tiers[tier.index()] += 1;
+            total += items.len() as u64;
+            head += items
+                .iter()
+                .filter(|&&i| (i as usize) < p.num_items / 10)
+                .count() as u64;
+        }
+        for (t, &want) in p.tier_mix.iter().enumerate() {
+            let got = tiers[t] as f64 / p.num_users as f64;
+            assert!((got - want).abs() < 0.05, "tier {t}: {got} vs {want}");
+        }
+        // Zipf 0.7: top 10% of ids should hold well over 10% of mass.
+        assert!(head as f64 > 0.3 * total as f64, "head {head} of {total}");
+        // Pareto mean lands near the target despite the cap.
+        let mean = total as f64 / p.num_users as f64;
+        assert!((mean - p.mean_interactions).abs() < 8.0, "mean {mean}");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_profiles() {
+        assert!(SyntheticProfile::new(0, 100).validate().is_err());
+        assert!(SyntheticProfile::new(10, 1).validate().is_err());
+        let mut p = SyntheticProfile::new(10, 100);
+        p.tier_mix = [0.9, 0.2, 0.2];
+        assert!(p.validate().is_err());
+        let mut p = SyntheticProfile::new(10, 100);
+        p.zipf_exponent = 1.0;
+        assert!(p.validate().is_err());
+        assert!(SyntheticProfile::new(10, 100).validate().is_ok());
+    }
+}

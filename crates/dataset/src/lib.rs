@@ -21,6 +21,7 @@
 //! Module map:
 //! * [`types`] — [`ImplicitDataset`] and friends.
 //! * [`synthetic`] — the latent-factor generator.
+//! * [`capacity`] — `O(interactions)`-per-user million-scale profiles.
 //! * [`profiles`] — ML / Anime / Douban calibrations (Table I).
 //! * [`split`] — 80/20 train-test plus 10% validation (paper §V-A).
 //! * [`negative`] — 1:4 negative sampling (paper §V-A).
@@ -29,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod grouping;
 pub mod negative;
 pub mod profiles;
@@ -37,6 +39,7 @@ pub mod stats;
 pub mod synthetic;
 pub mod types;
 
+pub use capacity::SyntheticProfile;
 pub use grouping::{ClientGroups, DivisionRatio, Tier};
 pub use negative::NegativeSampler;
 pub use profiles::DatasetProfile;

@@ -256,6 +256,83 @@ mod tests {
     }
 
     #[test]
+    fn scored_boundaries_at_scale_seams() {
+        // The capacity serving path leans on exactly these edges: k = 0
+        // (metadata-only probes), k ≥ panel/universe size (small tail
+        // panels of a blocked catalogue), and all-NaN panels (every
+        // candidate filtered out).
+        let scores = [0.4, 0.2, 0.9];
+        // k = 0 is empty regardless of base/exclusions.
+        assert!(top_k_scored(&scores, 0, 1_000, &[1_002]).is_empty());
+        // k ≥ num_items returns every non-excluded candidate, ranked.
+        for k in [3, 4, 100] {
+            assert_eq!(
+                top_k_scored(&scores, k, 10, &[]),
+                vec![(12, 0.9), (10, 0.4), (11, 0.2)],
+                "k = {k}"
+            );
+        }
+        assert_eq!(
+            top_k_scored(&scores, 100, 10, &[12]),
+            vec![(10, 0.4), (11, 0.2)]
+        );
+        // All-NaN panels yield nothing (never a panic, never a NaN entry).
+        let nans = [f32::NAN; 8];
+        assert!(top_k_scored(&nans, 5, 0, &[]).is_empty());
+        assert!(top_k_excluding(&nans, 5, &[]).is_empty());
+        // Empty panels too (a zero-item tail is representable).
+        assert!(top_k_scored(&[], 5, 77, &[]).is_empty());
+    }
+
+    #[test]
+    fn exact_ties_across_panel_merge_boundaries() {
+        // Every item scores identically; panels of 7 over 40 items. The
+        // merged ranking must be items 0..k in id order — the
+        // (score desc, id asc) tie-break may not depend on which panel a
+        // candidate came from or on merge order.
+        let scores = vec![0.625f32; 40];
+        let k = 11;
+        let dense = top_k_excluding(&scores, k, &[]);
+        assert_eq!(dense, (0..k as u32).collect::<Vec<_>>());
+        // Merge panels in reverse order to stress order-independence.
+        let mut merged: Vec<(u32, f32)> = Vec::new();
+        let starts: Vec<usize> = (0..scores.len()).step_by(7).collect();
+        for &start in starts.iter().rev() {
+            let end = (start + 7).min(scores.len());
+            merged.extend(top_k_scored(&scores[start..end], k, start as u32, &[]));
+            merged.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            merged.truncate(k);
+        }
+        assert_eq!(merged.iter().map(|&(i, _)| i).collect::<Vec<_>>(), dense);
+        for &(item, score) in &merged {
+            assert_eq!(score.to_bits(), scores[item as usize].to_bits());
+        }
+        // Two-value tie straddling a boundary: ids 5 and 7 tie at the
+        // top across panels [0..6) and [6..12); the smaller id wins.
+        let scores = [0.1, 0.1, 0.1, 0.1, 0.1, 0.8, 0.1, 0.8, 0.1, 0.1, 0.1, 0.1];
+        let mut merged: Vec<(u32, f32)> = Vec::new();
+        for start in [6usize, 0] {
+            merged.extend(top_k_scored(
+                &scores[start..start + 6],
+                2,
+                start as u32,
+                &[],
+            ));
+        }
+        merged.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        merged.truncate(2);
+        assert_eq!(merged, vec![(5, 0.8), (7, 0.8)]);
+    }
+
+    #[test]
     fn matches_full_sort_reference() {
         // Pseudo-random scores; compare against a sort-everything oracle.
         let scores: Vec<f32> = (0..500)

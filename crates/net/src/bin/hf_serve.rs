@@ -4,17 +4,24 @@
 //! hf-serve --artifact model.hfa [--addr 127.0.0.1:7878]
 //!          [--batch-window-us 500] [--batch-max 64] [--queue-cap 1024]
 //!          [--threads 1] [--k 10] [--cold-start-blend 0.0]
+//!          [--lazy] [--user-shards 64] [--user-shard-cap 256]
+//!          [--tile-panels N]
 //! ```
 //!
 //! The model comes from the compact binary artifact format
 //! (`ModelArtifact::load_file`) — the deployment path: no checkpoint
-//! replay, no dataset in sight. The process prints one
-//! `listening on <addr>` line once the socket is bound and serves until
-//! a client sends a `Shutdown` frame, then drains in-flight requests
-//! and exits 0.
+//! replay, no dataset in sight. With `--lazy` the artifact is opened
+//! through `load_file_lazy` instead: user records decode on first touch
+//! into a sharded LRU (`--user-shards` × `--user-shard-cap` records
+//! resident at most) and item-half tiles are capped at `--tile-panels`
+//! (defaults to 64 under `--lazy`; `0` forces full precomputation).
+//! Either way the process reports its resident footprint once the
+//! recommender is built, prints one `listening on <addr>` line once the
+//! socket is bound, and serves until a client sends a `Shutdown` frame,
+//! then drains in-flight requests and exits 0.
 
 use hf_net::{serve, ServerConfig};
-use hf_serve::{ModelArtifact, RecommenderBuilder};
+use hf_serve::{footprint, ItemHalfMode, LazyConfig, ModelArtifact, RecommenderBuilder};
 use std::time::Duration;
 
 struct Args {
@@ -26,11 +33,16 @@ struct Args {
     threads: usize,
     k: usize,
     blend: f32,
+    lazy: bool,
+    user_shards: usize,
+    user_shard_cap: usize,
+    tile_panels: Option<usize>,
 }
 
 const USAGE: &str = "usage: hf-serve --artifact <model.hfa>\n\
     \x20   [--addr 127.0.0.1:7878] [--batch-window-us 500] [--batch-max 64]\n\
-    \x20   [--queue-cap 1024] [--threads 1] [--k 10] [--cold-start-blend 0.0]";
+    \x20   [--queue-cap 1024] [--threads 1] [--k 10] [--cold-start-blend 0.0]\n\
+    \x20   [--lazy] [--user-shards 64] [--user-shard-cap 256] [--tile-panels N]";
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -48,6 +60,10 @@ fn parse_args() -> Args {
         threads: 1,
         k: 10,
         blend: 0.0,
+        lazy: false,
+        user_shards: LazyConfig::default().user_shards,
+        user_shard_cap: LazyConfig::default().shard_capacity,
+        tile_panels: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -88,6 +104,24 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage_exit("bad --cold-start-blend"))
             }
+            "--lazy" => args.lazy = true,
+            "--user-shards" => {
+                args.user_shards = value("--user-shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("bad --user-shards"))
+            }
+            "--user-shard-cap" => {
+                args.user_shard_cap = value("--user-shard-cap")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("bad --user-shard-cap"))
+            }
+            "--tile-panels" => {
+                args.tile_panels = Some(
+                    value("--tile-panels")
+                        .parse()
+                        .unwrap_or_else(|_| usage_exit("bad --tile-panels")),
+                )
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -105,27 +139,63 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
 
-    let artifact = ModelArtifact::load_file(&args.artifact).unwrap_or_else(|e| {
+    let artifact = if args.lazy {
+        ModelArtifact::load_file_lazy(
+            &args.artifact,
+            LazyConfig {
+                user_shards: args.user_shards,
+                shard_capacity: args.user_shard_cap,
+            },
+        )
+    } else {
+        ModelArtifact::load_file(&args.artifact)
+    }
+    .unwrap_or_else(|e| {
         eprintln!("error: cannot load model: {e}");
         std::process::exit(1);
     });
     println!(
-        "hf-serve: artifact v{} — {} users, {} items, model {:?}",
+        "hf-serve: artifact v{} — {} users, {} items, model {:?}{}",
         artifact.version(),
         artifact.num_users(),
         artifact.num_items(),
-        artifact.model()
+        artifact.model(),
+        if artifact.is_lazy() {
+            format!(
+                " (lazy: {} shards x {} records)",
+                args.user_shards, args.user_shard_cap
+            )
+        } else {
+            String::new()
+        }
     );
 
+    // Item-half policy: under --lazy default to tiling (bounded memory);
+    // eager keeps full precomputation. `--tile-panels 0` forces full
+    // precomputation either way.
+    let mode = match args.tile_panels {
+        Some(0) => ItemHalfMode::Precomputed,
+        Some(n) => ItemHalfMode::Tiled { max_panels: n },
+        None if args.lazy => ItemHalfMode::Tiled { max_panels: 64 },
+        None => ItemHalfMode::Precomputed,
+    };
     let recommender = RecommenderBuilder::new(artifact)
         .default_k(args.k)
         .threads(args.threads)
         .cold_start_blend(args.blend)
+        .item_half_mode(mode)
         .build()
         .unwrap_or_else(|e| {
             eprintln!("error: invalid serving configuration: {e}");
             std::process::exit(1);
         });
+    match footprint::resident_bytes() {
+        Some(rss) => println!(
+            "hf-serve: resident footprint after build: {}",
+            footprint::fmt_bytes(rss)
+        ),
+        None => println!("hf-serve: resident footprint unavailable on this platform"),
+    }
 
     let config = ServerConfig {
         batch_window: Duration::from_micros(args.batch_window_us),

@@ -8,16 +8,22 @@
 //! per-tier cold-start fallback embedding for users the training run
 //! never saw.
 //!
-//! Artifacts are produced from a live [`Session`] (`export_artifact()`)
-//! or rebuilt from a persisted training checkpoint
+//! Artifacts are produced from a live [`Session`] (`export_artifact()`),
+//! rebuilt from a persisted training checkpoint
 //! ([`ModelArtifact::from_checkpoint`] /
-//! [`ModelArtifact::from_checkpoint_file`], which ingest the
-//! `hetefedrec.checkpoint` v1 documents written by
-//! [`Session::checkpoint`] through the `hf_tensor::ser` reader). The
-//! artifact schema itself is versioned ([`ARTIFACT_VERSION`]); it tracks
-//! the checkpoint schema it can ingest, so a reader upgrade is an
+//! [`ModelArtifact::from_checkpoint_file`]), synthesized at arbitrary
+//! scale without training ([`ModelArtifact::synthesize`]), or loaded
+//! from the binary file format — eagerly ([`ModelArtifact::load_file`])
+//! or lazily ([`ModelArtifact::load_file_lazy`]), where tier tables and
+//! user records stay on disk until first touch. Both backends sit behind
+//! the same accessors and produce **bit-identical** rankings; the lazy
+//! one bounds resident memory by what requests actually touch.
+//!
+//! The artifact schema itself is versioned ([`ARTIFACT_VERSION`]); it
+//! tracks the checkpoint schema it can ingest, so a reader upgrade is an
 //! artifact-version bump.
 
+use crate::lazy::{LazyConfig, LazyTiers, LazyUsers};
 use crate::ServeError;
 use hetefedrec_core::session::Session;
 use hetefedrec_core::Strategy;
@@ -25,6 +31,7 @@ use hf_dataset::{SplitDataset, Tier};
 use hf_models::{Ffn, ModelKind};
 use hf_tensor::Matrix;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hetefedrec_core::config::TierDims;
 
@@ -57,6 +64,53 @@ pub struct SoloModel {
     pub theta: Ffn,
 }
 
+/// A fetched user record: either borrowed straight out of the eager
+/// in-memory store, or a shared handle into the lazy store's shard cache
+/// (the record may be evicted and re-decoded later; the handle keeps
+/// this copy alive). Dereferences to [`UserRecord`], so call sites read
+/// the same either way.
+#[derive(Clone, Debug)]
+pub enum UserRef<'a> {
+    /// Borrowed from the eager `Vec<UserRecord>` backend.
+    Borrowed(&'a UserRecord),
+    /// A cache handle from the lazy sharded backend.
+    Cached(Arc<UserRecord>),
+}
+
+impl std::ops::Deref for UserRef<'_> {
+    type Target = UserRecord;
+    fn deref(&self) -> &UserRecord {
+        match self {
+            UserRef::Borrowed(r) => r,
+            UserRef::Cached(r) => r,
+        }
+    }
+}
+
+/// Where user records live.
+#[derive(Clone, Debug)]
+pub(crate) enum UserStore {
+    /// All records decoded up front (training export, eager file load).
+    Eager(Vec<UserRecord>),
+    /// Records decoded on first touch from a v2 file, held in a sharded
+    /// bounded LRU (see [`crate::lazy`]).
+    Lazy(LazyUsers),
+}
+
+/// Where the frozen per-tier item tables and predictors live.
+#[derive(Clone, Debug)]
+pub(crate) enum TierParams {
+    /// Decoded up front.
+    Eager {
+        /// Frozen tier item tables `{Vs, Vm, Vl}` (each at its width).
+        tables: Box<[Matrix; 3]>,
+        /// Frozen tier predictors `{Θs, Θm, Θl}`.
+        thetas: Box<[Ffn; 3]>,
+    },
+    /// Decoded per tier on first touch from a v2 file.
+    Lazy(LazyTiers),
+}
+
 /// An immutable, versioned snapshot of a trained model, ready to serve.
 #[derive(Clone, Debug)]
 pub struct ModelArtifact {
@@ -64,11 +118,8 @@ pub struct ModelArtifact {
     pub(crate) dims: TierDims,
     pub(crate) standalone: bool,
     pub(crate) num_items: usize,
-    /// Frozen tier item tables `{Vs, Vm, Vl}` (each at its exact width).
-    pub(crate) tables: [Matrix; 3],
-    /// Frozen tier predictors `{Θs, Θm, Θl}`.
-    pub(crate) thetas: [Ffn; 3],
-    pub(crate) users: Vec<UserRecord>,
+    pub(crate) params: TierParams,
+    pub(crate) users: UserStore,
     /// Per-item training-interaction counts (popularity floor support).
     pub(crate) popularity: Vec<u32>,
     /// Per-tier mean user embedding — the cold-start fallback
@@ -109,30 +160,42 @@ impl ModelArtifact {
             })
             .collect();
 
-        // Cold-start fallback: per-tier mean embedding over known users
-        // (ascending user order, so the sum is deterministic).
-        let mut fallback: [Vec<f32>; 3] =
-            std::array::from_fn(|t| vec![0.0f32; cfg.dims.dim(Tier::ALL[t])]);
-        let mut counts = [0usize; 3];
-        for user in &users {
-            let t = user.tier.index();
-            hf_tensor::ops::axpy_slice(&mut fallback[t], 1.0, &user.emb);
-            counts[t] += 1;
-        }
-        for (f, &n) in fallback.iter_mut().zip(&counts) {
-            if n > 0 {
-                let inv = 1.0 / n as f32;
-                f.iter_mut().for_each(|x| *x *= inv);
-            }
-        }
+        let fallback = tier_mean_fallback(&cfg.dims, users.iter().map(|u| (u.tier, &u.emb[..])));
 
         Self {
             model: cfg.model,
             dims: cfg.dims,
             standalone,
             num_items,
-            tables: std::array::from_fn(|t| server.table(Tier::ALL[t]).clone()),
-            thetas: std::array::from_fn(|t| server.theta(Tier::ALL[t]).clone()),
+            params: TierParams::Eager {
+                tables: Box::new(std::array::from_fn(|t| server.table(Tier::ALL[t]).clone())),
+                thetas: Box::new(std::array::from_fn(|t| server.theta(Tier::ALL[t]).clone())),
+            },
+            users: UserStore::Eager(users),
+            popularity,
+            fallback,
+        }
+    }
+
+    /// Assembles an eager artifact from decoded parts (the binary
+    /// reader's constructor).
+    pub(crate) fn assemble(
+        meta: crate::binfmt::Meta,
+        tables: [Matrix; 3],
+        thetas: [Ffn; 3],
+        users: UserStore,
+        popularity: Vec<u32>,
+        fallback: [Vec<f32>; 3],
+    ) -> Self {
+        Self {
+            model: meta.model,
+            dims: meta.dims,
+            standalone: meta.standalone,
+            num_items: meta.num_items,
+            params: TierParams::Eager {
+                tables: Box::new(tables),
+                thetas: Box::new(thetas),
+            },
             users,
             popularity,
             fallback,
@@ -162,20 +225,24 @@ impl ModelArtifact {
     /// Serialises the artifact to the compact binary on-disk format
     /// (`crate::binfmt`): length-prefixed sections of little-endian
     /// scalars, floats as IEEE-754 bits, so a reload is bit-identical.
+    /// A lazy artifact is materialised section by section (every user
+    /// record streams through, but at most one at a time beyond the
+    /// caches).
     pub fn to_bytes(&self) -> Vec<u8> {
         crate::binfmt::encode(self)
     }
 
-    /// Parses the binary on-disk format. Truncated, malformed, or
-    /// version-mismatched buffers are rejected with
-    /// [`ServeError::Artifact`], never a panic.
+    /// Parses the binary on-disk format (either container version).
+    /// Truncated, malformed, or version-mismatched buffers are rejected
+    /// with [`ServeError::Artifact`], never a panic.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, ServeError> {
         crate::binfmt::decode(buf)
     }
 
     /// Writes the binary format to `path`, creating parent directories.
-    /// Serving hosts load this file directly ([`ModelArtifact::load_file`])
-    /// instead of replaying a checkpoint restore.
+    /// Serving hosts load this file directly ([`ModelArtifact::load_file`]
+    /// or [`ModelArtifact::load_file_lazy`]) instead of replaying a
+    /// checkpoint restore.
     pub fn save_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
         let path = path.as_ref();
         if let Some(parent) = path.parent() {
@@ -190,12 +257,29 @@ impl ModelArtifact {
     }
 
     /// Reads an artifact from the binary file format written by
-    /// [`ModelArtifact::save_file`].
+    /// [`ModelArtifact::save_file`], decoding everything up front.
     pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<Self, ServeError> {
         let path = path.as_ref();
         let bytes = std::fs::read(path)
             .map_err(|e| ServeError::Artifact(format!("cannot read {}: {e}", path.display())))?;
         Self::from_bytes(&bytes)
+    }
+
+    /// Opens a v2 artifact file **lazily**: the header, directories,
+    /// `meta`, `popularity`, and `fallback` sections are read and
+    /// validated up front, but tier tables and user records stay on disk
+    /// until first touch. User records are cached in a sharded bounded
+    /// LRU sized by `cfg`, so resident memory is `O(touched)` with a
+    /// configurable ceiling — and rankings are bit-identical to the
+    /// eager path.
+    ///
+    /// Version-1 files have no directories to seek by; they fall back to
+    /// the eager [`ModelArtifact::load_file`] path transparently.
+    pub fn load_file_lazy(
+        path: impl AsRef<std::path::Path>,
+        cfg: LazyConfig,
+    ) -> Result<Self, ServeError> {
+        crate::lazy::open_lazy(path.as_ref(), cfg)
     }
 
     /// Artifact schema version.
@@ -219,6 +303,12 @@ impl ModelArtifact {
         self.standalone
     }
 
+    /// `true` when this artifact is file-backed and decodes state on
+    /// first touch ([`ModelArtifact::load_file_lazy`]).
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.users, UserStore::Lazy(_)) || matches!(self.params, TierParams::Lazy(_))
+    }
+
     /// Item universe size.
     pub fn num_items(&self) -> usize {
         self.num_items
@@ -226,23 +316,60 @@ impl ModelArtifact {
 
     /// Number of known users.
     pub fn num_users(&self) -> usize {
-        self.users.len()
+        match &self.users {
+            UserStore::Eager(users) => users.len(),
+            UserStore::Lazy(lazy) => lazy.num_users(),
+        }
+    }
+
+    /// How many decoded user records are resident right now: all of them
+    /// for an eager artifact, the shard-cache occupancy for a lazy one.
+    pub fn cached_user_records(&self) -> usize {
+        match &self.users {
+            UserStore::Eager(users) => users.len(),
+            UserStore::Lazy(lazy) => lazy.cached_records(),
+        }
     }
 
     /// One known user's frozen state, or `None` for unknown ids (the
-    /// recommender's cold-start path).
-    pub fn user(&self, user: usize) -> Option<&UserRecord> {
-        self.users.get(user)
+    /// recommender's cold-start path). On a lazy artifact this decodes
+    /// the record from disk on first touch and caches it in the user's
+    /// shard.
+    pub fn user(&self, user: usize) -> Option<UserRef<'_>> {
+        match &self.users {
+            UserStore::Eager(users) => users.get(user).map(UserRef::Borrowed),
+            UserStore::Lazy(lazy) => lazy.user(user).map(UserRef::Cached),
+        }
     }
 
-    /// One tier's frozen item table.
+    /// One tier's frozen item table. On a lazy artifact the first touch
+    /// decodes the tier from disk; it stays resident afterwards.
     pub fn table(&self, tier: Tier) -> &Matrix {
-        &self.tables[tier.index()]
+        match &self.params {
+            TierParams::Eager { tables, .. } => &tables[tier.index()],
+            TierParams::Lazy(lazy) => lazy.table(tier),
+        }
     }
 
-    /// One tier's frozen predictor.
+    /// One tier's frozen predictor (lazily decoded like
+    /// [`ModelArtifact::table`]).
     pub fn theta(&self, tier: Tier) -> &Ffn {
-        &self.thetas[tier.index()]
+        match &self.params {
+            TierParams::Eager { thetas, .. } => &thetas[tier.index()],
+            TierParams::Lazy(lazy) => lazy.theta(tier),
+        }
+    }
+
+    /// One tier table's shape `(rows, cols)` — available without forcing
+    /// a lazy tier load (v2 directories carry the shape).
+    pub fn table_dims(&self, tier: Tier) -> (usize, usize) {
+        match &self.params {
+            TierParams::Eager { tables, .. } => {
+                let t = &tables[tier.index()];
+                (t.rows(), t.cols())
+            }
+            TierParams::Lazy(lazy) => lazy.table_dims(tier),
+        }
     }
 
     /// Training-interaction count of one item (0 for ids outside the
@@ -256,4 +383,27 @@ impl ModelArtifact {
     pub fn fallback(&self, tier: Tier) -> &[f32] {
         &self.fallback[tier.index()]
     }
+}
+
+/// Per-tier mean embedding over `(tier, emb)` pairs in ascending user
+/// order — the deterministic cold-start fallback shared by session
+/// export and synthesis.
+pub(crate) fn tier_mean_fallback<'a>(
+    dims: &TierDims,
+    users: impl Iterator<Item = (Tier, &'a [f32])>,
+) -> [Vec<f32>; 3] {
+    let mut fallback: [Vec<f32>; 3] = std::array::from_fn(|t| vec![0.0f32; dims.dim(Tier::ALL[t])]);
+    let mut counts = [0usize; 3];
+    for (tier, emb) in users {
+        let t = tier.index();
+        hf_tensor::ops::axpy_slice(&mut fallback[t], 1.0, emb);
+        counts[t] += 1;
+    }
+    for (f, &n) in fallback.iter_mut().zip(&counts) {
+        if n > 0 {
+            let inv = 1.0 / n as f32;
+            f.iter_mut().for_each(|x| *x *= inv);
+        }
+    }
+    fallback
 }

@@ -1,0 +1,417 @@
+//! Lazy, file-backed artifact state.
+//!
+//! The v2 container ([`crate::binfmt`]) is offset-indexed, so a serving
+//! host never has to materialise the whole artifact: this module keeps
+//! the file open and decodes state on first touch —
+//!
+//! * [`LazyTiers`] — per-tier item tables and predictors behind
+//!   `OnceLock`s: a tier costs nothing until the first request for it,
+//!   then stays resident (tables are shared, hot, and bounded at three).
+//! * [`LazyUsers`] — per-user records behind a **sharded bounded LRU**:
+//!   user `u` hashes to shard `u % shards`, each shard caches at most
+//!   `shard_capacity` decoded records and evicts least-recently-used, so
+//!   resident user state is capped at `shards × capacity` records no
+//!   matter how many users the file holds.
+//!
+//! Every offset and length is validated against the file size at open
+//! time (section table, tier directories) or at touch time (per-user
+//! directory entries) **before any allocation**, so a hostile file fails
+//! with [`ServeError::Artifact`], never an OOM.
+//!
+//! The decode functions are the same ones the eager reader uses, so a
+//! record fetched lazily is bit-identical to its eager twin — the
+//! determinism tests in `tests/lazy_serving.rs` pin this.
+//!
+//! Failure discipline: *structure* (headers, directories, shapes) is
+//! validated at open and returns errors; a payload that fails to decode
+//! at touch means the file was truncated or rewritten underneath a
+//! running server, and panics with a message naming the file. Serving
+//! from a file being modified in place is not supported.
+
+use crate::artifact::TierParams;
+use crate::artifact::{ModelArtifact, UserRecord, UserStore};
+use crate::binfmt::{
+    self, err, Meta, TableDirEntry, HEADER_LEN, SECTION_HEADER_LEN, SEC_FALLBACK, SEC_META,
+    SEC_POPULARITY, SEC_TABLES, SEC_THETAS, SEC_USERS, TABLE_DIR_ENTRY, THETA_DIR_ENTRY,
+    USER_DIR_ENTRY,
+};
+use crate::ServeError;
+use hetefedrec_core::config::TierDims;
+use hf_dataset::Tier;
+use hf_fedsim::wire::Reader;
+use hf_models::Ffn;
+use hf_tensor::Matrix;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read as _, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Tuning for the lazy artifact backend.
+#[derive(Clone, Copy, Debug)]
+pub struct LazyConfig {
+    /// Number of user-cache shards (user `u` lives in shard
+    /// `u % user_shards`).
+    pub user_shards: usize,
+    /// Maximum decoded records held per shard; beyond it the
+    /// least-recently-used record is evicted. Total resident user state
+    /// is therefore at most `user_shards × shard_capacity` records.
+    pub shard_capacity: usize,
+}
+
+impl Default for LazyConfig {
+    fn default() -> Self {
+        Self {
+            user_shards: 64,
+            shard_capacity: 256,
+        }
+    }
+}
+
+/// A shared handle on the artifact file. Reads seek under a mutex —
+/// portable (no pread on stable std), and the hot serving path only
+/// touches it on cache misses, which the determinism contract requires
+/// to be off the fan-out anyway (user resolution is serial).
+#[derive(Debug)]
+pub(crate) struct ArtifactFile {
+    path: PathBuf,
+    len: u64,
+    file: Mutex<File>,
+}
+
+impl ArtifactFile {
+    fn open(path: &Path) -> Result<Self, ServeError> {
+        let file =
+            File::open(path).map_err(|e| err(format!("cannot open {}: {e}", path.display())))?;
+        let len = file
+            .metadata()
+            .map_err(|e| err(format!("cannot stat {}: {e}", path.display())))?
+            .len();
+        Ok(Self {
+            path: path.to_path_buf(),
+            len,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Reads exactly `len` bytes at absolute offset `off`, validating
+    /// the range against the file size *before* allocating the buffer.
+    fn read(&self, off: u64, len: u64) -> Result<Vec<u8>, ServeError> {
+        let end = off.checked_add(len).filter(|&e| e <= self.len);
+        let n = usize::try_from(len).ok().filter(|_| end.is_some());
+        let n = n.ok_or_else(|| {
+            err(format!(
+                "{}: read of {len} bytes at offset {off} exceeds file size {}",
+                self.path.display(),
+                self.len
+            ))
+        })?;
+        let mut buf = vec![0u8; n];
+        let mut f = self.file.lock().expect("artifact file lock");
+        f.seek(SeekFrom::Start(off))
+            .and_then(|_| f.read_exact(&mut buf))
+            .map_err(|e| err(format!("{}: read failed: {e}", self.path.display())))?;
+        Ok(buf)
+    }
+
+    /// `read` for touch-time paths, where structure was validated at
+    /// open: a failure means the file changed underneath the server.
+    fn read_or_die(&self, off: u64, len: u64, what: &str) -> Vec<u8> {
+        self.read(off, len).unwrap_or_else(|e| {
+            panic!("lazy artifact {what} no longer readable (file modified in place?): {e}")
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lazy tier tables / predictors
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct TierCache {
+    tables: [OnceLock<Matrix>; 3],
+    thetas: [OnceLock<Ffn>; 3],
+}
+
+/// Per-tier item tables and predictors, decoded on first touch.
+#[derive(Clone, Debug)]
+pub(crate) struct LazyTiers {
+    file: Arc<ArtifactFile>,
+    table_entries: [TableDirEntry; 3],
+    /// Absolute file offset of the tables payload block.
+    table_block: u64,
+    theta_entries: [(u64, u64); 3],
+    /// Absolute file offset of the thetas payload block.
+    theta_block: u64,
+    cache: Arc<TierCache>,
+}
+
+impl LazyTiers {
+    pub(crate) fn table(&self, tier: Tier) -> &Matrix {
+        let t = tier.index();
+        self.cache.tables[t].get_or_init(|| {
+            let e = &self.table_entries[t];
+            let bytes = self
+                .file
+                .read_or_die(self.table_block + e.off, e.len, "tier table");
+            let mut r = Reader::new(&bytes);
+            binfmt::get_matrix(&mut r)
+                .filter(|_| r.remaining() == 0)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "lazy artifact {}: {tier:?} table payload is malformed",
+                        self.file.path.display()
+                    )
+                })
+        })
+    }
+
+    pub(crate) fn theta(&self, tier: Tier) -> &Ffn {
+        let t = tier.index();
+        self.cache.thetas[t].get_or_init(|| {
+            let (off, len) = self.theta_entries[t];
+            let bytes = self
+                .file
+                .read_or_die(self.theta_block + off, len, "tier predictor");
+            let mut r = Reader::new(&bytes);
+            binfmt::get_ffn(&mut r)
+                .filter(|_| r.remaining() == 0)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "lazy artifact {}: {tier:?} predictor payload is malformed",
+                        self.file.path.display()
+                    )
+                })
+        })
+    }
+
+    /// Table shape from the directory — no decode forced.
+    pub(crate) fn table_dims(&self, tier: Tier) -> (usize, usize) {
+        let e = &self.table_entries[tier.index()];
+        (e.rows as usize, e.cols as usize)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lazy sharded user store
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ShardCache {
+    /// Monotonic use counter; the entry with the smallest stamp is the
+    /// least recently used.
+    tick: u64,
+    map: HashMap<usize, (u64, Arc<UserRecord>)>,
+}
+
+#[derive(Debug)]
+struct Shard {
+    cap: usize,
+    inner: Mutex<ShardCache>,
+}
+
+/// User records decoded on first touch, cached in a sharded bounded LRU.
+#[derive(Clone, Debug)]
+pub(crate) struct LazyUsers {
+    file: Arc<ArtifactFile>,
+    dims: TierDims,
+    num_users: usize,
+    /// Absolute file offset of the fixed-width user directory.
+    dir_off: u64,
+    /// Absolute file offset of the user payload block.
+    payload_off: u64,
+    payload_len: u64,
+    shards: Arc<Vec<Shard>>,
+}
+
+impl LazyUsers {
+    pub(crate) fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    pub(crate) fn cached_records(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().expect("shard lock").map.len())
+            .sum()
+    }
+
+    pub(crate) fn user(&self, user: usize) -> Option<Arc<UserRecord>> {
+        if user >= self.num_users {
+            return None;
+        }
+        let shard = &self.shards[user % self.shards.len()];
+        let mut cache = shard.inner.lock().expect("shard lock");
+        cache.tick += 1;
+        let stamp = cache.tick;
+        if let Some((tick, record)) = cache.map.get_mut(&user) {
+            *tick = stamp;
+            return Some(record.clone());
+        }
+        let record = Arc::new(self.fetch(user));
+        if cache.map.len() >= shard.cap {
+            // Evict the least-recently-used record. Linear scan: shard
+            // capacities are small (hundreds), misses are already an
+            // I/O, and this keeps the structure a plain HashMap.
+            if let Some(&lru) = cache
+                .map
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(u, _)| u)
+            {
+                cache.map.remove(&lru);
+            }
+        }
+        cache.map.insert(user, (stamp, record.clone()));
+        Some(record)
+    }
+
+    /// Decodes one record from disk: directory entry, then payload.
+    fn fetch(&self, user: usize) -> UserRecord {
+        let entry = self.file.read_or_die(
+            self.dir_off + user as u64 * USER_DIR_ENTRY,
+            USER_DIR_ENTRY,
+            "user directory",
+        );
+        let mut d = Reader::new(&entry);
+        let off = d.get_u64_le().expect("12-byte entry");
+        let len = d.get_u32_le().expect("12-byte entry") as u64;
+        if off > self.payload_len || len > self.payload_len - off {
+            panic!(
+                "lazy artifact {}: user {user} directory entry is out of bounds",
+                self.file.path.display()
+            );
+        }
+        let bytes = self
+            .file
+            .read_or_die(self.payload_off + off, len, "user record");
+        let mut r = Reader::new(&bytes);
+        binfmt::get_user(&mut r, &self.dims)
+            .filter(|_| r.remaining() == 0)
+            .unwrap_or_else(|| {
+                panic!(
+                    "lazy artifact {}: user {user} payload is malformed",
+                    self.file.path.display()
+                )
+            })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Opening
+// ---------------------------------------------------------------------
+
+/// Opens a v2 artifact lazily; v1 files fall back to the eager reader.
+/// See [`ModelArtifact::load_file_lazy`].
+pub(crate) fn open_lazy(path: &Path, cfg: LazyConfig) -> Result<ModelArtifact, ServeError> {
+    if cfg.user_shards == 0 {
+        return Err(ServeError::config("user_shards", "must be at least 1"));
+    }
+    if cfg.shard_capacity == 0 {
+        return Err(ServeError::config("shard_capacity", "must be at least 1"));
+    }
+
+    let file = Arc::new(ArtifactFile::open(path)?);
+
+    let header = file.read(0, HEADER_LEN.min(file.len))?;
+    let mut r = Reader::new(&header);
+    let container = binfmt::parse_header(&mut r)?;
+    if container == 1 {
+        // v1 has no directories to seek by — eager is the only path.
+        return ModelArtifact::load_file(path);
+    }
+
+    // Walk the section table without touching payloads: (tag, off, len).
+    let mut sections: [Option<(u64, u64)>; 7] = [None; 7];
+    let mut cursor = HEADER_LEN;
+    while cursor < file.len {
+        let head = file.read(cursor, SECTION_HEADER_LEN)?;
+        let mut h = Reader::new(&head);
+        let tag = h.get_u8().expect("9-byte header");
+        let declared = h.get_u64_le().expect("9-byte header");
+        let payload_off = cursor + SECTION_HEADER_LEN;
+        // Satellite fix applies here too: validate the declared length
+        // against the bytes remaining in the file before anything is
+        // allocated or skipped.
+        if declared > file.len - payload_off {
+            return Err(err(format!(
+                "section {tag} claims {declared} bytes but only {} remain",
+                file.len - payload_off
+            )));
+        }
+        let slot = sections
+            .get_mut(tag as usize)
+            .filter(|_| (SEC_META..=SEC_FALLBACK).contains(&tag))
+            .ok_or_else(|| err(format!("unknown section tag {tag}")))?;
+        if slot.replace((payload_off, declared)).is_some() {
+            return Err(err(format!("duplicate section tag {tag}")));
+        }
+        cursor = payload_off + declared;
+    }
+    let section = |tag: u8, name: &str| {
+        sections[tag as usize].ok_or_else(|| err(format!("missing `{name}` section")))
+    };
+
+    // meta / popularity / fallback are small and always needed: eager.
+    let (off, len) = section(SEC_META, "meta")?;
+    let meta: Meta = binfmt::parse_meta(&file.read(off, len)?)?;
+
+    let (off, len) = section(SEC_POPULARITY, "popularity")?;
+    let pop_bytes = file.read(off, len)?;
+    let mut p = Reader::new(&pop_bytes);
+    let popularity = p
+        .get_u32_vec(meta.num_items)
+        .filter(|_| p.remaining() == 0)
+        .ok_or_else(|| err("`popularity` section is malformed"))?;
+
+    let (off, len) = section(SEC_FALLBACK, "fallback")?;
+    let fallback = binfmt::decode_fallback(&file.read(off, len)?, &meta.dims)?;
+
+    // tables / thetas: validate directories now, defer payloads.
+    let (off, len) = section(SEC_TABLES, "tables")?;
+    let dir = file.read(off, (3 * TABLE_DIR_ENTRY).min(len))?;
+    let table_entries = binfmt::parse_table_dir(&dir, len, &meta)?;
+    let table_block = off + 3 * TABLE_DIR_ENTRY;
+
+    let (off, len) = section(SEC_THETAS, "thetas")?;
+    let dir = file.read(off, (3 * THETA_DIR_ENTRY).min(len))?;
+    let theta_entries = binfmt::parse_theta_dir(&dir, len)?;
+    let theta_block = off + 3 * THETA_DIR_ENTRY;
+
+    // users: frame the directory, defer everything else to touch time.
+    let (off, len) = section(SEC_USERS, "users")?;
+    let (dir_len, payload_len) = binfmt::users_section_split(len, &meta)?;
+
+    let shards = (0..cfg.user_shards)
+        .map(|_| Shard {
+            cap: cfg.shard_capacity,
+            inner: Mutex::new(ShardCache::default()),
+        })
+        .collect::<Vec<_>>();
+
+    Ok(ModelArtifact {
+        model: meta.model,
+        dims: meta.dims,
+        standalone: meta.standalone,
+        num_items: meta.num_items,
+        params: TierParams::Lazy(LazyTiers {
+            file: file.clone(),
+            table_entries,
+            table_block,
+            theta_entries,
+            theta_block,
+            cache: Arc::new(TierCache::default()),
+        }),
+        users: UserStore::Lazy(LazyUsers {
+            file,
+            dims: meta.dims,
+            num_users: meta.num_users,
+            dir_off: off,
+            payload_off: off + dir_len,
+            payload_len,
+            shards: Arc::new(shards),
+        }),
+        popularity,
+        fallback,
+    })
+}

@@ -19,10 +19,19 @@
 //!   `hf_fedsim::parallel_map`, and funnel into
 //!   `hf_metrics::top_k_excluding`.
 //!
+//! For million-user / million-item capacity the artifact layer is
+//! **lazily loadable**: the v2 binary container ([`binfmt`]) is
+//! offset-indexed, [`ModelArtifact::load_file_lazy`] decodes tier tables
+//! and user records on first touch (bounded sharded LRU, [`lazy`]),
+//! [`ItemHalfMode::Tiled`] caps the precomputed item-half memory, and
+//! [`synth`] builds million-scale artifacts directly from an
+//! `hf_dataset::SyntheticProfile` without training. [`footprint`]
+//! reports what all of it actually costs in resident bytes.
+//!
 //! Offline evaluation (`hetefedrec_core::eval`) and this serving layer
 //! share one scorer (`hf_models::scoring::SplitNcf`), so they produce
 //! identical rankings — and responses are bit-identical across thread
-//! counts and batch compositions.
+//! counts, batch compositions, and eager/lazy/tiled storage modes.
 //!
 //! ```
 //! use hetefedrec_core::{Ablation, SessionBuilder, Strategy, TrainConfig};
@@ -52,13 +61,19 @@
 
 pub mod artifact;
 pub mod binfmt;
+pub mod footprint;
+pub mod lazy;
 pub mod recommender;
+pub mod synth;
 
-pub use artifact::{ModelArtifact, SoloModel, UserRecord, ARTIFACT_VERSION};
+pub use artifact::{ModelArtifact, SoloModel, UserRecord, UserRef, ARTIFACT_VERSION};
 pub use binfmt::BINFMT_VERSION;
+pub use lazy::LazyConfig;
 pub use recommender::{
-    ItemFilter, RecommendRequest, RecommendResponse, Recommender, RecommenderBuilder, ScoredItem,
+    ItemFilter, ItemHalfMode, RecommendRequest, RecommendResponse, Recommender, RecommenderBuilder,
+    ScoredItem,
 };
+pub use synth::SynthStats;
 
 use hetefedrec_core::session::Session;
 

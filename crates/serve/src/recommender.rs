@@ -38,7 +38,8 @@ use hf_models::scoring::{propagate_lightgcn, SplitNcf};
 use hf_models::ModelKind;
 use hf_tensor::Matrix;
 use std::cmp::Ordering;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Item predicate for [`RecommendRequest::filter`]: return `false` to
 /// drop an item from the candidate set.
@@ -146,6 +147,36 @@ pub struct RecommendResponse {
     pub items: Vec<ScoredItem>,
 }
 
+/// How a [`Recommender`] holds the per-tier first-layer item halves.
+///
+/// The halves are a pure function of the frozen artifact, and all three
+/// modes produce **bit-identical** scores (the [`SplitNcf`] contract
+/// guarantees the blocked and whole-table products agree per row) — the
+/// choice is purely a memory/latency trade:
+///
+/// | mode | resident memory | per-batch work |
+/// |---|---|---|
+/// | [`Precomputed`](ItemHalfMode::Precomputed) | `3 × items × hidden` floats | none |
+/// | [`PerBatch`](ItemHalfMode::PerBatch) | one panel per in-flight unit | every panel recomputed |
+/// | [`Tiled`](ItemHalfMode::Tiled) | ≤ `max_panels × panel_items × hidden` floats | cache misses only |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemHalfMode {
+    /// Compute the whole catalogue's halves at build time (the default;
+    /// fastest steady state, `O(items)` resident).
+    Precomputed,
+    /// Recompute each panel inside its scoring unit, holding nothing
+    /// between batches (the memory-lean mode).
+    PerBatch,
+    /// Cache computed panels in a bounded LRU of at most `max_panels`
+    /// tiles (each `panel_items` rows wide), shared across tiers — the
+    /// capacity-serving middle ground: steady-state hot panels serve
+    /// from cache while peak memory stays configurable.
+    Tiled {
+        /// Maximum resident tiles across all tiers (must be ≥ 1).
+        max_panels: usize,
+    },
+}
+
 /// Validated constructor for a [`Recommender`].
 pub struct RecommenderBuilder {
     artifact: ModelArtifact,
@@ -154,7 +185,7 @@ pub struct RecommenderBuilder {
     panel_items: usize,
     cold_start_tier: Tier,
     cold_start_blend: f32,
-    precompute: bool,
+    item_half_mode: ItemHalfMode,
 }
 
 impl RecommenderBuilder {
@@ -169,7 +200,7 @@ impl RecommenderBuilder {
             panel_items: 512,
             cold_start_tier: Tier::Small,
             cold_start_blend: 0.0,
-            precompute: true,
+            item_half_mode: ItemHalfMode::Precomputed,
         }
     }
 
@@ -217,15 +248,25 @@ impl RecommenderBuilder {
     }
 
     /// Whether [`build`](Self::build) precomputes each tier's first-layer
-    /// item halves for the whole catalogue (default `true`). The halves
-    /// depend only on the frozen artifact, so precomputing trades
-    /// `3 × num_items × hidden_width` floats of resident memory for
-    /// skipping the `matmul_rows` panel product on every batch. Pass
-    /// `false` for the memory-lean per-batch path; responses are
-    /// bit-identical either way (the [`SplitNcf`] contract guarantees the
-    /// blocked and whole-table products agree per row).
+    /// item halves for the whole catalogue (default `true`). Sugar for
+    /// [`item_half_mode`](Self::item_half_mode) with
+    /// [`ItemHalfMode::Precomputed`] / [`ItemHalfMode::PerBatch`];
+    /// responses are bit-identical either way.
     pub fn precompute_item_halves(mut self, precompute: bool) -> Self {
-        self.precompute = precompute;
+        self.item_half_mode = if precompute {
+            ItemHalfMode::Precomputed
+        } else {
+            ItemHalfMode::PerBatch
+        };
+        self
+    }
+
+    /// How the per-tier item halves are held — see [`ItemHalfMode`]. All
+    /// modes produce bit-identical rankings; [`ItemHalfMode::Tiled`]
+    /// bounds peak memory to `max_panels × panel_items` rows, which is
+    /// the capacity-serving configuration for million-item catalogues.
+    pub fn item_half_mode(mut self, mode: ItemHalfMode) -> Self {
+        self.item_half_mode = mode;
         self
     }
 
@@ -258,15 +299,23 @@ impl RecommenderBuilder {
                 ),
             ));
         }
+        if let ItemHalfMode::Tiled { max_panels } = self.item_half_mode {
+            if max_panels == 0 {
+                return Err(ServeError::config(
+                    "item_half_mode",
+                    "tiled mode needs at least one resident panel",
+                ));
+            }
+        }
         let artifact = self.artifact;
         let dims = artifact.dims();
         for tier in Tier::ALL {
-            let table = artifact.table(tier);
-            if table.cols() != dims.dim(tier) || table.rows() != artifact.num_items() {
+            // Shape check via the directory, so validating a lazy
+            // artifact does not force its tier tables off disk.
+            let (rows, cols) = artifact.table_dims(tier);
+            if cols != dims.dim(tier) || rows != artifact.num_items() {
                 return Err(ServeError::Artifact(format!(
-                    "{tier:?} table is {}x{}, expected {}x{}",
-                    table.rows(),
-                    table.cols(),
+                    "{tier:?} table is {rows}x{cols}, expected {}x{}",
                     artifact.num_items(),
                     dims.dim(tier)
                 )));
@@ -276,12 +325,14 @@ impl RecommenderBuilder {
             SplitNcf::from_ffn(dims.dim(Tier::ALL[t]), artifact.theta(Tier::ALL[t]))
         });
         // The item halves are a pure function of the frozen artifact, so
-        // they can be computed once here instead of once per batch.
-        let item_halves = self.precompute.then(|| {
-            std::array::from_fn(|t| {
+        // precomputed mode builds them once here instead of per batch.
+        let item_halves = match self.item_half_mode {
+            ItemHalfMode::Precomputed => ItemHalves::Full(Box::new(std::array::from_fn(|t| {
                 scorers[t].item_half_block(artifact.table(Tier::ALL[t]), 0, artifact.num_items())
-            })
-        });
+            }))),
+            ItemHalfMode::PerBatch => ItemHalves::PerBatch,
+            ItemHalfMode::Tiled { max_panels } => ItemHalves::Tiled(PanelCache::new(max_panels)),
+        };
         // Popularity prior per tier: the popularity-weighted mean item
         // row, accumulated in ascending item order so the result is
         // deterministic. Only materialised when the blend is on.
@@ -319,15 +370,91 @@ impl RecommenderBuilder {
     }
 }
 
+/// Item-half storage, keyed by [`ItemHalfMode`].
+#[derive(Debug)]
+enum ItemHalves {
+    /// Whole-catalogue halves per tier, built once.
+    Full(Box<[Matrix; 3]>),
+    /// Nothing held; each unit computes its panel's blocked product.
+    PerBatch,
+    /// Bounded LRU of computed `(tier, panel)` tiles.
+    Tiled(PanelCache),
+}
+
+/// A bounded LRU of item-half tiles, shared across tiers and scoring
+/// threads. Tiles align with the planned panels (`panel_items` rows), so
+/// a cache hit hands a unit exactly the rows it scores. A miss computes
+/// the tile *outside* the lock — two threads may race to compute the
+/// same tile, but the products are bit-identical, so whichever insert
+/// lands is indistinguishable and determinism is unaffected.
+#[derive(Debug)]
+struct PanelCache {
+    max_panels: usize,
+    inner: Mutex<PanelCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct PanelCacheInner {
+    tick: u64,
+    map: HashMap<(u8, u32), (u64, Arc<Matrix>)>,
+}
+
+impl PanelCache {
+    fn new(max_panels: usize) -> Self {
+        Self {
+            max_panels,
+            inner: Mutex::new(PanelCacheInner::default()),
+        }
+    }
+
+    fn get(&self, tier: usize, start: usize, compute: impl FnOnce() -> Matrix) -> Arc<Matrix> {
+        let key = (tier as u8, start as u32);
+        {
+            let mut cache = self.inner.lock().expect("panel cache lock");
+            cache.tick += 1;
+            let stamp = cache.tick;
+            if let Some((tick, tile)) = cache.map.get_mut(&key) {
+                *tick = stamp;
+                return tile.clone();
+            }
+        }
+        let tile = Arc::new(compute());
+        let mut cache = self.inner.lock().expect("panel cache lock");
+        cache.tick += 1;
+        let stamp = cache.tick;
+        if let Some((tick, tile)) = cache.map.get_mut(&key) {
+            *tick = stamp;
+            return tile.clone();
+        }
+        if cache.map.len() >= self.max_panels {
+            // Evict the least-recently-used tile (linear scan: the cap
+            // is small, and a miss already paid for a panel product).
+            if let Some(&lru) = cache
+                .map
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| k)
+            {
+                cache.map.remove(&lru);
+            }
+        }
+        cache.map.insert(key, (stamp, tile.clone()));
+        tile
+    }
+
+    fn resident(&self) -> usize {
+        self.inner.lock().expect("panel cache lock").map.len()
+    }
+}
+
 /// A batched top-K query engine over a frozen [`ModelArtifact`].
 #[derive(Debug)]
 pub struct Recommender {
     artifact: ModelArtifact,
     /// Per-tier split scorers built from the frozen predictors.
     scorers: [SplitNcf; 3],
-    /// Whole-catalogue first-layer item halves per tier, precomputed at
-    /// build time; `None` in the memory-lean per-batch mode.
-    item_halves: Option<[Matrix; 3]>,
+    /// First-layer item halves, held per [`ItemHalfMode`].
+    item_halves: ItemHalves,
     /// Per-tier popularity-weighted mean item row; `Some` only when the
     /// cold-start blend is on.
     pop_prior: Option<[Vec<f32>; 3]>,
@@ -373,6 +500,18 @@ impl Recommender {
     /// Ranking cutoff used for requests that leave `k` at 0.
     pub fn default_k(&self) -> usize {
         self.default_k
+    }
+
+    /// How many item-half tiles are resident right now: the LRU
+    /// occupancy in [`ItemHalfMode::Tiled`], every panel of every tier
+    /// in [`ItemHalfMode::Precomputed`], zero in
+    /// [`ItemHalfMode::PerBatch`]. Capacity reporting for benches.
+    pub fn cached_item_half_panels(&self) -> usize {
+        match &self.item_halves {
+            ItemHalves::Full(_) => 3 * self.artifact.num_items().div_ceil(self.panel_items),
+            ItemHalves::PerBatch => 0,
+            ItemHalves::Tiled(cache) => cache.resident(),
+        }
     }
 
     /// Answers one request ([`Recommender::recommend_batch`] of one).
@@ -522,16 +661,26 @@ impl Recommender {
         match *unit {
             Unit::Shared { tier, start, end } => {
                 let scorer = &self.scorers[tier];
-                // Precomputed halves are sliced in place; the memory-lean
-                // fallback computes the panel's blocked product here
-                // (bit-identical per row by the SplitNcf contract).
+                // Precomputed halves are sliced in place; per-batch mode
+                // computes the panel's blocked product here; tiled mode
+                // serves it from the bounded LRU (computing on miss).
+                // All three are bit-identical per row by the SplitNcf
+                // contract.
                 let local;
-                let (rows, offset) = match self.item_halves.as_ref() {
-                    Some(halves) => (&halves[tier], start),
-                    None => {
+                let held;
+                let (rows, offset): (&Matrix, usize) = match &self.item_halves {
+                    ItemHalves::Full(halves) => (&halves[tier], start),
+                    ItemHalves::PerBatch => {
                         let table = self.artifact.table(Tier::ALL[tier]);
                         local = scorer.item_half_block(table, start, end);
                         (&local, 0)
+                    }
+                    ItemHalves::Tiled(cache) => {
+                        held = cache.get(tier, start, || {
+                            let table = self.artifact.table(Tier::ALL[tier]);
+                            scorer.item_half_block(table, start, end)
+                        });
+                        (&held, 0)
                     }
                 };
                 let mut ws = scorer.workspace();

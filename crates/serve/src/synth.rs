@@ -1,0 +1,386 @@
+//! Million-scale artifact synthesis.
+//!
+//! Capacity work needs artifacts whose *scale* is real even though their
+//! *weights* are not: proving that lazy loading holds resident memory at
+//! a million users requires a million-user file, and training one is
+//! beside the point. This module turns an
+//! [`hf_dataset::SyntheticProfile`] into a served artifact two ways:
+//!
+//! * [`ModelArtifact::synthesize`] — materialise everything in memory
+//!   (the eager reference, fine up to a few hundred thousand users);
+//! * [`ModelArtifact::synthesize_to_file`] — stream the v2 container
+//!   straight to disk, holding one table chunk / one user record at a
+//!   time plus the 12-byte-per-user directory, so a 1M×1M artifact
+//!   builds in bounded memory.
+//!
+//! **Byte-identity contract**: both paths draw every parameter from
+//! purpose-keyed RNG streams in the same order, so
+//! `synthesize(p, d, s).save_file(x)` and `synthesize_to_file(p, d, s, x)`
+//! write the *same bytes* — pinned by a test, and the foundation the
+//! capacity bench stands on (its lazy and eager measurements really are
+//! the same model).
+
+use crate::artifact::{tier_mean_fallback, ModelArtifact, TierParams, UserRecord, UserStore};
+use crate::binfmt::{
+    self, SEC_FALLBACK, SEC_META, SEC_POPULARITY, SEC_TABLES, SEC_THETAS, SEC_USERS,
+    TABLE_DIR_ENTRY, THETA_DIR_ENTRY, USER_DIR_ENTRY,
+};
+use crate::ServeError;
+use hetefedrec_core::config::TierDims;
+use hf_dataset::{SyntheticProfile, Tier};
+use hf_fedsim::wire::Writer;
+use hf_models::{paper_predictor_dims, Ffn, ModelKind};
+use hf_tensor::rng::{substream, Rng, SeedStream};
+use hf_tensor::Matrix;
+use std::io::{BufWriter, Seek, SeekFrom, Write as _};
+
+/// Purpose keys for the synthesis RNG streams (disjoint from the
+/// dataset-profile key and from every other `Custom` stream).
+const KEY_TABLE: u64 = 0x7362_7431; // "sbt1"
+const KEY_THETA: u64 = 0x7362_7432;
+const KEY_USER: u64 = 0x7362_7433;
+
+/// Init scale for synthesized tables and embeddings.
+const SCALE: f32 = 0.1;
+
+/// Table rows synthesized per write chunk on the streaming path.
+const ROWS_PER_CHUNK: usize = 4096;
+
+/// What [`ModelArtifact::synthesize_to_file`] wrote — the analytic
+/// breakdown capacity benches report alongside measured footprints.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthStats {
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// The `tables` section payload (directory + three matrices).
+    pub tables_bytes: u64,
+    /// The `users` section payload (directory + all records) — the term
+    /// an eager load pays in full and a lazy load caps at the shard LRU.
+    pub users_bytes: u64,
+    /// Total interactions across all users.
+    pub interactions: u64,
+}
+
+fn synth_err(e: String) -> ServeError {
+    ServeError::Artifact(format!("bad synthetic profile: {e}"))
+}
+
+/// Extends `out` with `n` scaled normal draws — the single source of
+/// table/embedding values for both synthesis paths.
+fn fill_normal(rng: &mut impl Rng, out: &mut Vec<f32>, n: usize) {
+    out.extend(std::iter::repeat_with(|| rng.standard_normal_f32() * SCALE).take(n));
+}
+
+fn table_rng(seed: u64, t: usize) -> impl Rng {
+    substream(seed, SeedStream::Custom(KEY_TABLE), t as u64)
+}
+
+fn theta(seed: u64, t: usize, dim: usize) -> Ffn {
+    let mut rng = substream(seed, SeedStream::Custom(KEY_THETA), t as u64);
+    Ffn::new(&paper_predictor_dims(dim), &mut rng)
+}
+
+fn user_emb(seed: u64, user: usize, dim: usize) -> Vec<f32> {
+    let mut rng = substream(seed, SeedStream::Custom(KEY_USER), user as u64 + 1);
+    let mut emb = Vec::with_capacity(dim);
+    fill_normal(&mut rng, &mut emb, dim);
+    emb
+}
+
+fn synth_user(profile: &SyntheticProfile, dims: &TierDims, seed: u64, user: usize) -> UserRecord {
+    let (tier, history) = profile.user(seed, user);
+    UserRecord {
+        tier,
+        emb: user_emb(seed, user, dims.dim(tier)),
+        history,
+        solo: None,
+    }
+}
+
+impl ModelArtifact {
+    /// Builds an in-memory artifact from a capacity profile: NCF model,
+    /// per-tier tables and paper-architecture predictors with seeded
+    /// normal weights, one user record per profile user (no standalone
+    /// state). Deterministic in `(profile, dims, seed)` and — record for
+    /// record, byte for byte — identical to what
+    /// [`ModelArtifact::synthesize_to_file`] writes.
+    pub fn synthesize(
+        profile: &SyntheticProfile,
+        dims: TierDims,
+        seed: u64,
+    ) -> Result<Self, ServeError> {
+        profile.validate().map_err(synth_err)?;
+        let num_items = profile.num_items;
+
+        let tables: [Matrix; 3] = std::array::from_fn(|t| {
+            let cols = dims.dim(Tier::ALL[t]);
+            let mut rng = table_rng(seed, t);
+            let mut data = Vec::with_capacity(num_items * cols);
+            fill_normal(&mut rng, &mut data, num_items * cols);
+            Matrix::from_vec(num_items, cols, data)
+        });
+        let thetas: [Ffn; 3] = std::array::from_fn(|t| theta(seed, t, dims.dim(Tier::ALL[t])));
+
+        let mut popularity = vec![0u32; num_items];
+        let users: Vec<UserRecord> = (0..profile.num_users)
+            .map(|u| {
+                let record = synth_user(profile, &dims, seed, u);
+                for &item in &record.history {
+                    popularity[item as usize] += 1;
+                }
+                record
+            })
+            .collect();
+        let fallback = tier_mean_fallback(&dims, users.iter().map(|u| (u.tier, &u.emb[..])));
+
+        Ok(Self {
+            model: ModelKind::Ncf,
+            dims,
+            standalone: false,
+            num_items,
+            params: TierParams::Eager {
+                tables: Box::new(tables),
+                thetas: Box::new(thetas),
+            },
+            users: UserStore::Eager(users),
+            popularity,
+            fallback,
+        })
+    }
+
+    /// Streams a synthesized v2 artifact straight to `path` in bounded
+    /// memory: tables go out in [`ROWS_PER_CHUNK`]-row chunks, user
+    /// records one at a time (their directory accumulates at 12 bytes
+    /// per user and is back-patched at the end). Byte-identical to
+    /// `synthesize(...)?.save_file(path)`.
+    pub fn synthesize_to_file(
+        profile: &SyntheticProfile,
+        dims: TierDims,
+        seed: u64,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<SynthStats, ServeError> {
+        profile.validate().map_err(synth_err)?;
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    ServeError::Artifact(format!("cannot create {}: {e}", parent.display()))
+                })?;
+            }
+        }
+        let file = std::fs::File::create(path)
+            .map_err(|e| ServeError::Artifact(format!("cannot write {}: {e}", path.display())))?;
+        let io = |e: std::io::Error| {
+            ServeError::Artifact(format!("cannot write {}: {e}", path.display()))
+        };
+        let mut out = BufWriter::new(file);
+        let num_items = profile.num_items;
+        let num_users = profile.num_users;
+
+        // Header + meta (binfmt's exact bytes).
+        let mut w = Writer::new();
+        w.put_bytes(binfmt::MAGIC);
+        w.put_u16_le(binfmt::BINFMT_VERSION);
+        w.put_u32_le(crate::artifact::ARTIFACT_VERSION as u32);
+        let meta = binfmt::encode_meta_parts(ModelKind::Ncf, false, &dims, num_items, num_users);
+        w.put_u8(SEC_META);
+        w.put_u64_le(meta.len() as u64);
+        w.put_bytes(meta.as_slice());
+        out.write_all(w.as_slice()).map_err(io)?;
+
+        // Tables: section length and directory are analytic (the payload
+        // of an r×c matrix is 12 + 4rc bytes), so no back-patching.
+        let table_payload = |t: usize| 12 + 4 * (num_items * dims.dim(Tier::ALL[t])) as u64;
+        let tables_bytes = 3 * TABLE_DIR_ENTRY + (0..3).map(table_payload).sum::<u64>();
+        let mut w = Writer::new();
+        w.put_u8(SEC_TABLES);
+        w.put_u64_le(tables_bytes);
+        let mut off = 0u64;
+        for t in 0..3 {
+            w.put_u64_le(off);
+            w.put_u64_le(table_payload(t));
+            w.put_u64_le(num_items as u64);
+            w.put_u32_le(dims.dim(Tier::ALL[t]) as u32);
+            off += table_payload(t);
+        }
+        out.write_all(w.as_slice()).map_err(io)?;
+        for t in 0..3 {
+            let cols = dims.dim(Tier::ALL[t]);
+            let mut rng = table_rng(seed, t);
+            let mut w = Writer::with_capacity(16 + 4 * ROWS_PER_CHUNK * cols);
+            w.put_u64_le(num_items as u64);
+            w.put_u32_le(cols as u32);
+            let mut row = 0;
+            let mut chunk = Vec::with_capacity(ROWS_PER_CHUNK * cols);
+            while row < num_items {
+                let rows = ROWS_PER_CHUNK.min(num_items - row);
+                chunk.clear();
+                fill_normal(&mut rng, &mut chunk, rows * cols);
+                for &x in &chunk {
+                    w.put_f32_le(x);
+                }
+                out.write_all(w.as_slice()).map_err(io)?;
+                w = Writer::with_capacity(4 * ROWS_PER_CHUNK * cols);
+                row += rows;
+            }
+        }
+
+        // Thetas: small enough to assemble whole.
+        let thetas: [Ffn; 3] = std::array::from_fn(|t| theta(seed, t, dims.dim(Tier::ALL[t])));
+        let payloads: Vec<Writer> = thetas
+            .iter()
+            .map(|f| {
+                let mut w = Writer::new();
+                binfmt::put_ffn(&mut w, f);
+                w
+            })
+            .collect();
+        let mut w = Writer::new();
+        w.put_u8(SEC_THETAS);
+        w.put_u64_le(3 * THETA_DIR_ENTRY + payloads.iter().map(|p| p.len() as u64).sum::<u64>());
+        let mut off = 0u64;
+        for p in &payloads {
+            w.put_u64_le(off);
+            w.put_u64_le(p.len() as u64);
+            off += p.len() as u64;
+        }
+        for p in &payloads {
+            w.put_bytes(p.as_slice());
+        }
+        out.write_all(w.as_slice()).map_err(io)?;
+
+        // Users: length and directory are only known after the payload
+        // streams, so write placeholders and back-patch. The directory
+        // accumulates in memory (12 B/user — 12 MB at a million users).
+        let section_len_pos = out.stream_position().map_err(io)?;
+        let mut w = Writer::new();
+        w.put_u8(SEC_USERS);
+        w.put_u64_le(0); // patched below
+        out.write_all(w.as_slice()).map_err(io)?;
+        let dir_pos = out.stream_position().map_err(io)?;
+        let dir_len = num_users as u64 * USER_DIR_ENTRY;
+        {
+            let zeros = vec![0u8; 1 << 16];
+            let mut left = dir_len;
+            while left > 0 {
+                let n = (zeros.len() as u64).min(left) as usize;
+                out.write_all(&zeros[..n]).map_err(io)?;
+                left -= n as u64;
+            }
+        }
+        let mut dir: Vec<(u64, u32)> = Vec::with_capacity(num_users);
+        let mut popularity = vec![0u32; num_items];
+        let mut fb_sum: [Vec<f32>; 3] =
+            std::array::from_fn(|t| vec![0.0f32; dims.dim(Tier::ALL[t])]);
+        let mut fb_count = [0usize; 3];
+        let mut payload_off = 0u64;
+        let mut interactions = 0u64;
+        for u in 0..num_users {
+            let record = synth_user(profile, &dims, seed, u);
+            for &item in &record.history {
+                popularity[item as usize] += 1;
+            }
+            interactions += record.history.len() as u64;
+            hf_tensor::ops::axpy_slice(&mut fb_sum[record.tier.index()], 1.0, &record.emb);
+            fb_count[record.tier.index()] += 1;
+            let mut w = Writer::new();
+            binfmt::put_user(&mut w, &record);
+            out.write_all(w.as_slice()).map_err(io)?;
+            dir.push((payload_off, w.len() as u32));
+            payload_off += w.len() as u64;
+        }
+        let users_bytes = dir_len + payload_off;
+        // Back-patch the section length, then the directory.
+        out.seek(SeekFrom::Start(section_len_pos + 1)).map_err(io)?;
+        out.write_all(&users_bytes.to_le_bytes()).map_err(io)?;
+        out.seek(SeekFrom::Start(dir_pos)).map_err(io)?;
+        let mut w = Writer::with_capacity(12 * 8192);
+        for (i, &(off, len)) in dir.iter().enumerate() {
+            w.put_u64_le(off);
+            w.put_u32_le(len);
+            if w.len() >= 12 * 8192 || i + 1 == dir.len() {
+                out.write_all(w.as_slice()).map_err(io)?;
+                w = Writer::with_capacity(12 * 8192);
+            }
+        }
+        out.seek(SeekFrom::End(0)).map_err(io)?;
+
+        // Popularity.
+        let mut w = Writer::with_capacity(9 + 4 * num_items);
+        w.put_u8(SEC_POPULARITY);
+        w.put_u64_le(4 * num_items as u64);
+        for &p in &popularity {
+            w.put_u32_le(p);
+        }
+        out.write_all(w.as_slice()).map_err(io)?;
+
+        // Fallback: same mean arithmetic as `tier_mean_fallback`.
+        for (f, &n) in fb_sum.iter_mut().zip(&fb_count) {
+            if n > 0 {
+                let inv = 1.0 / n as f32;
+                f.iter_mut().for_each(|x| *x *= inv);
+            }
+        }
+        let mut w = Writer::new();
+        let fb_len: u64 = fb_sum.iter().map(|f| 4 + 4 * f.len() as u64).sum();
+        w.put_u8(SEC_FALLBACK);
+        w.put_u64_le(fb_len);
+        for f in &fb_sum {
+            w.put_u32_le(f.len() as u32);
+            for &x in f {
+                w.put_f32_le(x);
+            }
+        }
+        out.write_all(w.as_slice()).map_err(io)?;
+        out.flush().map_err(io)?;
+        let file_bytes = out.stream_position().map_err(io)?;
+
+        Ok(SynthStats {
+            file_bytes,
+            tables_bytes,
+            users_bytes,
+            interactions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_dataset::SyntheticProfile;
+
+    #[test]
+    fn streaming_and_eager_synthesis_are_byte_identical() {
+        let profile = SyntheticProfile::new(600, 900);
+        let dims = TierDims::new(4, 8, 16);
+        let dir = std::env::temp_dir().join(format!("hf_synth_test_{}", std::process::id()));
+        let path = dir.join("streamed.hfa");
+        let stats = ModelArtifact::synthesize_to_file(&profile, dims, 42, &path).expect("streamed");
+        let streamed = std::fs::read(&path).expect("file");
+        let eager = ModelArtifact::synthesize(&profile, dims, 42).expect("eager");
+        assert_eq!(
+            eager.to_bytes(),
+            streamed,
+            "streaming writer must reproduce the eager encoder byte for byte"
+        );
+        assert_eq!(stats.file_bytes, streamed.len() as u64);
+        assert!(stats.users_bytes > 0 && stats.tables_bytes > 0);
+        let total: u64 = (0..eager.num_items() as u32)
+            .map(|i| eager.popularity(i) as u64)
+            .sum();
+        assert_eq!(total, stats.interactions);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_and_validated() {
+        let profile = SyntheticProfile::new(50, 200);
+        let dims = TierDims::new(4, 8, 16);
+        let a = ModelArtifact::synthesize(&profile, dims, 7).unwrap();
+        let b = ModelArtifact::synthesize(&profile, dims, 7).unwrap();
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        let c = ModelArtifact::synthesize(&profile, dims, 8).unwrap();
+        assert_ne!(a.to_bytes(), c.to_bytes(), "seed must matter");
+        assert!(ModelArtifact::synthesize(&SyntheticProfile::new(0, 10), dims, 1).is_err());
+    }
+}

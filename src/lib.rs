@@ -56,7 +56,7 @@
 //! | [`fedsim`] | event scheduler, rounds, transport, communication accounting, faults/churn |
 //! | [`metrics`] | Recall@K / NDCG@K and the ranking evaluator |
 //! | [`core`] | HeteFedRec itself: UDL, DDR, RESKD, baselines, sessions |
-//! | [`serve`] | model artifacts and the batched top-K `Recommender` |
+//! | [`serve`] | model artifacts (eager or lazily loaded), synthetic capacity profiles, and the batched top-K `Recommender` |
 //! | [`net`] | framed TCP serving: micro-batching server, client, load generator |
 
 pub use hetefedrec_core as core;
@@ -78,7 +78,7 @@ pub mod prelude {
     };
     pub use hf_dataset::{
         ClientGroups, DatasetProfile, DivisionRatio, ImplicitDataset, SplitDataset,
-        SyntheticConfig, Tier,
+        SyntheticConfig, SyntheticProfile, Tier,
     };
     pub use hf_fedsim::events::LatencyProfile;
     pub use hf_fedsim::faults::ChurnProfile;
@@ -89,7 +89,8 @@ pub mod prelude {
         WireResponse,
     };
     pub use hf_serve::{
-        ExportArtifact, ModelArtifact, RecommendRequest, RecommendResponse, Recommender,
-        RecommenderBuilder, ScoredItem, ServeError,
+        ExportArtifact, ItemHalfMode, LazyConfig, ModelArtifact, RecommendRequest,
+        RecommendResponse, Recommender, RecommenderBuilder, ScoredItem, ServeError, SynthStats,
+        UserRef,
     };
 }
