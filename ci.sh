@@ -128,6 +128,24 @@ cargo run -q --offline --release -p hf_bench --bin capacity -- \
     --scale tiny --json target/ci-artifacts/capacity_smoke.json
 test -s target/ci-artifacts/capacity_smoke.json
 
+echo "==> secure-aggregation smoke (example proofs + secagg --json)"
+# The example runs the same federation masked and plaintext and exits
+# non-zero unless every round's unmasked ring aggregate matches the
+# plaintext quantized reference and injected dropouts were recovered
+# from escrowed shares.
+cargo run -q --offline --release --example secure_aggregation \
+    > target/ci-artifacts/secure_aggregation_smoke.log
+grep -q "masked aggregate == plaintext quantized aggregate" \
+    target/ci-artifacts/secure_aggregation_smoke.log
+grep -q "recovery under injected dropout verified" \
+    target/ci-artifacts/secure_aggregation_smoke.log
+# Cohort x dropout overhead sweep snapshot as a CI artefact (the binary
+# asserts every masked round verified).
+cargo run -q --offline --release -p hf_bench --bin secagg -- \
+    --scale tiny --dataset ml --model ncf \
+    --json target/ci-artifacts/secagg_smoke.json
+test -s target/ci-artifacts/secagg_smoke.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

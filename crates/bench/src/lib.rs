@@ -183,7 +183,9 @@ impl CliOptions {
     /// and the event-engine knobs: `mode` (`sync|async`),
     /// `staleness_beta`, `async_buffer`, `async_concurrency`, `latency`
     /// (`fixed:T`, `uniform:MIN:MAX`, `lognormal:MEDIAN:SIGMA`), `churn`
-    /// (`none`, `independent:P`, `flappy:P:PERIOD`).
+    /// (`none`, `independent:P`, `flappy:P:PERIOD`), and the
+    /// secure-aggregation knobs: `secagg` (`on|off`),
+    /// `secagg_scale_bits`.
     pub fn apply_overrides(&self, cfg: &mut TrainConfig) {
         use hetefedrec_core::config::{ItemAggNorm, Mode, ServerOpt};
         use hf_fedsim::events::LatencyProfile;
@@ -240,6 +242,16 @@ impl CliOptions {
                 "churn" => {
                     cfg.churn = ChurnProfile::parse(v)
                         .unwrap_or_else(|e| usage(&format!("--set {k}={v}: {e}")))
+                }
+                "secagg" => {
+                    cfg.secagg.enabled = match v.as_str() {
+                        "on" => true,
+                        "off" => false,
+                        _ => bad(k, v),
+                    }
+                }
+                "secagg_scale_bits" => {
+                    cfg.secagg.scale_bits = v.parse().unwrap_or_else(|_| bad(k, v))
                 }
                 _ => usage(&format!("unknown --set key {k}")),
             }

@@ -294,6 +294,49 @@ impl AsyncConfig {
     }
 }
 
+/// Secure-aggregation knobs for the upload path (DESIGN.md §10).
+///
+/// Default **off**: the session runs today's plaintext upload path and
+/// produces byte-identical checkpoints. When enabled, every accepted
+/// upload is quantized into the u64 ring and pairwise-masked, and the
+/// server only ever sees blind aggregates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SecAggConfig {
+    /// Route uploads through the pairwise-masked path.
+    pub enabled: bool,
+    /// Fixed-point resolution exponent: deltas are quantized to a grid
+    /// of `2^-scale_bits`. Must lie in `1..=30`.
+    pub scale_bits: u32,
+}
+
+impl Default for SecAggConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            scale_bits: 16,
+        }
+    }
+}
+
+impl ToJson for SecAggConfig {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("enabled", &self.enabled)
+                .field("scale_bits", &(self.scale_bits as u64));
+        });
+    }
+}
+
+impl SecAggConfig {
+    /// Restores checkpointed secure-aggregation settings.
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
+        Ok(Self {
+            enabled: v.get("enabled")?.as_bool()?,
+            scale_bits: v.get("scale_bits")?.as_u64()? as u32,
+        })
+    }
+}
+
 /// Full configuration of one federated training run.
 #[derive(Clone, Debug)]
 pub struct TrainConfig {
@@ -355,6 +398,8 @@ pub struct TrainConfig {
     pub latency: LatencyProfile,
     /// Client availability model (`None` = paper setting, always online).
     pub churn: ChurnProfile,
+    /// Secure aggregation of the upload path (default off).
+    pub secagg: SecAggConfig,
 }
 
 impl TrainConfig {
@@ -387,6 +432,7 @@ impl TrainConfig {
             async_cfg: AsyncConfig::default(),
             latency: LatencyProfile::unit(),
             churn: ChurnProfile::None,
+            secagg: SecAggConfig::default(),
         }
     }
 
@@ -458,6 +504,16 @@ impl TrainConfig {
         }
         self.latency.validate().map_err(|m| bad("latency", m))?;
         self.churn.validate().map_err(|m| bad("churn", m))?;
+        if self.secagg.scale_bits == 0 || self.secagg.scale_bits > hf_secagg::MAX_SCALE_BITS {
+            return Err(bad(
+                "secagg.scale_bits",
+                format!(
+                    "must lie in 1..={}, got {}",
+                    hf_secagg::MAX_SCALE_BITS,
+                    self.secagg.scale_bits
+                ),
+            ));
+        }
         Ok(())
     }
 
@@ -514,6 +570,11 @@ impl TrainConfig {
                 Some(c) => ChurnProfile::from_json(c)?,
                 None => ChurnProfile::None,
             },
+            // Absent in v1/v2 documents and in every default-off run.
+            secagg: match v.opt("secagg") {
+                Some(s) => SecAggConfig::from_json(s)?,
+                None => SecAggConfig::default(),
+            },
         };
         cfg.validate().map_err(|e| JsonError::msg(e.to_string()))?;
         Ok(cfg)
@@ -554,6 +615,7 @@ impl TrainConfig {
             },
             latency: LatencyProfile::unit(),
             churn: ChurnProfile::None,
+            secagg: SecAggConfig::default(),
         }
     }
 }
@@ -585,6 +647,12 @@ impl ToJson for TrainConfig {
                 .field("async", &self.async_cfg)
                 .field("latency", &self.latency)
                 .field("churn", &self.churn);
+            // Emitted only when it differs from the default so the
+            // default-off configuration serializes byte-identically to
+            // every pre-secagg document.
+            if self.secagg != SecAggConfig::default() {
+                o.field("secagg", &self.secagg);
+            }
         });
     }
 }
@@ -674,6 +742,7 @@ mod tests {
                     c.churn = ChurnProfile::Independent { offline_prob: 1.5 };
                 }),
             ),
+            ("secagg.scale_bits", Box::new(|c| c.secagg.scale_bits = 31)),
         ];
         for (field, mutate) in cases {
             let mut cfg = base.clone();
@@ -705,6 +774,10 @@ mod tests {
             offline_prob: 0.2,
             period: 5,
         };
+        cfg.secagg = SecAggConfig {
+            enabled: true,
+            scale_bits: 20,
+        };
         let back = TrainConfig::from_json(&parse_json(&cfg.to_json()).unwrap()).unwrap();
         assert_eq!(back.model, cfg.model);
         assert_eq!(back.dims, cfg.dims);
@@ -719,6 +792,20 @@ mod tests {
         assert_eq!(back.async_cfg, cfg.async_cfg);
         assert_eq!(back.latency, cfg.latency);
         assert_eq!(back.churn, cfg.churn);
+        assert_eq!(back.secagg, cfg.secagg);
+    }
+
+    #[test]
+    fn default_off_secagg_serializes_without_the_field() {
+        use hf_tensor::ser::{parse_json, ToJson};
+        let cfg = TrainConfig::test_default(ModelKind::Ncf);
+        let json = cfg.to_json();
+        assert!(
+            !json.contains("secagg"),
+            "default-off secagg must not appear in the document: {json}"
+        );
+        let back = TrainConfig::from_json(&parse_json(&json).unwrap()).unwrap();
+        assert_eq!(back.secagg, SecAggConfig::default());
     }
 
     #[test]

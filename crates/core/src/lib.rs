@@ -41,12 +41,13 @@ pub mod session;
 pub mod strategy;
 
 pub use config::{
-    AsyncConfig, ConfigError, ItemAggNorm, KdConfig, Mode, ServerOpt, TierDims, TrainConfig,
+    AsyncConfig, ConfigError, ItemAggNorm, KdConfig, Mode, SecAggConfig, ServerOpt, TierDims,
+    TrainConfig,
 };
 pub use eval::EvalOutput;
 pub use experiment::{run_experiment, ExperimentResult};
 pub use session::{
-    AsyncRoundStats, EpochRecord, EpochReport, History, RoundReport, Session, SessionBuilder,
-    SessionError, SessionEvent, StopReason,
+    AsyncRoundStats, EpochRecord, EpochReport, History, RoundReport, SecAggRoundStats, Session,
+    SessionBuilder, SessionError, SessionEvent, StopReason,
 };
 pub use strategy::{Ablation, Strategy};

@@ -157,8 +157,7 @@ impl ServerState {
                     *counts.entry(*row).or_insert(0) += 1;
                 }
             }
-            self.normalize_rows(&mut acc, &counts);
-            self.apply_item_deltas(&acc, &[Tier::Small, Tier::Medium, Tier::Large]);
+            self.apply_item_aggregate(&mut acc, &counts, &[Tier::Small, Tier::Medium, Tier::Large]);
         } else {
             // Clustered: aggregate within each tier only.
             for tier in Tier::ALL {
@@ -173,12 +172,81 @@ impl ServerState {
                     }
                 }
                 if !acc.is_empty() {
-                    self.normalize_rows(&mut acc, &counts);
-                    self.apply_item_deltas(&acc, &[tier]);
+                    self.apply_item_aggregate(&mut acc, &counts, &[tier]);
                 }
             }
         }
-        self.apply_theta_deltas(updates, weights);
+        for tier in Tier::ALL {
+            let idx = tier.index();
+            let expected = self.thetas[idx].num_params();
+            let mut sum = vec![0.0f32; expected];
+            let mut count = 0usize;
+            let mut weight_sum = 0.0f32;
+            for ((_, update), &w) in updates.iter().zip(weights) {
+                for (t, flat) in &update.thetas {
+                    if *t as usize == idx {
+                        assert_eq!(flat.len(), expected, "theta delta width mismatch");
+                        hf_tensor::ops::axpy_slice(&mut sum, w, flat);
+                        count += 1;
+                        weight_sum += w;
+                    }
+                }
+            }
+            self.apply_theta_aggregate(tier, sum, count, weight_sum);
+        }
+    }
+
+    /// Applies an **already-summed** item-delta aggregate: per-row
+    /// weighted sums in `acc`, per-row contributor counts in `counts`.
+    /// This is the seam the secure-aggregation path shares with
+    /// [`ServerState::apply_round_weighted`] — the server consumes only
+    /// the sum, never individual updates, so an unmasked ring aggregate
+    /// plugs in here bit-identically.
+    pub fn apply_item_aggregate(
+        &mut self,
+        acc: &mut RowGradBuffer,
+        counts: &HashMap<u32, u32>,
+        tiers: &[Tier],
+    ) {
+        self.normalize_rows(acc, counts);
+        self.apply_item_deltas(acc, tiers);
+    }
+
+    /// Applies an already-summed predictor aggregate for one tier:
+    /// `sum = Σ wᵢ·Δᵢ` over `count` contributors with total weight
+    /// `weight_sum`. No-op when nothing contributed (same seam as
+    /// [`ServerState::apply_item_aggregate`]).
+    pub fn apply_theta_aggregate(
+        &mut self,
+        tier: Tier,
+        mut sum: Vec<f32>,
+        count: usize,
+        weight_sum: f32,
+    ) {
+        let idx = tier.index();
+        assert_eq!(
+            sum.len(),
+            self.thetas[idx].num_params(),
+            "theta aggregate width mismatch"
+        );
+        if count == 0 || weight_sum <= 0.0 {
+            return;
+        }
+        let inv = 1.0 / weight_sum;
+        match self.server_opt {
+            ServerOpt::SgdSum => {
+                sum.iter_mut().for_each(|x| *x *= inv * self.server_lr);
+                let delta = Ffn::from_flat(self.thetas[idx].dims(), &sum);
+                self.thetas[idx].add_scaled(1.0, &delta);
+            }
+            ServerOpt::Adam => {
+                // Mean delta as negative gradient.
+                sum.iter_mut().for_each(|x| *x *= -inv);
+                let mut flat = self.thetas[idx].to_flat();
+                self.theta_adam.as_mut().expect("adam state")[idx].step(&mut flat, &sum);
+                self.thetas[idx] = Ffn::from_flat(self.thetas[idx].dims(), &flat);
+            }
+        }
     }
 
     /// Applies the configured per-row normalisation to an aggregated
@@ -225,48 +293,6 @@ impl ServerState {
                         }
                         adam.step_row(row as usize, table.row_prefix_mut(row as usize, dim), &grad);
                     }
-                }
-            }
-        }
-    }
-
-    /// Weight-averages predictor deltas per tier and applies them (Eq.
-    /// 15's union structure arises client-side: only clients holding a
-    /// tier's predictor upload a delta for it). With all-ones weights this
-    /// is the plain mean.
-    fn apply_theta_deltas(&mut self, updates: &[(Tier, ClientUpdate)], weights: &[f32]) {
-        for tier in Tier::ALL {
-            let idx = tier.index();
-            let expected = self.thetas[idx].num_params();
-            let mut sum = vec![0.0f32; expected];
-            let mut count = 0usize;
-            let mut weight_sum = 0.0f32;
-            for ((_, update), &w) in updates.iter().zip(weights) {
-                for (t, flat) in &update.thetas {
-                    if *t as usize == idx {
-                        assert_eq!(flat.len(), expected, "theta delta width mismatch");
-                        hf_tensor::ops::axpy_slice(&mut sum, w, flat);
-                        count += 1;
-                        weight_sum += w;
-                    }
-                }
-            }
-            if count == 0 || weight_sum <= 0.0 {
-                continue;
-            }
-            let inv = 1.0 / weight_sum;
-            match self.server_opt {
-                ServerOpt::SgdSum => {
-                    sum.iter_mut().for_each(|x| *x *= inv * self.server_lr);
-                    let delta = Ffn::from_flat(self.thetas[idx].dims(), &sum);
-                    self.thetas[idx].add_scaled(1.0, &delta);
-                }
-                ServerOpt::Adam => {
-                    // Mean delta as negative gradient.
-                    sum.iter_mut().for_each(|x| *x *= -inv);
-                    let mut flat = self.thetas[idx].to_flat();
-                    self.theta_adam.as_mut().expect("adam state")[idx].step(&mut flat, &sum);
-                    self.thetas[idx] = Ffn::from_flat(self.thetas[idx].dims(), &flat);
                 }
             }
         }

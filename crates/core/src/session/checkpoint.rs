@@ -12,10 +12,19 @@
 //!   engine's clock, in-flight arrival queue, not-yet-dispatched
 //!   traversal remainder, and per-client dispatch versions; `null` in
 //!   synchronous runs).
+//! * **v3** — adds the secure-aggregation state: the config gains
+//!   `secagg`, and the document gains a `secagg` object carrying the
+//!   key-agreement RNG plus any pipelined group setup (members, public
+//!   keys, secrets, and escrowed seed shares for the next synchronous
+//!   cohort) so a mid-round resume replays the exact same masks.
 //!
-//! Every v2 addition has a v1-equivalent default (`Sync`, unit latency,
-//! no churn, tick 0, no engine), so v1 documents still restore — the
-//! reader accepts `MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION`.
+//! Every addition has a prior-version default (`Sync`, unit latency, no
+//! churn, tick 0, no engine, secure aggregation off), so old documents
+//! still restore — the reader accepts
+//! `MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION`. Conversely a run with
+//! secure aggregation *off* stamps version 2 and omits the `secagg`
+//! field entirely, so default-configuration checkpoints stay
+//! byte-identical to pre-v3 builds.
 
 use super::reports::{History, StopReason};
 use super::{Session, SessionBuilder, SessionError};
@@ -33,8 +42,9 @@ use std::collections::VecDeque;
 
 /// Checkpoint document identifier.
 pub(crate) const CHECKPOINT_FORMAT: &str = "hetefedrec.checkpoint";
-/// Current checkpoint schema version (written by [`Session::checkpoint`]).
-pub(crate) const CHECKPOINT_VERSION: u64 = 2;
+/// Current checkpoint schema version (the writer stamps this only when
+/// the document actually carries v3 state; see [`Session::checkpoint`]).
+pub(crate) const CHECKPOINT_VERSION: u64 = 3;
 /// Oldest schema version this build still restores.
 pub(crate) const MIN_CHECKPOINT_VERSION: u64 = 1;
 
@@ -64,10 +74,14 @@ impl Session {
                 self.0.snapshot_json(out);
             }
         }
+        // Stamp the version the document actually needs: v3 state exists
+        // only with secure aggregation on, so default-off runs keep
+        // writing byte-identical v2 documents.
+        let version: u64 = if self.secagg.is_some() { 3 } else { 2 };
         let mut out = String::new();
         obj(&mut out, |o| {
             o.field("format", &CHECKPOINT_FORMAT)
-                .field("version", &CHECKPOINT_VERSION)
+                .field("version", &version)
                 .field("cfg", &self.cfg)
                 .field("strategy", &self.strategy)
                 .field("num_users", &self.split.num_users())
@@ -87,8 +101,12 @@ impl Session {
                 // v2 additions, kept contiguous so a v1 document is
                 // exactly this document minus the two fields.
                 .field("clock", &self.clock)
-                .field("event_scheduler", &self.async_state)
-                .field("ledger", &self.ledger)
+                .field("event_scheduler", &self.async_state);
+            // v3 addition, present only when the state exists.
+            if let Some(secagg) = &self.secagg {
+                o.field("secagg", secagg);
+            }
+            o.field("ledger", &self.ledger)
                 .field("scheduler", &self.scheduler)
                 .field("faults", &self.faults)
                 .field("server", &Server(&self.server))
@@ -207,6 +225,19 @@ impl Session {
         } else {
             None
         };
+        // v3 addition — rebuilt fresh when the document predates it (or
+        // was written with secure aggregation off and the config was
+        // since flipped on by hand).
+        let secagg = if cfg.secagg.enabled {
+            Some(match doc.opt("secagg") {
+                Some(v) if !v.is_null() => {
+                    super::secagg::SecAggState::from_json(v, split.num_users())?
+                }
+                _ => super::secagg::SecAggState::new(&cfg),
+            })
+        } else {
+            None
+        };
 
         Ok(Session {
             scheduler: RoundScheduler::from_json(doc.get("scheduler")?)?,
@@ -227,6 +258,7 @@ impl Session {
             evals_since_improvement: doc.get("evals_since_improvement")?.as_usize()?,
             clock,
             async_state,
+            secagg,
             cfg,
             strategy,
             split,

@@ -15,6 +15,8 @@ use hf_fedsim::comm::RoundCost;
 use hf_fedsim::parallel::parallel_map;
 use hf_fedsim::transport::ClientUpdate;
 use hf_models::Ffn;
+use hf_secagg::PreparedGroup;
+use std::collections::HashMap;
 
 impl Session {
     /// Executes one synchronous round over the given lockstep cohort,
@@ -26,13 +28,20 @@ impl Session {
     /// client's latency draw.
     pub(super) fn run_round(&mut self, cohort: &[usize]) -> (RoundReport, f64) {
         let clock = self.clock;
+        // Secure-aggregation groups commit at setup against the full
+        // scheduled cohort; members churn takes offline become dropouts
+        // whose masks the survivors recover.
+        let groups = self.secagg_groups_for_round(cohort);
         let available: Vec<usize> = cohort
             .iter()
             .copied()
             .filter(|&uid| !self.faults.offline(clock, uid))
             .collect();
         let weights = vec![1.0f32; available.len()];
-        let result = self.execute_cohort(&available, &weights);
+        let result = self.execute_cohort(&available, &weights, groups);
+        // Pipeline the next cohort's key exchange and escrow so the
+        // shares exist before that round starts (and are checkpointed).
+        self.secagg_prepare_next();
         let duration = available
             .iter()
             .map(|&uid| {
@@ -74,7 +83,11 @@ impl Session {
             .map(|&s| 1.0 / (1.0 + s as f32).powf(beta))
             .collect();
 
-        let (mut report, loss_sum) = self.execute_cohort(&cohort, &weights);
+        // Asynchronous groups form at collection time over the arrival
+        // batch (clients churned offline never dispatched, so the only
+        // dropouts here are injected upload losses).
+        let groups = self.secagg_groups_for_batch(&cohort);
+        let (mut report, loss_sum) = self.execute_cohort(&cohort, &weights, groups);
         self.async_fill();
 
         let st = self.async_state.as_ref().expect("async engine");
@@ -117,7 +130,17 @@ impl Session {
     /// aggregation weights (aligned with `cohort`; only the weights of
     /// accepted updates reach the server). All-ones weights reproduce the
     /// unweighted aggregation bit-for-bit.
-    fn execute_cohort(&mut self, cohort: &[usize], weights: &[f32]) -> (RoundReport, f64) {
+    ///
+    /// With `secagg_groups` present the round aggregates through the
+    /// masked ring path instead: eligibility was fixed at group setup,
+    /// survivors upload dense quantized payloads, and injected drops
+    /// become dropouts whose orphaned masks get recovered from escrow.
+    fn execute_cohort(
+        &mut self,
+        cohort: &[usize],
+        weights: &[f32],
+        secagg_groups: Option<Vec<PreparedGroup>>,
+    ) -> (RoundReport, f64) {
         debug_assert_eq!(cohort.len(), weights.len());
         let udl = self.strategy.ablation().udl;
         // Per-tier download bundles, cloned once per round.
@@ -156,8 +179,13 @@ impl Session {
             train_client(&ctx, &users[uid])
         });
 
+        let masked = secagg_groups.is_some();
         let mut accepted: Vec<(Tier, ClientUpdate)> = Vec::new();
         let mut accepted_weights: Vec<f32> = Vec::new();
+        // Masked path: surviving uploads keyed by uid (group membership
+        // and eligibility were fixed at setup; a committed member absent
+        // from this map is a dropout).
+        let mut survivor_uploads: HashMap<u64, (ClientUpdate, f32)> = HashMap::new();
         let mut loss_sum = 0.0;
         let mut sample_sum = 0usize;
         let mut round_download = 0u64;
@@ -182,7 +210,11 @@ impl Session {
             sample_sum += outcome.samples;
             self.users[uid] = outcome.state;
 
-            if self.strategy.accepts_update(data_tier)
+            if masked {
+                if !self.faults.drops(self.round_counter, uid) {
+                    survivor_uploads.insert(uid as u64, (outcome.update, weight));
+                }
+            } else if self.strategy.accepts_update(data_tier)
                 && !self.faults.drops(self.round_counter, uid)
                 && !(outcome.update.items.is_empty() && outcome.update.thetas.is_empty())
             {
@@ -194,9 +226,18 @@ impl Session {
             }
         }
 
-        let accepted_count = accepted.len();
-        self.server
-            .apply_round_weighted(&accepted, &accepted_weights);
+        let mut accepted_count = accepted.len();
+        let mut secagg_stats = None;
+        if let Some(groups) = secagg_groups {
+            let (stats, secagg_accepted, masked_bytes) =
+                self.secagg_aggregate(&groups, &survivor_uploads);
+            accepted_count = secagg_accepted;
+            round_upload += masked_bytes;
+            secagg_stats = Some(stats);
+        } else {
+            self.server
+                .apply_round_weighted(&accepted, &accepted_weights);
+        }
         if self.strategy.ablation().reskd {
             self.server.distill(&self.cfg.kd, self.cfg.threads);
         }
@@ -216,6 +257,7 @@ impl Session {
             download_bytes: round_download,
             upload_bytes: round_upload,
             asynchrony: None,
+            secagg: secagg_stats,
         };
         (report, loss_sum)
     }

@@ -39,11 +39,13 @@
 mod checkpoint;
 mod engine;
 mod reports;
+mod secagg;
 #[cfg(test)]
 mod tests;
 
 pub use reports::{
-    AsyncRoundStats, EpochRecord, EpochReport, History, RoundReport, SessionEvent, StopReason,
+    AsyncRoundStats, EpochRecord, EpochReport, History, RoundReport, SecAggRoundStats,
+    SessionEvent, StopReason,
 };
 
 use checkpoint::{CHECKPOINT_FORMAT, CHECKPOINT_VERSION, MIN_CHECKPOINT_VERSION};
@@ -334,6 +336,7 @@ impl SessionBuilder {
                         cfg.seed,
                     )
                 });
+                let secagg = cfg.secagg.enabled.then(|| secagg::SecAggState::new(&cfg));
                 Session {
                     cfg,
                     strategy,
@@ -360,6 +363,7 @@ impl SessionBuilder {
                     evals_since_improvement: 0,
                     clock: 0,
                     async_state,
+                    secagg,
                     eval_every: 1,
                     early_stop: None,
                     round_hooks: Vec::new(),
@@ -446,6 +450,9 @@ pub struct Session {
     /// The event-driven engine — `Some` exactly when `cfg.mode` is
     /// [`Mode::Async`].
     async_state: Option<EventScheduler>,
+    /// Secure-aggregation state (key-agreement RNG plus any pipelined
+    /// group setup) — `Some` exactly when `cfg.secagg.enabled`.
+    secagg: Option<secagg::SecAggState>,
     // --- observers (builder-side; not checkpointed) ---
     eval_every: usize,
     early_stop: Option<EarlyStopConfig>,

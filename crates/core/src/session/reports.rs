@@ -32,6 +32,9 @@ pub struct RoundReport {
     pub upload_bytes: u64,
     /// Asynchronous-mode extensions — `None` under the synchronous mode.
     pub asynchrony: Option<AsyncRoundStats>,
+    /// Secure-aggregation telemetry — `Some` exactly when the round ran
+    /// the masked upload path.
+    pub secagg: Option<SecAggRoundStats>,
 }
 
 impl ToJson for RoundReport {
@@ -47,7 +50,52 @@ impl ToJson for RoundReport {
                 .field("accepted", &self.accepted)
                 .field("download_bytes", &self.download_bytes)
                 .field("upload_bytes", &self.upload_bytes)
-                .field("asynchrony", &self.asynchrony);
+                .field("asynchrony", &self.asynchrony)
+                .field("secagg", &self.secagg);
+        });
+    }
+}
+
+/// Telemetry for one round of the masked (secure-aggregation) upload
+/// path: who committed at setup, who survived, and whether the unmasked
+/// ring aggregate matched the plaintext quantized reference bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct SecAggRoundStats {
+    /// Masking groups this round (1 for padded aggregation; up to 3 —
+    /// one per tier — under clustered aggregation).
+    pub groups: usize,
+    /// Clients that committed to the protocol at setup (exchanged keys
+    /// and escrowed their seed shares).
+    pub participants: usize,
+    /// Committed clients whose masked upload arrived.
+    pub survivors: usize,
+    /// Committed clients that dropped after setup (churn, injected
+    /// drops, or an unencodable update).
+    pub dropped: usize,
+    /// Dropped clients whose orphaned masks were reconstructed from
+    /// escrowed shares and stripped from the aggregate.
+    pub recovered: usize,
+    /// Wire bytes of this round's masked uploads.
+    pub masked_bytes: u64,
+    /// Wire bytes of this round's setup traffic (keys + share bundles).
+    pub setup_bytes: u64,
+    /// `true` when every group's unmasked aggregate equalled the
+    /// plaintext quantized ring sum of its survivors exactly. `false`
+    /// only when a group lost too many members to recover.
+    pub verified: bool,
+}
+
+impl ToJson for SecAggRoundStats {
+    fn write_json(&self, out: &mut String) {
+        obj(out, |o| {
+            o.field("groups", &self.groups)
+                .field("participants", &self.participants)
+                .field("survivors", &self.survivors)
+                .field("dropped", &self.dropped)
+                .field("recovered", &self.recovered)
+                .field("masked_bytes", &self.masked_bytes)
+                .field("setup_bytes", &self.setup_bytes)
+                .field("verified", &self.verified);
         });
     }
 }

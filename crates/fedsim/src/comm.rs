@@ -62,6 +62,16 @@ pub struct CommLedger {
     pub uploads: u64,
     /// Download transmissions recorded.
     pub downloads: u64,
+    /// Bytes of masked secure-aggregation uploads (subset of
+    /// `upload_bytes`; dense ring payloads are bigger than the sparse
+    /// plaintext format, and this tracks how much of the upload volume
+    /// travelled masked).
+    pub secagg_masked_bytes: u64,
+    /// Secure-aggregation setup traffic: public-key exchange plus
+    /// escrowed seed-share bundles (not part of `upload_bytes`).
+    pub secagg_setup_bytes: u64,
+    /// Rounds that ran the masked upload path.
+    pub secagg_rounds: u64,
 }
 
 impl CommLedger {
@@ -69,6 +79,19 @@ impl CommLedger {
     pub fn record_upload(&mut self, bytes: usize) {
         self.upload_bytes += bytes as u64;
         self.uploads += 1;
+    }
+
+    /// Records one **masked** client upload of `bytes` (counted in the
+    /// normal upload totals *and* in the secagg overhead view).
+    pub fn record_secagg_upload(&mut self, bytes: usize) {
+        self.record_upload(bytes);
+        self.secagg_masked_bytes += bytes as u64;
+    }
+
+    /// Records secure-aggregation setup traffic for one round.
+    pub fn record_secagg_setup(&mut self, bytes: u64) {
+        self.secagg_setup_bytes += bytes;
+        self.secagg_rounds += 1;
     }
 
     /// Records one client download of `bytes`.
@@ -83,6 +106,9 @@ impl CommLedger {
         self.download_bytes += other.download_bytes;
         self.uploads += other.uploads;
         self.downloads += other.downloads;
+        self.secagg_masked_bytes += other.secagg_masked_bytes;
+        self.secagg_setup_bytes += other.secagg_setup_bytes;
+        self.secagg_rounds += other.secagg_rounds;
     }
 
     /// Mean upload size in bytes, 0 when nothing was recorded.
@@ -111,18 +137,37 @@ impl hf_tensor::ser::ToJson for CommLedger {
                 .field("download_bytes", &self.download_bytes)
                 .field("uploads", &self.uploads)
                 .field("downloads", &self.downloads);
+            // Emitted only when the masked path actually ran, so runs
+            // with secure aggregation off serialize byte-identically to
+            // every pre-secagg ledger.
+            if self.secagg_masked_bytes != 0 || self.secagg_setup_bytes != 0 {
+                o.field("secagg_masked_bytes", &self.secagg_masked_bytes)
+                    .field("secagg_setup_bytes", &self.secagg_setup_bytes)
+                    .field("secagg_rounds", &self.secagg_rounds);
+            }
         });
     }
 }
 
 impl CommLedger {
-    /// Restores a checkpointed ledger.
+    /// Restores a checkpointed ledger (the secagg fields are optional:
+    /// absent in every ledger written before the masked path existed,
+    /// and in every run with secure aggregation off).
     pub fn from_json(v: &hf_tensor::ser::JsonValue<'_>) -> Result<Self, hf_tensor::ser::JsonError> {
+        let opt_u64 = |key: &str| -> Result<u64, hf_tensor::ser::JsonError> {
+            v.opt(key)
+                .map(|x| x.as_u64())
+                .transpose()
+                .map(|x| x.unwrap_or(0))
+        };
         Ok(Self {
             upload_bytes: v.get("upload_bytes")?.as_u64()?,
             download_bytes: v.get("download_bytes")?.as_u64()?,
             uploads: v.get("uploads")?.as_u64()?,
             downloads: v.get("downloads")?.as_u64()?,
+            secagg_masked_bytes: opt_u64("secagg_masked_bytes")?,
+            secagg_setup_bytes: opt_u64("secagg_setup_bytes")?,
+            secagg_rounds: opt_u64("secagg_rounds")?,
         })
     }
 }
@@ -178,5 +223,32 @@ mod tests {
         let l = CommLedger::default();
         assert_eq!(l.mean_upload(), 0.0);
         assert_eq!(l.mean_download(), 0.0);
+    }
+
+    #[test]
+    fn secagg_fields_are_emitted_only_when_the_masked_path_ran() {
+        use hf_tensor::ser::{parse_json, ToJson};
+        let mut plain = CommLedger::default();
+        plain.record_upload(100);
+        let json = plain.to_json();
+        assert!(
+            !json.contains("secagg"),
+            "a plaintext-only ledger must serialize without secagg fields: {json}"
+        );
+        let restored = CommLedger::from_json(&parse_json(&json).unwrap()).unwrap();
+        assert_eq!(restored.to_json(), json);
+
+        let mut masked = CommLedger::default();
+        masked.record_secagg_upload(500);
+        masked.record_secagg_setup(64);
+        assert_eq!(masked.upload_bytes, 500);
+        assert_eq!(masked.secagg_masked_bytes, 500);
+        assert_eq!(masked.secagg_setup_bytes, 64);
+        assert_eq!(masked.secagg_rounds, 1);
+        let json = masked.to_json();
+        assert!(json.contains("secagg_masked_bytes"));
+        let restored = CommLedger::from_json(&parse_json(&json).unwrap()).unwrap();
+        assert_eq!(restored.secagg_setup_bytes, 64);
+        assert_eq!(restored.to_json(), json);
     }
 }

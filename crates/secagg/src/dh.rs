@@ -1,0 +1,92 @@
+//! Toy Diffie–Hellman key agreement over the Mersenne prime 2^61 − 1.
+//!
+//! Each client draws a secret exponent and publishes `g^sk mod P`; any
+//! pair then shares `g^(sk_i · sk_j) mod P` without communication beyond
+//! the public keys. The parameters here are **structurally real but
+//! cryptographically toy** — a 61-bit group is trivially breakable and
+//! exists so the protocol shape (public keys on the wire, secrets that
+//! can be escrowed and reconstructed for dropout recovery) is exercised
+//! end to end inside the simulation. Swapping in a real group is a
+//! local change to this module.
+
+use hf_tensor::rng::Rng;
+
+/// The group modulus: the Mersenne prime 2^61 − 1.
+pub const DH_PRIME: u64 = (1u64 << 61) - 1;
+
+/// A fixed generator of a large subgroup mod [`DH_PRIME`].
+pub const DH_GENERATOR: u64 = 7;
+
+/// `base^exp mod modulus` via square-and-multiply in u128.
+pub fn modpow(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    debug_assert!(modulus > 1);
+    base %= modulus;
+    let mut acc: u128 = 1;
+    let m = modulus as u128;
+    let mut b = base as u128;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * b % m;
+        }
+        b = b * b % m;
+        exp >>= 1;
+    }
+    acc as u64
+}
+
+/// One client's key-agreement pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyPair {
+    /// Secret exponent (escrowed via Shamir shares for dropout recovery).
+    pub secret: u64,
+    /// `g^secret mod P`, shared with every group member.
+    pub public: u64,
+}
+
+/// Draws a fresh keypair from the supplied deterministic stream.
+pub fn keypair(rng: &mut impl Rng) -> KeyPair {
+    // Exponents in [2, P-1); avoids the degenerate 0/1 exponents.
+    let secret = rng.gen_range(2u64..DH_PRIME - 1);
+    KeyPair {
+        secret,
+        public: modpow(DH_GENERATOR, secret, DH_PRIME),
+    }
+}
+
+/// The pair secret `their_public^my_secret mod P` — symmetric in the two
+/// parties, and recomputable by the server from a reconstructed secret
+/// plus the surviving peer's public key.
+pub fn shared_secret(my_secret: u64, their_public: u64) -> u64 {
+    modpow(their_public, my_secret, DH_PRIME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_tensor::rng::{stream, SeedStream};
+
+    #[test]
+    fn modpow_matches_naive() {
+        assert_eq!(modpow(7, 0, 97), 1);
+        assert_eq!(modpow(7, 1, 97), 7);
+        let mut acc = 1u64;
+        for _ in 0..13 {
+            acc = acc * 7 % 97;
+        }
+        assert_eq!(modpow(7, 13, 97), acc);
+    }
+
+    #[test]
+    fn key_agreement_is_symmetric() {
+        let mut rng = stream(42, SeedStream::SecAggSecret);
+        let a = keypair(&mut rng);
+        let b = keypair(&mut rng);
+        assert_ne!(a, b);
+        let kab = shared_secret(a.secret, b.public);
+        let kba = shared_secret(b.secret, a.public);
+        assert_eq!(kab, kba);
+        // A third party lands somewhere else.
+        let c = keypair(&mut rng);
+        assert_ne!(shared_secret(c.secret, b.public), kab);
+    }
+}

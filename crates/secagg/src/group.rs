@@ -1,0 +1,430 @@
+//! Per-group protocol state: key agreement, escrow, masking, recovery.
+//!
+//! A [`PreparedGroup`] is the result of one group's setup phase for one
+//! round: every member has drawn a key-agreement pair, published its
+//! public key, and escrowed its secret as Shamir shares across its
+//! peers. From that state the group can (a) mask each member's payload,
+//! (b) reconstruct a dropped member's secret from the shares its
+//! *surviving* peers hold, and (c) strip the orphaned masks a dropped
+//! member left in the aggregate.
+//!
+//! The struct is fully serializable (checkpoint v3 carries prepared
+//! setups for pending cohorts), and the recovery path is honest: it
+//! only consumes shares whose holders survived, fails with a typed
+//! error below the threshold, and verifies the reconstructed secret
+//! against the member's published public key.
+
+use crate::dh::{keypair, modpow, shared_secret, DH_GENERATOR, DH_PRIME};
+use crate::mask::apply_pair_mask;
+use crate::shamir::{reconstruct_secret, split_secret, SeedShare, ShamirError};
+use hf_tensor::rng::Rng;
+use hf_tensor::ser::{obj, JsonError, JsonValue, ToJson};
+use std::fmt;
+
+/// Errors from dropout recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The uid is not a member of this group.
+    UnknownMember {
+        /// The unknown uid.
+        uid: u64,
+    },
+    /// Too few surviving share-holders to reach the threshold.
+    InsufficientShares {
+        /// The dropped member whose secret cannot be reconstructed.
+        owner: u64,
+        /// Usable shares (held by survivors).
+        have: usize,
+        /// Threshold required.
+        need: usize,
+    },
+    /// Share interpolation itself failed.
+    Shamir(ShamirError),
+    /// The reconstructed secret does not match the member's public key.
+    WrongSecret {
+        /// The member whose escrow was inconsistent.
+        owner: u64,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::UnknownMember { uid } => write!(f, "uid {uid} is not a group member"),
+            RecoveryError::InsufficientShares { owner, have, need } => {
+                write!(f, "only {have} of {need} shares survive for member {owner}")
+            }
+            RecoveryError::Shamir(e) => write!(f, "share reconstruction failed: {e}"),
+            RecoveryError::WrongSecret { owner } => {
+                write!(
+                    f,
+                    "reconstructed secret for {owner} fails the public-key check"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<ShamirError> for RecoveryError {
+    fn from(e: ShamirError) -> Self {
+        RecoveryError::Shamir(e)
+    }
+}
+
+/// One group's completed setup for one round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedGroup {
+    /// The round this setup belongs to (keys and escrow are per-round).
+    pub round: u64,
+    /// Member uids, strictly increasing.
+    pub members: Vec<u64>,
+    /// Published public keys, aligned with `members`.
+    pub publics: Vec<u64>,
+    /// Key-agreement secrets, aligned with `members`. Held here because
+    /// the simulation hosts every client in-process; the recovery path
+    /// deliberately never reads them (it reconstructs from escrow).
+    pub secrets: Vec<u64>,
+    /// Shares needed to reconstruct one member's secret (majority of its
+    /// peers); 0 for groups too small to pair.
+    pub threshold: usize,
+    /// `escrow[i][k]` = share of member i's secret held by its k-th peer
+    /// (peers = members minus i, in member order).
+    pub escrow: Vec<Vec<SeedShare>>,
+}
+
+impl PreparedGroup {
+    /// Runs the setup phase: keypairs, public-key exchange, and Shamir
+    /// escrow of every secret across the member's peers. `members` must
+    /// be strictly increasing (sort + dedup upstream) and non-empty.
+    pub fn setup(round: u64, members: &[u64], rng: &mut impl Rng) -> Self {
+        assert!(!members.is_empty(), "secagg group needs at least 1 member");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "group members must be strictly increasing"
+        );
+        let n = members.len();
+        let pairs: Vec<_> = (0..n).map(|_| keypair(rng)).collect();
+        // Each secret splits across the n-1 peers; a majority of peers
+        // must survive to recover it.
+        let threshold = if n > 1 { (n - 1) / 2 + 1 } else { 0 };
+        let escrow = if n > 1 {
+            pairs
+                .iter()
+                .map(|kp| {
+                    split_secret(kp.secret, n - 1, threshold, rng)
+                        .expect("n-1 peers with majority threshold is a valid split")
+                })
+                .collect()
+        } else {
+            vec![Vec::new()]
+        };
+        Self {
+            round,
+            members: members.to_vec(),
+            publics: pairs.iter().map(|kp| kp.public).collect(),
+            secrets: pairs.iter().map(|kp| kp.secret).collect(),
+            threshold,
+            escrow,
+        }
+    }
+
+    /// Members in the group.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Index of `uid` in the member list.
+    pub fn index_of(&self, uid: u64) -> Option<usize> {
+        self.members.binary_search(&uid).ok()
+    }
+
+    /// The symmetric pair secret between members `i` and `j`.
+    pub fn pair_secret(&self, i: usize, j: usize) -> u64 {
+        shared_secret(self.secrets[i], self.publics[j])
+    }
+
+    /// Applies all of member `uid`'s pairwise masks to its payload: the
+    /// lower uid of each pair adds the stream, the higher subtracts it.
+    pub fn mask_payload(&self, uid: u64, payload: &mut [u64]) {
+        let i = self
+            .index_of(uid)
+            .unwrap_or_else(|| panic!("uid {uid} not in secagg group"));
+        for j in 0..self.members.len() {
+            if j == i {
+                continue;
+            }
+            let k = self.pair_secret(i, j);
+            apply_pair_mask(payload, k, self.round, self.members[i] < self.members[j]);
+        }
+    }
+
+    /// Reconstructs a dropped member's secret from the shares held by
+    /// surviving peers (never from the stored secret), verifying it
+    /// against the published public key.
+    pub fn recover_secret(&self, dropped: u64, survivors: &[u64]) -> Result<u64, RecoveryError> {
+        let d = self
+            .index_of(dropped)
+            .ok_or(RecoveryError::UnknownMember { uid: dropped })?;
+        let peers: Vec<u64> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != dropped)
+            .collect();
+        let usable: Vec<SeedShare> = peers
+            .iter()
+            .enumerate()
+            .filter(|(_, peer)| survivors.contains(peer))
+            .map(|(k, _)| self.escrow[d][k])
+            .collect();
+        if usable.len() < self.threshold || self.threshold == 0 {
+            return Err(RecoveryError::InsufficientShares {
+                owner: dropped,
+                have: usable.len(),
+                need: self.threshold.max(1),
+            });
+        }
+        let secret = reconstruct_secret(&usable, self.threshold)?;
+        if modpow(DH_GENERATOR, secret, DH_PRIME) != self.publics[d] {
+            return Err(RecoveryError::WrongSecret { owner: dropped });
+        }
+        Ok(secret)
+    }
+
+    /// Strips the orphaned masks of every dropped member from the ring
+    /// aggregate of the survivors' payloads. Returns how many dropped
+    /// members were recovered.
+    ///
+    /// For dropped `d` and survivor `v`: `v` applied `±mask(k_vd)` to its
+    /// own upload (`+` when `v < d`), and `d`'s cancelling half never
+    /// arrived, so the aggregate carries exactly that term — subtract it
+    /// when `v < d`, add it back when `v > d`. Masks between two dropped
+    /// members appear in no surviving upload and need no correction.
+    pub fn unmask_dropped(
+        &self,
+        aggregate: &mut [u64],
+        dropped: &[u64],
+        survivors: &[u64],
+    ) -> Result<usize, RecoveryError> {
+        let mut recovered = 0;
+        for &duid in dropped {
+            let secret = self.recover_secret(duid, survivors)?;
+            for &v in survivors {
+                let vi = self
+                    .index_of(v)
+                    .ok_or(RecoveryError::UnknownMember { uid: v })?;
+                let k = shared_secret(secret, self.publics[vi]);
+                apply_pair_mask(aggregate, k, self.round, v >= duid);
+            }
+            recovered += 1;
+        }
+        Ok(recovered)
+    }
+
+    /// Bytes this setup moved over the (simulated) wire: public keys to
+    /// every peer plus one escrowed share bundle per (owner, holder)
+    /// pair, at the [`crate::wire::ShareBundle`] encoded size.
+    pub fn setup_bytes(&self) -> u64 {
+        let n = self.members.len() as u64;
+        if n < 2 {
+            return 0;
+        }
+        // Each member broadcasts its 8-byte public key to n-1 peers and
+        // sends one 34-byte ShareBundle to each peer.
+        n * (n - 1) * (8 + crate::wire::ShareBundle::ENCODED_LEN as u64)
+    }
+
+    /// Restores a checkpointed group.
+    pub fn from_json(v: &JsonValue<'_>) -> Result<Self, JsonError> {
+        let members = v.get("members")?.as_u64_vec()?;
+        let publics = v.get("publics")?.as_u64_vec()?;
+        let secrets = v.get("secrets")?.as_u64_vec()?;
+        if publics.len() != members.len() || secrets.len() != members.len() {
+            return Err(JsonError::msg("secagg group key arrays disagree on size"));
+        }
+        let mut escrow = Vec::new();
+        for per_member in v.get("escrow")?.as_arr()? {
+            let mut shares = Vec::new();
+            for pair in per_member.as_arr()? {
+                let pair = pair.as_u64_vec()?;
+                let [x, word] = pair[..] else {
+                    return Err(JsonError::msg("escrow share must be [x, word]"));
+                };
+                if x == 0 || x > 255 {
+                    return Err(JsonError::msg("escrow share point out of range"));
+                }
+                shares.push(SeedShare::from_parts(x as u8, word));
+            }
+            escrow.push(shares);
+        }
+        if escrow.len() != members.len() {
+            return Err(JsonError::msg("secagg escrow disagrees with member count"));
+        }
+        Ok(Self {
+            round: v.get("round")?.as_u64()?,
+            members,
+            publics,
+            secrets,
+            threshold: v.get("threshold")?.as_usize()?,
+            escrow,
+        })
+    }
+}
+
+impl ToJson for PreparedGroup {
+    fn write_json(&self, out: &mut String) {
+        let escrow: Vec<Vec<[u64; 2]>> = self
+            .escrow
+            .iter()
+            .map(|shares| {
+                shares
+                    .iter()
+                    .map(|s| [s.x as u64, s.payload_word()])
+                    .collect()
+            })
+            .collect();
+        obj(out, |o| {
+            o.field("round", &self.round)
+                .field("members", &self.members)
+                .field("publics", &self.publics)
+                .field("secrets", &self.secrets)
+                .field("threshold", &self.threshold)
+                .field("escrow", &escrow);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::mask_words;
+    use hf_tensor::rng::{stream, SeedStream};
+
+    fn ring_sum(payloads: &[Vec<u64>]) -> Vec<u64> {
+        let mut acc = vec![0u64; payloads[0].len()];
+        for p in payloads {
+            for (a, w) in acc.iter_mut().zip(p) {
+                *a = a.wrapping_add(*w);
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn full_participation_masks_cancel_exactly() {
+        let mut rng = stream(1, SeedStream::SecAggSecret);
+        let members = [3u64, 8, 11, 20, 21];
+        let group = PreparedGroup::setup(5, &members, &mut rng);
+        let len = 33;
+        let plain: Vec<Vec<u64>> = members
+            .iter()
+            .map(|&m| mask_words(m ^ 0xabcd, 0, len))
+            .collect();
+        let masked: Vec<Vec<u64>> = members
+            .iter()
+            .zip(&plain)
+            .map(|(&m, p)| {
+                let mut p = p.clone();
+                group.mask_payload(m, &mut p);
+                p
+            })
+            .collect();
+        assert_ne!(masked[0], plain[0], "payloads must actually be masked");
+        assert_eq!(ring_sum(&masked), ring_sum(&plain));
+    }
+
+    #[test]
+    fn dropout_recovery_restores_the_survivor_sum() {
+        let mut rng = stream(2, SeedStream::SecAggSecret);
+        let members = [1u64, 4, 9, 16, 25, 36];
+        let group = PreparedGroup::setup(9, &members, &mut rng);
+        let len = 17;
+        let plain: Vec<Vec<u64>> = members
+            .iter()
+            .map(|&m| mask_words(m ^ 0x1234, 1, len))
+            .collect();
+        // Members 4 and 25 drop after masks were committed.
+        let dropped = [4u64, 25];
+        let survivors: Vec<u64> = members
+            .iter()
+            .copied()
+            .filter(|m| !dropped.contains(m))
+            .collect();
+        let masked: Vec<Vec<u64>> = survivors
+            .iter()
+            .map(|&m| {
+                let i = members.iter().position(|&x| x == m).unwrap();
+                let mut p = plain[i].clone();
+                group.mask_payload(m, &mut p);
+                p
+            })
+            .collect();
+        let mut agg = ring_sum(&masked);
+        let expected = ring_sum(
+            &survivors
+                .iter()
+                .map(|&m| plain[members.iter().position(|&x| x == m).unwrap()].clone())
+                .collect::<Vec<_>>(),
+        );
+        assert_ne!(agg, expected, "orphaned masks must be present pre-recovery");
+        let recovered = group
+            .unmask_dropped(&mut agg, &dropped, &survivors)
+            .unwrap();
+        assert_eq!(recovered, 2);
+        assert_eq!(agg, expected);
+    }
+
+    #[test]
+    fn recovery_below_threshold_is_a_typed_error() {
+        let mut rng = stream(3, SeedStream::SecAggSecret);
+        let members = [1u64, 2, 3, 4, 5];
+        let group = PreparedGroup::setup(0, &members, &mut rng);
+        // threshold = majority of 4 peers = 3; only 1 survivor remains.
+        let err = group.recover_secret(1, &[2]).unwrap_err();
+        assert!(matches!(
+            err,
+            RecoveryError::InsufficientShares {
+                owner: 1,
+                have: 1,
+                need: 3
+            }
+        ));
+        assert!(matches!(
+            group.recover_secret(99, &members),
+            Err(RecoveryError::UnknownMember { uid: 99 })
+        ));
+    }
+
+    #[test]
+    fn recovered_secret_passes_the_public_key_check() {
+        let mut rng = stream(4, SeedStream::SecAggSecret);
+        let members = [10u64, 20, 30, 40];
+        let group = PreparedGroup::setup(2, &members, &mut rng);
+        let sk = group.recover_secret(20, &[10, 30, 40]).unwrap();
+        let i = group.index_of(20).unwrap();
+        assert_eq!(sk, group.secrets[i]);
+    }
+
+    #[test]
+    fn singleton_group_needs_no_masks() {
+        let mut rng = stream(5, SeedStream::SecAggSecret);
+        let group = PreparedGroup::setup(0, &[7], &mut rng);
+        let mut p = vec![1u64, 2, 3];
+        group.mask_payload(7, &mut p);
+        assert_eq!(p, vec![1, 2, 3]);
+        assert_eq!(group.setup_bytes(), 0);
+    }
+
+    #[test]
+    fn group_json_round_trips_exactly() {
+        use hf_tensor::ser::parse_json;
+        let mut rng = stream(6, SeedStream::SecAggSecret);
+        let group = PreparedGroup::setup(11, &[2, 3, 5, 8], &mut rng);
+        let json = group.to_json();
+        let restored = PreparedGroup::from_json(&parse_json(&json).unwrap()).unwrap();
+        assert_eq!(restored, group);
+        assert_eq!(restored.to_json(), json);
+    }
+}

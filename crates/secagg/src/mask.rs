@@ -1,0 +1,137 @@
+//! Ring payload layout and pairwise mask expansion.
+//!
+//! Every client in a secure-aggregation group uploads one **dense** u64
+//! ring vector with a group-wide [`PayloadLayout`] — dense, because a
+//! sparse encoding would leak which items a client touched. The layout
+//! packs, in order:
+//!
+//! 1. item deltas, `num_items × width` row-major ring words;
+//! 2. per-item contributor counts, `num_items` words (a masked 0/1
+//!    indicator per client, so count normalization survives without
+//!    revealing any individual interaction set);
+//! 3. per tier τ ∈ {S, M, L}: `theta_lens[τ]` predictor-delta words,
+//!    one quantized aggregation-weight word, one contributor-count word.
+//!
+//! Masks are expanded from the purpose-keyed RNG: pair secret `k` and
+//! round `r` select `SeedStream::SecAggMask { round: r }`, and the lower
+//! uid adds the stream while the higher subtracts it, so masks cancel
+//! exactly in the wrapping-u64 aggregate.
+
+use hf_tensor::rng::{stream, Rng, SeedStream};
+
+/// Shape of one group's dense ring payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PayloadLayout {
+    /// Item-table rows carried (the full padded table).
+    pub num_items: usize,
+    /// Embedding width of the group's table slice.
+    pub width: usize,
+    /// Flattened predictor lengths per tier (0 when a tier is absent).
+    pub theta_lens: [usize; 3],
+}
+
+impl PayloadLayout {
+    /// Total ring words in a payload with this layout.
+    pub fn len(&self) -> usize {
+        self.num_items * (self.width + 1) + self.theta_lens.iter().sum::<usize>() + 6
+    }
+
+    /// `true` when the payload would carry nothing (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.num_items == 0 && self.theta_lens.iter().all(|&l| l == 0)
+    }
+
+    /// Offset of the item-delta block (row-major `num_items × width`).
+    pub fn item_delta_offset(&self) -> usize {
+        0
+    }
+
+    /// Offset of the per-item contributor-count block.
+    pub fn item_count_offset(&self) -> usize {
+        self.num_items * self.width
+    }
+
+    /// Offset of tier `t`'s predictor-delta block.
+    pub fn theta_offset(&self, t: usize) -> usize {
+        let mut off = self.num_items * (self.width + 1);
+        for lens in &self.theta_lens[..t] {
+            off += lens + 2;
+        }
+        off
+    }
+
+    /// Offset of tier `t`'s quantized aggregation-weight word.
+    pub fn theta_weight_offset(&self, t: usize) -> usize {
+        self.theta_offset(t) + self.theta_lens[t]
+    }
+
+    /// Offset of tier `t`'s contributor-count word.
+    pub fn theta_count_offset(&self, t: usize) -> usize {
+        self.theta_weight_offset(t) + 1
+    }
+}
+
+/// Expands the pairwise mask stream for `(pair_secret, round)` to `len`
+/// words. Exposed for tests; hot paths use [`apply_pair_mask`] to avoid
+/// the intermediate allocation.
+pub fn mask_words(pair_secret: u64, round: u64, len: usize) -> Vec<u64> {
+    let mut rng = stream(pair_secret, SeedStream::SecAggMask { round });
+    (0..len).map(|_| rng.next_u64()).collect()
+}
+
+/// Adds (`add = true`) or subtracts the pair's mask stream into `payload`
+/// with wrapping ring arithmetic.
+pub fn apply_pair_mask(payload: &mut [u64], pair_secret: u64, round: u64, add: bool) {
+    let mut rng = stream(pair_secret, SeedStream::SecAggMask { round });
+    if add {
+        for w in payload.iter_mut() {
+            *w = w.wrapping_add(rng.next_u64());
+        }
+    } else {
+        for w in payload.iter_mut() {
+            *w = w.wrapping_sub(rng.next_u64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_offsets_tile_the_payload_exactly() {
+        let l = PayloadLayout {
+            num_items: 10,
+            width: 4,
+            theta_lens: [3, 5, 7],
+        };
+        assert_eq!(l.item_delta_offset(), 0);
+        assert_eq!(l.item_count_offset(), 40);
+        assert_eq!(l.theta_offset(0), 50);
+        assert_eq!(l.theta_weight_offset(0), 53);
+        assert_eq!(l.theta_count_offset(0), 54);
+        assert_eq!(l.theta_offset(1), 55);
+        assert_eq!(l.theta_offset(2), 62);
+        assert_eq!(l.theta_count_offset(2), 70);
+        assert_eq!(l.len(), 71);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn add_then_subtract_cancels_exactly() {
+        let original: Vec<u64> = (0..64).map(|i| i * 0x9e37_79b9).collect();
+        let mut payload = original.clone();
+        apply_pair_mask(&mut payload, 0xdead_beef, 3, true);
+        assert_ne!(payload, original, "mask must actually change the payload");
+        apply_pair_mask(&mut payload, 0xdead_beef, 3, false);
+        assert_eq!(payload, original);
+    }
+
+    #[test]
+    fn mask_streams_differ_per_round_and_secret() {
+        let a = mask_words(1, 0, 8);
+        assert_eq!(a, mask_words(1, 0, 8));
+        assert_ne!(a, mask_words(1, 1, 8));
+        assert_ne!(a, mask_words(2, 0, 8));
+    }
+}

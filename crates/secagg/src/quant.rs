@@ -1,0 +1,137 @@
+//! Fixed-point quantization into the u64 additive ring.
+//!
+//! Floats cannot cancel bit-exactly under reordering; ring integers can.
+//! Every secure-aggregation payload is therefore quantized client-side:
+//! `q = round(x · 2^scale_bits)` saturated into `i64` and carried as its
+//! two's-complement `u64` image. Ring addition is `wrapping_add`, which
+//! is associative and commutative, so the aggregate is independent of
+//! summation order and masks cancel exactly.
+//!
+//! Non-finite inputs are a client-side bug, not data; they are rejected
+//! with a typed error instead of being silently encoded as zero (the
+//! lesson from the PR 3 NaN-swallowing fix).
+
+use std::fmt;
+
+/// Errors from fixed-point encoding.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuantError {
+    /// The input was NaN or ±infinity.
+    NonFinite {
+        /// The offending value (NaN compares unequal; stored for Display).
+        value: f32,
+    },
+    /// `scale_bits` outside the supported `1..=30` range.
+    BadScaleBits {
+        /// The rejected bit count.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::NonFinite { value } => {
+                write!(f, "cannot quantize non-finite value {value}")
+            }
+            QuantError::BadScaleBits { bits } => {
+                write!(f, "scale_bits must be in 1..=30, got {bits}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Maximum supported `scale_bits` (an `f32` has 24 mantissa bits; 30
+/// already exceeds any useful delta precision).
+pub const MAX_SCALE_BITS: u32 = 30;
+
+/// Fixed-point codec between `f32` deltas and u64 ring elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Quantizer {
+    scale_bits: u32,
+}
+
+impl Quantizer {
+    /// A codec with `2^scale_bits` resolution. `scale_bits` must lie in
+    /// `1..=`[`MAX_SCALE_BITS`].
+    pub fn new(scale_bits: u32) -> Result<Self, QuantError> {
+        if scale_bits == 0 || scale_bits > MAX_SCALE_BITS {
+            return Err(QuantError::BadScaleBits { bits: scale_bits });
+        }
+        Ok(Self { scale_bits })
+    }
+
+    /// The configured scale exponent.
+    pub fn scale_bits(&self) -> u32 {
+        self.scale_bits
+    }
+
+    fn scale(&self) -> f64 {
+        (1u64 << self.scale_bits) as f64
+    }
+
+    /// Encodes one delta into the ring. Saturates at the `i64` boundary;
+    /// rejects NaN/±inf with a typed error.
+    pub fn encode(&self, x: f32) -> Result<u64, QuantError> {
+        if !x.is_finite() {
+            return Err(QuantError::NonFinite { value: x });
+        }
+        // f64 -> i64 `as` saturates (NaN would cast to 0, which is why
+        // the finite check must come first).
+        let q = (x as f64 * self.scale()).round() as i64;
+        Ok(q as u64)
+    }
+
+    /// Encodes a slice, appending to `out`.
+    pub fn encode_into(&self, xs: &[f32], out: &mut Vec<u64>) -> Result<(), QuantError> {
+        out.reserve(xs.len());
+        for &x in xs {
+            out.push(self.encode(x)?);
+        }
+        Ok(())
+    }
+
+    /// Decodes a ring element (two's-complement `i64` image) back to `f32`.
+    pub fn decode(&self, v: u64) -> f32 {
+        ((v as i64) as f64 / self.scale()) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_bits_validated() {
+        assert!(Quantizer::new(0).is_err());
+        assert!(Quantizer::new(31).is_err());
+        assert_eq!(Quantizer::new(16).unwrap().scale_bits(), 16);
+    }
+
+    #[test]
+    fn negative_values_round_trip_through_twos_complement() {
+        let q = Quantizer::new(16).unwrap();
+        let v = q.encode(-1.5).unwrap();
+        assert_eq!(v as i64, -(3 << 15));
+        assert_eq!(q.decode(v), -1.5);
+    }
+
+    #[test]
+    fn nan_and_inf_are_typed_errors() {
+        let q = Quantizer::new(8).unwrap();
+        assert!(matches!(
+            q.encode(f32::NAN),
+            Err(QuantError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            q.encode(f32::INFINITY),
+            Err(QuantError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            q.encode(f32::NEG_INFINITY),
+            Err(QuantError::NonFinite { .. })
+        ));
+    }
+}

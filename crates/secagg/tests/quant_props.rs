@@ -1,0 +1,92 @@
+//! Quantization property tests: the fixed-point codec must round-trip,
+//! saturate (not wrap) at the representable boundary, sum *exactly* in
+//! the ring, and reject non-finite inputs with a typed error — never
+//! encode them silently (the PR 3 lesson: swallowing NaN hides bugs).
+
+use hf_secagg::{QuantError, Quantizer};
+use hf_tensor::rng::{stream, Rng, SeedStream};
+
+const SEED: u64 = 0x5141_4e54; // "QANT"
+
+#[test]
+fn encode_decode_round_trips_within_half_ulp_of_the_grid() {
+    for bits in [1u32, 8, 16, 24, 30] {
+        let q = Quantizer::new(bits).unwrap();
+        let step = 1.0 / (1u64 << bits) as f64;
+        let mut rng = stream(SEED, SeedStream::Custom(1));
+        for _ in 0..10_000 {
+            let x = rng.standard_normal_f32();
+            let decoded = q.decode(q.encode(x).unwrap());
+            assert!(
+                (decoded as f64 - x as f64).abs() <= step / 2.0 + 1e-9,
+                "bits={bits} x={x} decoded={decoded}"
+            );
+        }
+        // Values exactly on the grid round-trip bit-identically.
+        for k in [-5i64, -1, 0, 1, 7, 1000] {
+            let x = (k as f64 * step) as f32;
+            assert_eq!(q.decode(q.encode(x).unwrap()), x, "bits={bits} k={k}");
+        }
+    }
+}
+
+#[test]
+fn encode_saturates_at_the_i64_boundary_instead_of_wrapping() {
+    let q = Quantizer::new(30).unwrap();
+    // f32::MAX * 2^30 vastly exceeds i64::MAX; the encode must clamp.
+    let hi = q.encode(f32::MAX).unwrap();
+    let lo = q.encode(f32::MIN).unwrap();
+    assert_eq!(hi as i64, i64::MAX);
+    assert_eq!(lo as i64, i64::MIN);
+    // Saturation is monotone: a huge input never lands below a small one.
+    let small = q.encode(1.0).unwrap();
+    assert!((hi as i64) > (small as i64));
+    assert!((lo as i64) < -(small as i64));
+}
+
+#[test]
+fn ring_sum_of_quantized_deltas_equals_the_quantized_sum_exactly() {
+    let q = Quantizer::new(16).unwrap();
+    let mut rng = stream(SEED, SeedStream::Custom(2));
+    for trial in 0..100 {
+        let n = rng.gen_range(2usize..64);
+        let xs: Vec<f32> = (0..n).map(|_| rng.standard_normal_f32()).collect();
+        // Ring sum (wrapping u64) of the per-client encodings...
+        let encoded: Vec<u64> = xs.iter().map(|&x| q.encode(x).unwrap()).collect();
+        let ring_sum = encoded.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        // ...must equal the exact integer sum of the quantized values,
+        // checked against an i128 accumulator that cannot wrap.
+        let exact: i128 = encoded.iter().map(|&v| (v as i64) as i128).sum();
+        assert_eq!(
+            ring_sum as i64 as i128, exact,
+            "trial {trial}: ring sum diverged from exact integer sum"
+        );
+        // And summation order is irrelevant in the ring.
+        let reversed = encoded.iter().rev().fold(0u64, |a, &v| a.wrapping_add(v));
+        assert_eq!(ring_sum, reversed);
+    }
+}
+
+#[test]
+fn non_finite_inputs_are_typed_errors_not_zeros() {
+    let q = Quantizer::new(12).unwrap();
+    for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        match q.encode(bad) {
+            Err(QuantError::NonFinite { .. }) => {}
+            other => panic!("encode({bad}) must be NonFinite, got {other:?}"),
+        }
+    }
+    // And a slice encode stops at the first offender.
+    let mut out = Vec::new();
+    let err = q.encode_into(&[1.0, f32::NAN, 2.0], &mut out).unwrap_err();
+    assert!(matches!(err, QuantError::NonFinite { .. }));
+}
+
+#[test]
+fn bad_scale_bits_are_typed_errors() {
+    assert_eq!(Quantizer::new(0), Err(QuantError::BadScaleBits { bits: 0 }));
+    assert_eq!(
+        Quantizer::new(31),
+        Err(QuantError::BadScaleBits { bits: 31 })
+    );
+}

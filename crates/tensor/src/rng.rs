@@ -39,6 +39,15 @@ pub enum SeedStream {
     Latency,
     /// Client availability (churn) draws.
     Churn,
+    /// Secure-aggregation key-agreement secrets (per client, per session).
+    SecAggSecret,
+    /// Secure-aggregation pairwise mask expansion for one round. The
+    /// round number is folded into the key so the same pair secret
+    /// yields an unrelated mask stream every round.
+    SecAggMask {
+        /// Round the mask stream belongs to.
+        round: u64,
+    },
     /// Free-form stream for tests and tools.
     Custom(u64),
 }
@@ -57,6 +66,8 @@ impl SeedStream {
             SeedStream::Faults => 0x4641_554c,
             SeedStream::Latency => 0x4c41_5459,
             SeedStream::Churn => 0x4348_524e,
+            SeedStream::SecAggSecret => 0x5341_5345,
+            SeedStream::SecAggMask { round } => 0x5341_4d4b ^ split_mix64(round),
             SeedStream::Custom(k) => 0xc000_0000_0000_0000 ^ k,
         }
     }
@@ -392,6 +403,19 @@ mod tests {
         let a: u64 = substream(7, SeedStream::UserInit, 0).gen();
         let b: u64 = substream(7, SeedStream::UserInit, 1).gen();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn secagg_streams_decorrelate_from_each_other_and_per_round() {
+        let secret: u64 = stream(7, SeedStream::SecAggSecret).gen();
+        let mask0: u64 = stream(7, SeedStream::SecAggMask { round: 0 }).gen();
+        let mask1: u64 = stream(7, SeedStream::SecAggMask { round: 1 }).gen();
+        assert_ne!(secret, mask0);
+        assert_ne!(mask0, mask1);
+        // And neither collides with an established stream.
+        let faults: u64 = stream(7, SeedStream::Faults).gen();
+        assert_ne!(secret, faults);
+        assert_ne!(mask0, faults);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 //! | [`fedsim`] | event scheduler, rounds, transport, communication accounting, faults/churn |
 //! | [`metrics`] | Recall@K / NDCG@K and the ranking evaluator |
 //! | [`core`] | HeteFedRec itself: UDL, DDR, RESKD, baselines, sessions |
+//! | [`secagg`] | pairwise-masked secure aggregation: fixed-point ring quantization, mask PRG, Shamir escrow, dropout recovery |
 //! | [`serve`] | model artifacts (eager or lazily loaded), synthetic capacity profiles, and the batched top-K `Recommender` |
 //! | [`net`] | framed TCP serving: micro-batching server, client, load generator |
 
@@ -65,6 +66,7 @@ pub use hf_fedsim as fedsim;
 pub use hf_metrics as metrics;
 pub use hf_models as models;
 pub use hf_net as net;
+pub use hf_secagg as secagg;
 pub use hf_serve as serve;
 pub use hf_tensor as tensor;
 
@@ -73,8 +75,8 @@ pub mod prelude {
     pub use hetefedrec_core::{
         run_experiment, Ablation, AsyncConfig, AsyncRoundStats, ConfigError, EpochRecord,
         EpochReport, EvalOutput, ExperimentResult, History, ItemAggNorm, KdConfig, Mode,
-        RoundReport, ServerOpt, Session, SessionBuilder, SessionError, SessionEvent, StopReason,
-        Strategy, TierDims, TrainConfig,
+        RoundReport, SecAggConfig, SecAggRoundStats, ServerOpt, Session, SessionBuilder,
+        SessionError, SessionEvent, StopReason, Strategy, TierDims, TrainConfig,
     };
     pub use hf_dataset::{
         ClientGroups, DatasetProfile, DivisionRatio, ImplicitDataset, SplitDataset,
