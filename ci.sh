@@ -146,6 +146,28 @@ cargo run -q --offline --release -p hf_bench --bin secagg -- \
     --json target/ci-artifacts/secagg_smoke.json
 test -s target/ci-artifacts/secagg_smoke.json
 
+echo "==> online pipeline smoke (hf-pipeline hot swap + pipeline --json)"
+# The demo trains against a replayed interaction stream, serves
+# generation 1 over TCP, hot-swaps the freshest export with one on-wire
+# Reload, and asserts every response's version stamp and ranking bits
+# (it exits non-zero on any broken invariant). The proof line certifies
+# v1 -> v2 attribution across the swap.
+cargo run -q --offline --release -p hf_pipeline --bin hf_pipeline \
+    > target/ci-artifacts/hf_pipeline_smoke.log
+grep -q "hot swap verified: v1 -> v2, rankings attributable" \
+    target/ci-artifacts/hf_pipeline_smoke.log
+# The example drives the same loop through the facade crate.
+HF_PIPELINE_DIR=target/ci-artifacts/online_pipeline \
+    cargo run -q --offline --release --example online_pipeline \
+    > target/ci-artifacts/online_pipeline_smoke.log
+grep -q "responses re-stamped mid-connection" \
+    target/ci-artifacts/online_pipeline_smoke.log
+# Freshness-drift + swap-latency snapshot as a CI artefact.
+cargo run -q --offline --release -p hf_bench --bin pipeline -- \
+    --scale tiny --dataset ml --model ncf --set epochs=4 \
+    --json target/ci-artifacts/pipeline_smoke.json
+test -s target/ci-artifacts/pipeline_smoke.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -134,7 +134,7 @@ fn main() {
                 for mode in [Mode::Sync, Mode::Async] {
                     let mut cfg = hf_bench::make_config_with(&opts, *model, *profile);
                     cfg.mode = mode;
-                    cfg.latency = scenario.latency;
+                    cfg.latency = scenario.latency.clone();
                     cfg.churn = scenario.churn;
                     let stats = run(&cfg, &split);
                     let work_per_ktick = if stats.ticks == 0 {

@@ -261,6 +261,12 @@ pub struct AsyncConfig {
     pub buffer: usize,
     /// Maximum clients in flight at once.
     pub concurrency: usize,
+    /// Adaptive β: scale the discount exponent by the batch's observed mean
+    /// staleness, `β_eff = β · (1 + mean_staleness)`, so long-staleness
+    /// batches are damped smoothly instead of by a fixed power. Default
+    /// off; the off path is bit-identical to the fixed-β computation and is
+    /// omitted from serialized documents.
+    pub adaptive_beta: bool,
 }
 
 impl Default for AsyncConfig {
@@ -269,6 +275,7 @@ impl Default for AsyncConfig {
             staleness_beta: 0.5,
             buffer: 64,
             concurrency: 512,
+            adaptive_beta: false,
         }
     }
 }
@@ -279,6 +286,11 @@ impl ToJson for AsyncConfig {
             o.field("staleness_beta", &self.staleness_beta)
                 .field("buffer", &self.buffer)
                 .field("concurrency", &self.concurrency);
+            // Emitted only when on, so default-off documents stay
+            // byte-identical to every pre-adaptive-β checkpoint.
+            if self.adaptive_beta {
+                o.field("adaptive_beta", &self.adaptive_beta);
+            }
         });
     }
 }
@@ -290,6 +302,10 @@ impl AsyncConfig {
             staleness_beta: v.get("staleness_beta")?.as_f32()?,
             buffer: v.get("buffer")?.as_usize()?,
             concurrency: v.get("concurrency")?.as_usize()?,
+            adaptive_beta: match v.opt("adaptive_beta") {
+                Some(b) => b.as_bool()?,
+                None => false,
+            },
         })
     }
 }
@@ -612,6 +628,7 @@ impl TrainConfig {
                 staleness_beta: 0.5,
                 buffer: 8,
                 concurrency: 16,
+                adaptive_beta: false,
             },
             latency: LatencyProfile::unit(),
             churn: ChurnProfile::None,
@@ -765,6 +782,7 @@ mod tests {
             staleness_beta: 0.75,
             buffer: 48,
             concurrency: 192,
+            adaptive_beta: true,
         };
         cfg.latency = LatencyProfile::LogNormal {
             median: 4.0,
@@ -806,6 +824,35 @@ mod tests {
         );
         let back = TrainConfig::from_json(&parse_json(&json).unwrap()).unwrap();
         assert_eq!(back.secagg, SecAggConfig::default());
+    }
+
+    #[test]
+    fn default_off_adaptive_beta_serializes_without_the_field() {
+        use hf_tensor::ser::{parse_json, ToJson};
+        let cfg = TrainConfig::test_default(ModelKind::Ncf);
+        let json = cfg.to_json();
+        assert!(
+            !json.contains("adaptive_beta"),
+            "default-off adaptive_beta must not appear in the document: {json}"
+        );
+        let back = TrainConfig::from_json(&parse_json(&json).unwrap()).unwrap();
+        assert!(!back.async_cfg.adaptive_beta);
+    }
+
+    #[test]
+    fn per_tier_latency_roundtrips_through_config() {
+        use hf_tensor::ser::{parse_json, ToJson};
+        let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+        cfg.latency = LatencyProfile::PerTier(Box::new([
+            LatencyProfile::Fixed(1),
+            LatencyProfile::Uniform { min: 2, max: 6 },
+            LatencyProfile::LogNormal {
+                median: 9.0,
+                sigma: 0.5,
+            },
+        ]));
+        let back = TrainConfig::from_json(&parse_json(&cfg.to_json()).unwrap()).unwrap();
+        assert_eq!(back.latency, cfg.latency);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use config::{
 pub use eval::EvalOutput;
 pub use experiment::{run_experiment, ExperimentResult};
 pub use session::{
-    AsyncRoundStats, EpochRecord, EpochReport, History, RoundReport, SecAggRoundStats, Session,
-    SessionBuilder, SessionError, SessionEvent, StopReason,
+    AsyncRoundStats, EpochRecord, EpochReport, History, IngestReport, RoundReport,
+    SecAggRoundStats, Session, SessionBuilder, SessionError, SessionEvent, StopReason,
 };
 pub use strategy::{Ablation, Strategy};

@@ -17,14 +17,20 @@
 //!   key-agreement RNG plus any pipelined group setup (members, public
 //!   keys, secrets, and escrowed seed shares for the next synchronous
 //!   cohort) so a mid-round resume replays the exact same masks.
+//! * **v4** — adds the streaming-ingest state: an `ingest` object with
+//!   the baseline population, the number of stream events applied, and
+//!   the frozen per-client tier assignments plus division thresholds
+//!   (streamed interactions mutate train counts after division, so the
+//!   restore path must not recompute tiers from the split).
 //!
 //! Every addition has a prior-version default (`Sync`, unit latency, no
-//! churn, tick 0, no engine, secure aggregation off), so old documents
-//! still restore — the reader accepts
+//! churn, tick 0, no engine, secure aggregation off, no ingest), so old
+//! documents still restore — the reader accepts
 //! `MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION`. Conversely a run with
 //! secure aggregation *off* stamps version 2 and omits the `secagg`
-//! field entirely, so default-configuration checkpoints stay
-//! byte-identical to pre-v3 builds.
+//! field, and one that never ingested omits `ingest` (stamping at most
+//! v3), so default-configuration checkpoints stay byte-identical to
+//! earlier builds.
 
 use super::reports::{History, StopReason};
 use super::{Session, SessionBuilder, SessionError};
@@ -44,7 +50,7 @@ use std::collections::VecDeque;
 pub(crate) const CHECKPOINT_FORMAT: &str = "hetefedrec.checkpoint";
 /// Current checkpoint schema version (the writer stamps this only when
 /// the document actually carries v3 state; see [`Session::checkpoint`]).
-pub(crate) const CHECKPOINT_VERSION: u64 = 3;
+pub(crate) const CHECKPOINT_VERSION: u64 = 4;
 /// Oldest schema version this build still restores.
 pub(crate) const MIN_CHECKPOINT_VERSION: u64 = 1;
 
@@ -74,10 +80,16 @@ impl Session {
                 self.0.snapshot_json(out);
             }
         }
-        // Stamp the version the document actually needs: v3 state exists
-        // only with secure aggregation on, so default-off runs keep
-        // writing byte-identical v2 documents.
-        let version: u64 = if self.secagg.is_some() { 3 } else { 2 };
+        // Stamp the version the document actually needs: v4 state exists
+        // only once ingest happened, v3 only with secure aggregation on,
+        // so default runs keep writing byte-identical v2 documents.
+        let version: u64 = if self.ingested_events > 0 {
+            4
+        } else if self.secagg.is_some() {
+            3
+        } else {
+            2
+        };
         let mut out = String::new();
         obj(&mut out, |o| {
             o.field("format", &CHECKPOINT_FORMAT)
@@ -105,6 +117,32 @@ impl Session {
             // v3 addition, present only when the state exists.
             if let Some(secagg) = &self.secagg {
                 o.field("secagg", secagg);
+            }
+            // v4 addition, present only once the stream touched the
+            // population: carries the frozen tier assignments so restore
+            // never re-divides the mutated split.
+            if self.ingested_events > 0 {
+                struct Ingest<'a>(&'a Session);
+                impl ToJson for Ingest<'_> {
+                    fn write_json(&self, out: &mut String) {
+                        let s = self.0;
+                        obj(out, |o| {
+                            o.field("baseline_users", &s.baseline_users)
+                                .field("events", &s.ingested_events)
+                                .field("model_tiers", &s.model_groups.tier_indices())
+                                .field("data_tiers", &s.data_groups.tier_indices())
+                                .field(
+                                    "model_thresholds",
+                                    &[s.model_groups.thresholds.0, s.model_groups.thresholds.1],
+                                )
+                                .field(
+                                    "data_thresholds",
+                                    &[s.data_groups.thresholds.0, s.data_groups.thresholds.1],
+                                );
+                        });
+                    }
+                }
+                o.field("ingest", &Ingest(self));
             }
             o.field("ledger", &self.ledger)
                 .field("scheduler", &self.scheduler)
@@ -135,6 +173,51 @@ impl Session {
     /// to re-attach hooks, cadence, or early stopping.
     pub fn restore(json: &str, split: SplitDataset) -> Result<Self, SessionError> {
         SessionBuilder::from_checkpoint(json, split)?.build()
+    }
+
+    /// Recovers the tier assignments for a restoring session. v4
+    /// documents carry them verbatim (frozen at division time, extended
+    /// by admissions); earlier documents recompute from the split, which
+    /// no stream ever touched.
+    pub(super) fn restore_groups(
+        doc: &JsonValue<'_>,
+        cfg: &TrainConfig,
+        strategy: Strategy,
+        split: &SplitDataset,
+    ) -> Result<(ClientGroups, ClientGroups), SessionError> {
+        let Some(ingest) = doc.opt("ingest") else {
+            return Ok((
+                strategy.assign_tiers(split, cfg.ratio),
+                ClientGroups::divide(split, cfg.ratio),
+            ));
+        };
+        let read = |tiers_key: &str, thr_key: &str| -> Result<ClientGroups, SessionError> {
+            let raw = ingest.get(tiers_key)?.as_u64_vec()?;
+            let mut indices = Vec::with_capacity(raw.len());
+            for v in raw {
+                // Checked conversion: a raw `as u8` would wrap 256 back
+                // to a valid index and mask the corruption.
+                if v > 2 {
+                    return Err(SessionError::Checkpoint(format!(
+                        "tier index {v} out of range in `{tiers_key}`"
+                    )));
+                }
+                indices.push(v as u8);
+            }
+            let thr = ingest.get(thr_key)?.as_usize_vec()?;
+            if thr.len() != 2 {
+                return Err(SessionError::Checkpoint(format!(
+                    "`{thr_key}` must hold exactly two thresholds, got {}",
+                    thr.len()
+                )));
+            }
+            ClientGroups::from_tier_indices(&indices, (thr[0], thr[1]))
+                .map_err(SessionError::Checkpoint)
+        };
+        Ok((
+            read("model_tiers", "model_thresholds")?,
+            read("data_tiers", "data_thresholds")?,
+        ))
     }
 
     pub(super) fn restore_parts(
@@ -207,21 +290,25 @@ impl Session {
             None => 0,
         };
         let async_state = if cfg.mode == Mode::Async {
-            Some(match doc.opt("event_scheduler") {
+            let mut st = match doc.opt("event_scheduler") {
                 Some(v) if !v.is_null() => EventScheduler::from_json(
                     v,
                     split.num_users(),
                     cfg.async_cfg.concurrency,
-                    cfg.latency,
+                    cfg.latency.clone(),
                     cfg.seed,
                 )?,
                 _ => EventScheduler::new(
                     split.num_users(),
                     cfg.async_cfg.concurrency,
-                    cfg.latency,
+                    cfg.latency.clone(),
                     cfg.seed,
                 ),
-            })
+            };
+            // Tier tags are pure functions of the (restored) groups, so
+            // they are rebuilt rather than checkpointed.
+            st.set_tiers(model_groups.tier_indices());
+            Some(st)
         } else {
             None
         };
@@ -237,6 +324,15 @@ impl Session {
             })
         } else {
             None
+        };
+        // v4 addition — absent means the stream never ran: the whole
+        // population is the baseline and resume replays zero events.
+        let (baseline_users, ingested_events) = match doc.opt("ingest") {
+            Some(v) => (
+                v.get("baseline_users")?.as_usize()?,
+                v.get("events")?.as_u64()?,
+            ),
+            None => (split.num_users(), 0),
         };
 
         Ok(Session {
@@ -259,6 +355,8 @@ impl Session {
             clock,
             async_state,
             secagg,
+            baseline_users,
+            ingested_events,
             cfg,
             strategy,
             split,

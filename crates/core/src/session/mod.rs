@@ -55,7 +55,7 @@ use crate::config::{ConfigError, Mode, TrainConfig};
 use crate::eval::{evaluate, EvalOutput};
 use crate::server::ServerState;
 use crate::strategy::Strategy;
-use hf_dataset::{ClientGroups, SplitDataset};
+use hf_dataset::{ClientGroups, SplitDataset, Tier};
 use hf_fedsim::comm::CommLedger;
 use hf_fedsim::events::{EventScheduler, TraversalPolicy};
 use hf_fedsim::faults::{ChurnProfile, FaultInjector};
@@ -329,14 +329,17 @@ impl SessionBuilder {
                     FaultInjector::disabled()
                 };
                 let async_state = (cfg.mode == Mode::Async).then(|| {
-                    EventScheduler::new(
+                    let mut st = EventScheduler::new(
                         split.num_users(),
                         cfg.async_cfg.concurrency,
-                        cfg.latency,
+                        cfg.latency.clone(),
                         cfg.seed,
-                    )
+                    );
+                    st.set_tiers(model_groups.tier_indices());
+                    st
                 });
                 let secagg = cfg.secagg.enabled.then(|| secagg::SecAggState::new(&cfg));
+                let baseline_users = split.num_users();
                 Session {
                     cfg,
                     strategy,
@@ -364,6 +367,8 @@ impl SessionBuilder {
                     clock: 0,
                     async_state,
                     secagg,
+                    baseline_users,
+                    ingested_events: 0,
                     eval_every: 1,
                     early_stop: None,
                     round_hooks: Vec::new(),
@@ -396,8 +401,12 @@ impl SessionBuilder {
                     cfg.mode = mode;
                 }
                 cfg.validate()?;
-                let model_groups = strategy.assign_tiers(&split, cfg.ratio);
-                let data_groups = ClientGroups::divide(&split, cfg.ratio);
+                // Ingest-bearing (v4) documents carry their frozen tier
+                // assignments: streamed interactions changed train counts
+                // after division, so recomputing groups from the split
+                // would re-tier users and invalidate their embeddings.
+                let (model_groups, data_groups) =
+                    Session::restore_groups(&doc, &cfg, strategy, &split)?;
                 Session::restore_parts(&doc, cfg, strategy, split, model_groups, data_groups)?
             }
         };
@@ -453,6 +462,12 @@ pub struct Session {
     /// Secure-aggregation state (key-agreement RNG plus any pipelined
     /// group setup) — `Some` exactly when `cfg.secagg.enabled`.
     secagg: Option<secagg::SecAggState>,
+    /// Population size at construction, before any streamed ingest.
+    baseline_users: usize,
+    /// Streamed interactions applied via [`Session::ingest`] (duplicates
+    /// included). Resume replays exactly this many events from the same
+    /// stream before restoring, so the split matches the checkpoint.
+    ingested_events: u64,
     // --- observers (builder-side; not checkpointed) ---
     eval_every: usize,
     early_stop: Option<EarlyStopConfig>,
@@ -663,6 +678,79 @@ impl Session {
         )
     }
 
+    // -- streaming ingest ---------------------------------------------------
+
+    /// Population size at construction, before any streamed admissions.
+    pub fn baseline_users(&self) -> usize {
+        self.baseline_users
+    }
+
+    /// Streamed interactions applied so far (duplicates included).
+    pub fn ingested_events(&self) -> u64 {
+        self.ingested_events
+    }
+
+    /// Applies a batch of streamed `(user, item)` interactions between
+    /// rounds: new training positives are appended to existing users'
+    /// histories, and `user == split.num_users()` admits a brand-new
+    /// client into every subsystem (split, tier groups, private state,
+    /// round scheduler, and — in async mode — the event engine).
+    ///
+    /// Existing users are **never re-tiered**: their embedding width is
+    /// fixed at their tier's dimension, so tiers freeze at division time
+    /// and new users are placed by the frozen thresholds. Every event —
+    /// including duplicates, which leave the split unchanged — counts
+    /// toward [`Session::ingested_events`], so resuming a checkpoint
+    /// replays exactly that many events from the same stream.
+    ///
+    /// # Panics
+    /// Panics when an item is outside the item universe or a user id
+    /// would leave a gap (same contract as `SplitDataset::ingest`).
+    pub fn ingest(&mut self, interactions: &[(usize, u32)]) -> IngestReport {
+        let mut report = IngestReport::default();
+        for &(user, item) in interactions {
+            if user == self.split.num_users() {
+                self.admit_user(item);
+                report.admitted += 1;
+            } else if self.split.ingest(user, item) {
+                report.appended += 1;
+            } else {
+                report.duplicates += 1;
+            }
+            self.ingested_events += 1;
+        }
+        report
+    }
+
+    /// Admits one new client holding `item` as its only interaction.
+    fn admit_user(&mut self, item: u32) {
+        let user = self.split.num_users();
+        self.split.ingest(user, item);
+        // Mirror Strategy::assign_tiers for a single-interaction user:
+        // uniform strategies pin the tier, everything else places by the
+        // frozen division thresholds.
+        let model_tier = match self.strategy {
+            Strategy::AllSmall => Tier::Small,
+            Strategy::AllLarge => Tier::Large,
+            _ => self.model_groups.tier_for_count(1),
+        };
+        let data_tier = self.data_groups.tier_for_count(1);
+        self.model_groups.admit(model_tier);
+        self.data_groups.admit(data_tier);
+        let standalone_theta = matches!(self.strategy, Strategy::Standalone)
+            .then(|| self.server.theta(model_tier).clone());
+        self.users.push(UserState::init(
+            user,
+            self.cfg.dims.dim(model_tier),
+            &self.cfg,
+            standalone_theta,
+        ));
+        self.scheduler.admit();
+        if let Some(st) = self.async_state.as_mut() {
+            st.admit(model_tier.index() as u8);
+        }
+    }
+
     // -- internals ----------------------------------------------------------
 
     fn start_epoch(&mut self) {
@@ -767,6 +855,17 @@ impl Session {
             self.evals_since_improvement += 1;
         }
     }
+}
+
+/// What a [`Session::ingest`] batch did to the population.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Interactions appended to existing users' training histories.
+    pub appended: usize,
+    /// Brand-new users admitted into the population.
+    pub admitted: usize,
+    /// Events already present in the split (no-ops).
+    pub duplicates: usize,
 }
 
 /// Iterator adaptor over [`Session::step`].

@@ -746,3 +746,171 @@ fn restore_rejects_mismatched_datasets_and_garbage() {
     let wrong_version = json.replacen("\"version\":2", "\"version\":999", 1);
     assert!(Session::restore(&wrong_version, tiny_split(9)).is_err());
 }
+
+// --- streaming ingest -------------------------------------------------
+
+/// Applies the same stream events a live session ingested to a freshly
+/// rebuilt split — the resume protocol for v4 checkpoints.
+fn replay(split: &mut SplitDataset, events: &[(usize, u32)]) {
+    for &(u, i) in events {
+        split.ingest(u, i);
+    }
+}
+
+#[test]
+fn ingest_appends_admits_and_freezes_tiers() {
+    let mut s = session(Strategy::HeteFedRec(Ablation::FULL), ModelKind::Ncf);
+    let n = s.split().num_users();
+    let tiers_before = s.model_groups().tier_indices();
+
+    let events = [(0usize, 3u32), (n, 7), (n, 2), (0, 3), (0, 3)];
+    let report = s.ingest(&events);
+    assert_eq!(report.admitted, 1, "exactly one brand-new user");
+    assert_eq!(
+        report.appended + report.admitted + report.duplicates,
+        events.len()
+    );
+    assert_eq!(s.ingested_events(), events.len() as u64);
+    assert_eq!(s.baseline_users(), n);
+    assert_eq!(s.split().num_users(), n + 1);
+    assert_eq!(s.users().len(), n + 1);
+
+    // Existing users keep their division-time tiers even though their
+    // train counts changed; the newcomer lands in the smallest bucket.
+    assert_eq!(&s.model_groups().tier_indices()[..n], &tiers_before[..]);
+    assert_eq!(s.model_groups().tier(n), Tier::Small);
+    assert_eq!(
+        s.user_state(n).emb.len(),
+        s.cfg().dims.dim(Tier::Small),
+        "admitted embedding sized for its tier"
+    );
+
+    // The grown population trains and evaluates without panicking (the
+    // newcomer has no held-out data, so evaluation skips it).
+    let loss = s.run_epoch();
+    assert!(loss.is_finite());
+    let eval = s.evaluate();
+    assert!(eval.overall.users > 0);
+}
+
+#[test]
+fn ingest_then_train_is_deterministic_across_thread_counts() {
+    let run = |threads: usize| {
+        let cfg = TrainConfig::test_default(ModelKind::Ncf);
+        let mut s = SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), tiny_split(9))
+            .threads(threads)
+            .build()
+            .unwrap();
+        let n = s.split().num_users();
+        s.run_epoch();
+        s.ingest(&[(0, 3), (n, 7), (1, 9)]);
+        s.run_epoch();
+        s.evaluate()
+    };
+    let a = run(1);
+    for threads in [2, 8] {
+        let b = run(threads);
+        assert_eq!(a.overall.ndcg.to_bits(), b.overall.ndcg.to_bits());
+        assert_eq!(a.overall.recall.to_bits(), b.overall.recall.to_bits());
+    }
+}
+
+#[test]
+fn ingest_checkpoint_stamps_v4_and_resumes_bit_identically() {
+    let cfg = TrainConfig::test_default(ModelKind::Ncf);
+    let strategy = Strategy::HeteFedRec(Ablation::FULL);
+    let n = tiny_split(9).num_users();
+    let events = [(0usize, 3u32), (1, 5), (n, 7), (n, 2), (0, 3)];
+
+    let mut reference = SessionBuilder::new(cfg.clone(), strategy, tiny_split(9))
+        .build()
+        .unwrap();
+    reference.step();
+    reference.ingest(&events);
+    reference.run();
+
+    let mut interrupted = SessionBuilder::new(cfg, strategy, tiny_split(9))
+        .build()
+        .unwrap();
+    interrupted.step();
+    interrupted.ingest(&events);
+    let json = interrupted.checkpoint();
+    assert!(json.contains("\"version\":4"), "ingest promotes to v4");
+    assert!(json.contains("\"ingest\":"), "ingest section present");
+
+    let mut split = tiny_split(9);
+    replay(&mut split, &events);
+    let mut resumed = Session::restore(&json, split).unwrap();
+    assert_eq!(resumed.ingested_events(), events.len() as u64);
+    assert_eq!(resumed.baseline_users(), n);
+    assert_eq!(resumed.split().num_users(), n + 1);
+    resumed.run();
+
+    let a = reference.final_eval().unwrap();
+    let b = resumed.final_eval().unwrap();
+    assert_eq!(a.overall.ndcg.to_bits(), b.overall.ndcg.to_bits());
+    assert_eq!(a.overall.recall.to_bits(), b.overall.recall.to_bits());
+    for tier in Tier::ALL {
+        assert_eq!(
+            reference.server().table(tier).as_slice(),
+            resumed.server().table(tier).as_slice()
+        );
+    }
+}
+
+#[test]
+fn ingest_free_sessions_still_stamp_v2() {
+    let mut s = session(Strategy::AllSmall, ModelKind::Ncf);
+    s.step();
+    let json = s.checkpoint();
+    assert!(json.contains("\"version\":2"));
+    assert!(!json.contains("\"ingest\""));
+}
+
+#[test]
+fn async_ingest_admits_into_the_event_engine() {
+    let cfg = async_cfg(ModelKind::Ncf);
+    let mut s = SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), tiny_split(9))
+        .build()
+        .unwrap();
+    let n = s.split().num_users();
+    s.run_epoch();
+    let report = s.ingest(&[(n, 4), (n + 1, 8)]);
+    assert_eq!(report.admitted, 2);
+    let loss = s.run_epoch();
+    assert!(loss.is_finite());
+    assert_eq!(s.users().len(), n + 2);
+}
+
+#[test]
+fn adaptive_beta_checkpoints_resume_bit_identically() {
+    let mut cfg = async_cfg(ModelKind::Ncf);
+    cfg.async_cfg.adaptive_beta = true;
+    checkpoint_roundtrip_cfg(cfg, Strategy::HeteFedRec(Ablation::FULL), 3, 2);
+}
+
+#[test]
+fn per_tier_latency_trains_and_checkpoints() {
+    let per_tier = LatencyProfile::PerTier(Box::new([
+        LatencyProfile::Fixed(2),
+        LatencyProfile::Uniform { min: 3, max: 9 },
+        LatencyProfile::LogNormal {
+            median: 12.0,
+            sigma: 0.4,
+        },
+    ]));
+    // Synchronous: rounds cost the slowest tier draw.
+    let mut cfg = TrainConfig::test_default(ModelKind::Ncf);
+    cfg.latency = per_tier.clone();
+    let mut s = SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), tiny_split(9))
+        .build()
+        .unwrap();
+    let loss = s.run_epoch();
+    assert!(loss.is_finite());
+    assert!(s.clock() > 0);
+    // Asynchronous: tier tags steer the event engine's draws, and the
+    // whole thing survives checkpoint/resume.
+    let mut cfg = async_cfg(ModelKind::Ncf);
+    cfg.latency = per_tier;
+    checkpoint_roundtrip_cfg(cfg, Strategy::HeteFedRec(Ablation::FULL), 3, 2);
+}

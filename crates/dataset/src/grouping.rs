@@ -188,6 +188,49 @@ impl ClientGroups {
         self.tiers[u]
     }
 
+    /// Per-client tier indices (0/1/2) — the representation layers without
+    /// a [`Tier`] type (simulators, checkpoints) consume.
+    pub fn tier_indices(&self) -> Vec<u8> {
+        self.tiers.iter().map(|t| t.index() as u8).collect()
+    }
+
+    /// Rebuilds a division from checkpointed [`ClientGroups::tier_indices`]
+    /// plus its frozen thresholds.
+    pub fn from_tier_indices(indices: &[u8], thresholds: (usize, usize)) -> Result<Self, String> {
+        let tiers = indices
+            .iter()
+            .map(|&i| match i {
+                0 => Ok(Tier::Small),
+                1 => Ok(Tier::Medium),
+                2 => Ok(Tier::Large),
+                other => Err(format!("tier index {other} out of range")),
+            })
+            .collect::<Result<Vec<Tier>, String>>()?;
+        Ok(Self { tiers, thresholds })
+    }
+
+    /// Tier a newly admitted client with `count` training interactions
+    /// falls into under this division's frozen thresholds. Existing
+    /// members are never re-ranked — admission extends the division, it
+    /// does not recompute it.
+    pub fn tier_for_count(&self, count: usize) -> Tier {
+        let (t_small, t_medium) = self.thresholds;
+        if count <= t_small {
+            Tier::Small
+        } else if count <= t_medium {
+            Tier::Medium
+        } else {
+            Tier::Large
+        }
+    }
+
+    /// Appends one newly admitted client with the given tier, returning
+    /// its id.
+    pub fn admit(&mut self, tier: Tier) -> UserId {
+        self.tiers.push(tier);
+        self.tiers.len() - 1
+    }
+
     /// Number of clients.
     pub fn num_users(&self) -> usize {
         self.tiers.len()
@@ -291,6 +334,30 @@ mod tests {
         for u in 0..30 {
             assert_eq!(a.tier(u), b.tier(u));
         }
+    }
+
+    #[test]
+    fn tier_indices_roundtrip_and_admission_extends() {
+        let counts = vec![1usize, 10, 100, 2, 50];
+        let mut g = ClientGroups::divide_by_counts(&counts, DivisionRatio::PAPER_DEFAULT);
+        let back = ClientGroups::from_tier_indices(&g.tier_indices(), g.thresholds).unwrap();
+        for u in 0..counts.len() {
+            assert_eq!(g.tier(u), back.tier(u));
+        }
+        assert!(ClientGroups::from_tier_indices(&[0, 3], (0, 0)).is_err());
+
+        let before: Vec<Tier> = (0..counts.len()).map(|u| g.tier(u)).collect();
+        let tier = g.tier_for_count(1);
+        assert_eq!(tier, Tier::Small, "one interaction lands in Us");
+        let id = g.admit(tier);
+        assert_eq!(id, counts.len());
+        assert_eq!(g.tier(id), Tier::Small);
+        // Admission never re-ranks existing members.
+        for (u, &t) in before.iter().enumerate() {
+            assert_eq!(g.tier(u), t);
+        }
+        let (_, t_medium) = g.thresholds;
+        assert_eq!(g.tier_for_count(t_medium + 1), Tier::Large);
     }
 
     #[test]

@@ -115,6 +115,46 @@ impl SplitDataset {
         self.users.iter().map(|u| u.train.len()).collect()
     }
 
+    /// Ingests one streamed interaction as a training positive.
+    ///
+    /// `user == num_users()` admits a brand-new user whose split starts as
+    /// `train = [item]` with empty validation and test sets (so evaluation
+    /// skips it until held-out data exists). For existing users the item
+    /// is inserted into the sorted training set; duplicates are ignored.
+    /// Returns `true` iff the dataset changed.
+    ///
+    /// # Panics
+    /// Panics when `item` is outside the item universe or `user` would
+    /// leave a gap in the contiguous user-id space.
+    pub fn ingest(&mut self, user: UserId, item: ItemId) -> bool {
+        assert!(
+            (item as usize) < self.num_items,
+            "item {item} outside the {}-item universe",
+            self.num_items
+        );
+        assert!(
+            user <= self.users.len(),
+            "user {user} would leave a gap (population is {})",
+            self.users.len()
+        );
+        if user == self.users.len() {
+            self.users.push(UserSplit {
+                train: vec![item],
+                valid: Vec::new(),
+                test: Vec::new(),
+            });
+            return true;
+        }
+        let train = &mut self.users[user].train;
+        match train.binary_search(&item) {
+            Ok(_) => false,
+            Err(pos) => {
+                train.insert(pos, item);
+                true
+            }
+        }
+    }
+
     /// Total train/valid/test sizes.
     pub fn totals(&self) -> (usize, usize, usize) {
         let mut t = (0, 0, 0);
@@ -208,6 +248,31 @@ mod tests {
             assert!(split.is_local_positive(v));
         }
         assert!(!split.is_local_positive(split.test[0]));
+    }
+
+    #[test]
+    fn ingest_appends_sorted_and_admits_new_users() {
+        let d = ImplicitDataset::new(10, vec![vec![1, 5], vec![2, 7, 9]]);
+        let mut s = SplitDataset::split(&d, 0.0, 0.0, 1);
+        let before = s.user(0).train.clone();
+        assert!(s.ingest(0, 3));
+        assert!(!s.ingest(0, 3), "duplicate ingests are no-ops");
+        let after = &s.user(0).train;
+        assert!(after.windows(2).all(|w| w[0] < w[1]), "train stays sorted");
+        assert_eq!(after.len(), before.len() + 1);
+
+        assert!(s.ingest(2, 4), "user == num_users admits");
+        assert_eq!(s.num_users(), 3);
+        assert_eq!(s.user(2).train, vec![4]);
+        assert!(s.user(2).valid.is_empty() && s.user(2).test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "gap")]
+    fn ingest_rejects_non_contiguous_users() {
+        let d = ImplicitDataset::new(10, vec![vec![1]]);
+        let mut s = SplitDataset::split(&d, 0.0, 0.0, 1);
+        let _ = s.ingest(5, 2);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub trait TraversalPolicy {
 /// [`SeedStream::Latency`] substream: no mutable RNG state, so checkpoints
 /// carry nothing and draws are independent of evaluation order. All
 /// profiles return at least 1 tick so logical time always advances.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum LatencyProfile {
     /// Every client takes exactly `ticks` ticks (the legacy synchronous
     /// accounting: `Fixed(1)` makes one round cost one tick).
@@ -68,6 +68,11 @@ pub enum LatencyProfile {
         /// Log-space standard deviation (≥ 0); larger = heavier tail.
         sigma: f64,
     },
+    /// One sub-profile per model tier, indexed small/medium/large — so
+    /// small-model clients can be simulated as systematically faster.
+    /// Sub-profiles may not nest another `PerTier`. Callers that have no
+    /// tier notion draw tier 0.
+    PerTier(Box<[LatencyProfile; 3]>),
 }
 
 impl LatencyProfile {
@@ -78,14 +83,14 @@ impl LatencyProfile {
 
     /// Validates the profile's parameters, returning a message on failure.
     pub fn validate(&self) -> Result<(), &'static str> {
-        match *self {
+        match self {
             LatencyProfile::Fixed(t) => {
-                if t == 0 {
+                if *t == 0 {
                     return Err("fixed latency must be at least 1 tick");
                 }
             }
             LatencyProfile::Uniform { min, max } => {
-                if min == 0 {
+                if *min == 0 {
                     return Err("uniform latency min must be at least 1 tick");
                 }
                 if min > max {
@@ -93,11 +98,19 @@ impl LatencyProfile {
                 }
             }
             LatencyProfile::LogNormal { median, sigma } => {
-                if !(median.is_finite() && median > 0.0) {
+                if !(median.is_finite() && *median > 0.0) {
                     return Err("lognormal median must be positive and finite");
                 }
-                if !(sigma.is_finite() && sigma >= 0.0) {
+                if !(sigma.is_finite() && *sigma >= 0.0) {
                     return Err("lognormal sigma must be non-negative and finite");
+                }
+            }
+            LatencyProfile::PerTier(tiers) => {
+                for sub in tiers.iter() {
+                    if matches!(sub, LatencyProfile::PerTier(_)) {
+                        return Err("per-tier latency sub-profiles may not nest");
+                    }
+                    sub.validate()?;
                 }
             }
         }
@@ -105,17 +118,20 @@ impl LatencyProfile {
     }
 
     /// Latency of `client`'s dispatch number `version` — a pure function of
-    /// its arguments plus `seed`, clamped to `[1, 2^40]` ticks.
-    pub fn draw(&self, seed: u64, client: usize, version: u64) -> u64 {
+    /// its arguments plus `seed`, clamped to `[1, 2^40]` ticks. `tier` is the
+    /// client's model-tier index (small/medium/large); only
+    /// [`LatencyProfile::PerTier`] consults it, so draws under the flat
+    /// profiles are bit-identical whatever tier the caller passes.
+    pub fn draw(&self, seed: u64, client: usize, version: u64, tier: usize) -> u64 {
         const MAX_TICKS: u64 = 1 << 40;
-        match *self {
-            LatencyProfile::Fixed(t) => t,
+        match self {
+            LatencyProfile::Fixed(t) => *t,
             LatencyProfile::Uniform { min, max } => {
                 if min == max {
-                    return min;
+                    return *min;
                 }
                 let mut rng = substream(seed, SeedStream::Latency, draw_key(client, version));
-                rng.gen_range(min..=max)
+                rng.gen_range(*min..=*max)
             }
             LatencyProfile::LogNormal { median, sigma } => {
                 let mut rng = substream(seed, SeedStream::Latency, draw_key(client, version));
@@ -126,12 +142,33 @@ impl LatencyProfile {
                 }
                 (ticks as u64).clamp(1, MAX_TICKS)
             }
+            LatencyProfile::PerTier(tiers) => tiers[tier.min(2)].draw(seed, client, version, 0),
         }
     }
 
-    /// Parses a CLI spec: `fixed:T`, `uniform:MIN:MAX`, or
-    /// `lognormal:MEDIAN:SIGMA`.
+    /// Parses a CLI spec: `fixed:T`, `uniform:MIN:MAX`,
+    /// `lognormal:MEDIAN:SIGMA`, or `pertier:SMALL/MEDIUM/LARGE` where each
+    /// slot is itself a flat spec (e.g.
+    /// `pertier:fixed:1/uniform:2:6/lognormal:9:0.5`).
     pub fn parse(spec: &str) -> Result<Self, String> {
+        if let Some(rest) = spec.strip_prefix("pertier:") {
+            let subs: Vec<&str> = rest.split('/').collect();
+            if subs.len() != 3 {
+                return Err(format!(
+                    "pertier latency needs exactly 3 `/`-separated sub-specs, got {}",
+                    subs.len()
+                ));
+            }
+            let mut parsed = Vec::with_capacity(3);
+            for sub in subs {
+                parsed.push(LatencyProfile::parse(sub)?);
+            }
+            let profile = LatencyProfile::PerTier(Box::new(
+                <[LatencyProfile; 3]>::try_from(parsed).expect("three sub-profiles"),
+            ));
+            profile.validate().map_err(str::to_owned)?;
+            return Ok(profile);
+        }
         let parts: Vec<&str> = spec.split(':').collect();
         let profile = match parts.as_slice() {
             ["fixed", t] => {
@@ -156,7 +193,8 @@ impl LatencyProfile {
             _ => {
                 return Err(format!(
                     "unknown latency spec `{spec}` (expected fixed:T, \
-                     uniform:MIN:MAX, or lognormal:MEDIAN:SIGMA)"
+                     uniform:MIN:MAX, lognormal:MEDIAN:SIGMA, or \
+                     pertier:SMALL/MEDIUM/LARGE)"
                 ))
             }
         };
@@ -176,6 +214,23 @@ impl LatencyProfile {
                 median: v.get("median")?.as_f64()?,
                 sigma: v.get("sigma")?.as_f64()?,
             },
+            "per_tier" => {
+                let arr = v.get("tiers")?;
+                let arr = arr.as_arr()?;
+                if arr.len() != 3 {
+                    return Err(JsonError::msg(format!(
+                        "per_tier latency needs 3 sub-profiles, got {}",
+                        arr.len()
+                    )));
+                }
+                let mut subs = Vec::with_capacity(3);
+                for item in arr {
+                    subs.push(LatencyProfile::from_json(item)?);
+                }
+                LatencyProfile::PerTier(Box::new(
+                    <[LatencyProfile; 3]>::try_from(subs).expect("three sub-profiles"),
+                ))
+            }
             other => return Err(JsonError::msg(format!("unknown latency kind `{other}`"))),
         };
         profile.validate().map_err(JsonError::msg)?;
@@ -185,19 +240,23 @@ impl LatencyProfile {
 
 impl ToJson for LatencyProfile {
     fn write_json(&self, out: &mut String) {
-        obj(out, |o| match *self {
+        obj(out, |o| match self {
             LatencyProfile::Fixed(t) => {
-                o.field("kind", &"fixed").field("ticks", &t);
+                o.field("kind", &"fixed").field("ticks", t);
             }
             LatencyProfile::Uniform { min, max } => {
                 o.field("kind", &"uniform")
-                    .field("min", &min)
-                    .field("max", &max);
+                    .field("min", min)
+                    .field("max", max);
             }
             LatencyProfile::LogNormal { median, sigma } => {
                 o.field("kind", &"lognormal")
-                    .field("median", &median)
-                    .field("sigma", &sigma);
+                    .field("median", median)
+                    .field("sigma", sigma);
+            }
+            LatencyProfile::PerTier(tiers) => {
+                let subs: Vec<LatencyProfile> = tiers.to_vec();
+                o.field("kind", &"per_tier").field("tiers", &subs);
             }
         });
     }
@@ -329,6 +388,11 @@ pub struct EventScheduler {
     /// Per-client dispatch versions: how many times each client has been
     /// handed parameters. Keys the latency draws, so it is checkpointed.
     dispatch_versions: Vec<u64>,
+    /// Per-client model-tier indices consulted by
+    /// [`LatencyProfile::PerTier`] draws. Derivable from the configuration
+    /// (not checkpointed); defaults to all-zero until
+    /// [`EventScheduler::set_tiers`] installs real assignments.
+    tiers: Vec<u8>,
 }
 
 impl EventScheduler {
@@ -349,7 +413,32 @@ impl EventScheduler {
             queue: EventQueue::new(),
             pending_dispatch: VecDeque::new(),
             dispatch_versions: vec![0; population],
+            tiers: vec![0; population],
         }
+    }
+
+    /// Installs per-client tier indices for [`LatencyProfile::PerTier`]
+    /// draws. A no-op in spirit for flat profiles (draws ignore the tier).
+    ///
+    /// # Panics
+    /// Panics if `tiers` does not cover the population.
+    pub fn set_tiers(&mut self, tiers: Vec<u8>) {
+        assert_eq!(
+            tiers.len(),
+            self.dispatch_versions.len(),
+            "tier assignments must cover the population"
+        );
+        self.tiers = tiers;
+    }
+
+    /// Grows the population by one newly admitted client with the given
+    /// tier, returning its id. The new client joins traversals from the
+    /// next epoch on (its dispatch version starts at zero).
+    pub fn admit(&mut self, tier: u8) -> usize {
+        let client = self.dispatch_versions.len();
+        self.dispatch_versions.push(0);
+        self.tiers.push(tier);
+        client
     }
 
     /// Current logical time in ticks.
@@ -395,7 +484,8 @@ impl EventScheduler {
             }
             let version = self.dispatch_versions[client];
             self.dispatch_versions[client] = version + 1;
-            let ticks = self.latency.draw(self.seed, client, version);
+            let tier = self.tiers[client] as usize;
+            let ticks = self.latency.draw(self.seed, client, version, tier);
             self.queue.push(PendingArrival {
                 time: self.clock + ticks,
                 client,
@@ -468,8 +558,8 @@ mod tests {
             median: 4.0,
             sigma: 0.8,
         };
-        let forward: Vec<u64> = (0..50).map(|c| p.draw(7, c, 3)).collect();
-        let backward: Vec<u64> = (0..50).rev().map(|c| p.draw(7, c, 3)).collect();
+        let forward: Vec<u64> = (0..50).map(|c| p.draw(7, c, 3, 0)).collect();
+        let backward: Vec<u64> = (0..50).rev().map(|c| p.draw(7, c, 3, 0)).collect();
         let reversed: Vec<u64> = backward.into_iter().rev().collect();
         assert_eq!(forward, reversed);
         assert!(forward.iter().any(|&t| t != forward[0]), "draws vary");
@@ -478,21 +568,21 @@ mod tests {
     #[test]
     fn latency_draws_vary_by_version() {
         let p = LatencyProfile::Uniform { min: 1, max: 1000 };
-        let by_version: Vec<u64> = (0..64).map(|v| p.draw(3, 5, v)).collect();
+        let by_version: Vec<u64> = (0..64).map(|v| p.draw(3, 5, v, 0)).collect();
         assert!(by_version.iter().any(|&t| t != by_version[0]));
     }
 
     #[test]
     fn latency_respects_bounds() {
         let u = LatencyProfile::Uniform { min: 2, max: 9 };
-        assert!((0..1000).all(|c| (2..=9).contains(&u.draw(1, c, 0))));
+        assert!((0..1000).all(|c| (2..=9).contains(&u.draw(1, c, 0, 0))));
         let f = LatencyProfile::Fixed(3);
-        assert!((0..100).all(|c| f.draw(1, c, 0) == 3));
+        assert!((0..100).all(|c| f.draw(1, c, 0, 0) == 3));
         let ln = LatencyProfile::LogNormal {
             median: 4.0,
             sigma: 1.0,
         };
-        assert!((0..1000).all(|c| ln.draw(1, c, 0) >= 1));
+        assert!((0..1000).all(|c| ln.draw(1, c, 0, 0) >= 1));
     }
 
     #[test]
@@ -556,6 +646,78 @@ mod tests {
         assert!(LatencyProfile::parse("bogus").is_err());
     }
 
+    fn per_tier_fixture() -> LatencyProfile {
+        LatencyProfile::PerTier(Box::new([
+            LatencyProfile::Fixed(2),
+            LatencyProfile::Uniform { min: 4, max: 9 },
+            LatencyProfile::LogNormal {
+                median: 20.0,
+                sigma: 0.5,
+            },
+        ]))
+    }
+
+    #[test]
+    fn per_tier_selects_the_tier_sub_profile() {
+        let p = per_tier_fixture();
+        assert_eq!(p.draw(7, 3, 0, 0), 2);
+        let medium = p.draw(7, 3, 0, 1);
+        assert!((4..=9).contains(&medium));
+        // The per-tier draw matches the bare sub-profile's draw exactly:
+        // same (seed, client, version) key, tier only picks the arm.
+        let bare = LatencyProfile::Uniform { min: 4, max: 9 };
+        assert_eq!(medium, bare.draw(7, 3, 0, 0));
+        // Out-of-range tiers clamp to the large arm.
+        assert_eq!(p.draw(7, 3, 0, 2), p.draw(7, 3, 0, 9));
+    }
+
+    #[test]
+    fn per_tier_validation_rejects_bad_and_nested_sub_profiles() {
+        let bad = LatencyProfile::PerTier(Box::new([
+            LatencyProfile::Fixed(0),
+            LatencyProfile::unit(),
+            LatencyProfile::unit(),
+        ]));
+        assert!(bad.validate().is_err());
+        let nested = LatencyProfile::PerTier(Box::new([
+            per_tier_fixture(),
+            LatencyProfile::unit(),
+            LatencyProfile::unit(),
+        ]));
+        assert_eq!(
+            nested.validate(),
+            Err("per-tier latency sub-profiles may not nest")
+        );
+    }
+
+    #[test]
+    fn per_tier_json_and_cli_roundtrip() {
+        let p = per_tier_fixture();
+        let back = LatencyProfile::from_json(&parse_json(&p.to_json()).unwrap()).unwrap();
+        assert_eq!(p, back);
+        let parsed = LatencyProfile::parse("pertier:fixed:2/uniform:4:9/lognormal:20:0.5").unwrap();
+        assert_eq!(parsed, p);
+        assert!(LatencyProfile::parse("pertier:fixed:1/fixed:2").is_err());
+        assert!(LatencyProfile::parse("pertier:fixed:0/fixed:1/fixed:1").is_err());
+    }
+
+    #[test]
+    fn scheduler_draws_by_tier_and_admits_new_clients() {
+        let mut s = EventScheduler::new(2, 4, per_tier_fixture(), 11);
+        s.set_tiers(vec![0, 1]);
+        let admitted = s.admit(2);
+        assert_eq!(admitted, 2);
+        s.begin_epoch(vec![0, 1, 2]);
+        s.fill(0, |_| false);
+        let batch = s.pop_batch(3);
+        let by_client: std::collections::BTreeMap<usize, u64> =
+            batch.iter().map(|a| (a.client, a.time)).collect();
+        let p = per_tier_fixture();
+        assert_eq!(by_client[&0], p.draw(11, 0, 0, 0));
+        assert_eq!(by_client[&1], p.draw(11, 1, 0, 1));
+        assert_eq!(by_client[&2], p.draw(11, 2, 0, 2));
+    }
+
     #[test]
     fn queue_pops_in_time_then_client_order() {
         let mut q = EventQueue::new();
@@ -594,7 +756,7 @@ mod tests {
     fn scheduler_runs_an_epoch_deterministically() {
         let latency = LatencyProfile::Uniform { min: 1, max: 20 };
         let run = || {
-            let mut s = EventScheduler::new(16, 4, latency, 42);
+            let mut s = EventScheduler::new(16, 4, latency.clone(), 42);
             s.begin_epoch((0..16).collect());
             let mut seen = Vec::new();
             let mut round = 0u64;
@@ -630,7 +792,7 @@ mod tests {
     #[test]
     fn scheduler_checkpoint_resumes_mid_epoch() {
         let latency = LatencyProfile::Uniform { min: 1, max: 9 };
-        let mut s = EventScheduler::new(12, 4, latency, 5);
+        let mut s = EventScheduler::new(12, 4, latency.clone(), 5);
         s.begin_epoch((0..12).collect());
         s.fill(0, |_| false);
         let _ = s.pop_batch(2);

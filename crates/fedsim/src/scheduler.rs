@@ -47,6 +47,17 @@ impl RoundScheduler {
         Self::new(num_clients, 256, seed)
     }
 
+    /// Admits one newly arrived client, returning its id. The client joins
+    /// the traversal from the next shuffle on; the current epoch's chunks
+    /// (already handed out by [`RoundScheduler::next_epoch`]) are
+    /// unaffected. Admission order is part of the deterministic state: the
+    /// queue (including admits) is checkpointed verbatim.
+    pub fn admit(&mut self) -> usize {
+        let client = self.queue.len();
+        self.queue.push(client);
+        client
+    }
+
     /// Number of rounds per epoch (`ceil(num_clients / clients_per_round)`).
     pub fn rounds_per_epoch(&self) -> usize {
         self.queue.len().div_ceil(self.clients_per_round)
@@ -163,6 +174,28 @@ mod tests {
             let flat: Vec<usize> = by_rounds.next_epoch().into_iter().flatten().collect();
             assert_eq!(flat, by_traversal.next_traversal());
         }
+    }
+
+    #[test]
+    fn admitted_clients_join_the_next_traversal() {
+        let mut s = RoundScheduler::new(10, 4, 3);
+        let _ = s.next_epoch();
+        assert_eq!(s.admit(), 10);
+        assert_eq!(s.admit(), 11);
+        assert_eq!(s.population(), 12);
+        let mut flat: Vec<usize> = s.next_epoch().into_iter().flatten().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn admission_is_checkpointed_with_the_queue() {
+        use hf_tensor::ser::{parse_json, ToJson};
+        let mut s = RoundScheduler::new(8, 4, 9);
+        s.next_epoch();
+        s.admit();
+        let mut resumed = RoundScheduler::from_json(&parse_json(&s.to_json()).unwrap()).unwrap();
+        assert_eq!(s.next_epoch(), resumed.next_epoch());
     }
 
     #[test]

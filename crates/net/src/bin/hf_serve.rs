@@ -19,11 +19,20 @@
 //! recommender is built, prints one `listening on <addr>` line once the
 //! socket is bound, and serves until a client sends a `Shutdown` frame,
 //! then drains in-flight requests and exits 0.
+//!
+//! A client's `Reload` frame re-reads `--artifact` from disk and
+//! hot-swaps it in: in-flight micro-batches finish on the old artifact,
+//! later batches serve the fresh one, and no restart is needed — the
+//! online pipeline overwrites the artifact path and sends `Reload`.
 
-use hf_net::{serve, ServerConfig};
-use hf_serve::{footprint, ItemHalfMode, LazyConfig, ModelArtifact, RecommenderBuilder};
+use hf_net::{serve_slot, ReloadFn, ServerConfig};
+use hf_serve::{
+    footprint, ArtifactSlot, ItemHalfMode, LazyConfig, ModelArtifact, Recommender,
+    RecommenderBuilder,
+};
 use std::time::Duration;
 
+#[derive(Clone)]
 struct Args {
     artifact: String,
     addr: String,
@@ -136,9 +145,9 @@ fn parse_args() -> Args {
     args
 }
 
-fn main() {
-    let args = parse_args();
-
+/// Loads the artifact file and builds a recommender per the CLI flags —
+/// the shared path for the initial build and every on-wire `Reload`.
+fn build_recommender(args: &Args) -> Result<Recommender, String> {
     let artifact = if args.lazy {
         ModelArtifact::load_file_lazy(
             &args.artifact,
@@ -150,10 +159,7 @@ fn main() {
     } else {
         ModelArtifact::load_file(&args.artifact)
     }
-    .unwrap_or_else(|e| {
-        eprintln!("error: cannot load model: {e}");
-        std::process::exit(1);
-    });
+    .map_err(|e| format!("cannot load model: {e}"))?;
     println!(
         "hf-serve: artifact v{} — {} users, {} items, model {:?}{}",
         artifact.version(),
@@ -179,16 +185,22 @@ fn main() {
         None if args.lazy => ItemHalfMode::Tiled { max_panels: 64 },
         None => ItemHalfMode::Precomputed,
     };
-    let recommender = RecommenderBuilder::new(artifact)
+    RecommenderBuilder::new(artifact)
         .default_k(args.k)
         .threads(args.threads)
         .cold_start_blend(args.blend)
         .item_half_mode(mode)
         .build()
-        .unwrap_or_else(|e| {
-            eprintln!("error: invalid serving configuration: {e}");
-            std::process::exit(1);
-        });
+        .map_err(|e| format!("invalid serving configuration: {e}"))
+}
+
+fn main() {
+    let args = parse_args();
+
+    let recommender = build_recommender(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     match footprint::resident_bytes() {
         Some(rss) => println!(
             "hf-serve: resident footprint after build: {}",
@@ -202,7 +214,10 @@ fn main() {
         batch_max: args.batch_max,
         queue_capacity: args.queue_cap,
     };
-    let handle = serve(recommender, &args.addr, config).unwrap_or_else(|e| {
+    let slot = ArtifactSlot::new(recommender);
+    let reload_args = args.clone();
+    let reload: ReloadFn = Box::new(move || build_recommender(&reload_args));
+    let handle = serve_slot(slot, Some(reload), &args.addr, config).unwrap_or_else(|e| {
         eprintln!("error: cannot serve on {}: {e}", args.addr);
         std::process::exit(1);
     });

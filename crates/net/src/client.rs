@@ -108,6 +108,26 @@ impl Client {
         }
     }
 
+    /// Asks the server to hot-swap to its freshest artifact and blocks
+    /// for the acknowledgment; returns the new artifact version.
+    /// Responses stamped with that version (or later) are guaranteed to
+    /// come from the fresh artifact.
+    pub fn reload(&mut self) -> Result<u64, NetError> {
+        Frame::Reload
+            .write_to(&mut self.stream)
+            .map_err(NetError::Io)?;
+        match self.read_frame()? {
+            Frame::Reloaded(version) => Ok(version),
+            Frame::Error(e) => Err(NetError::Remote {
+                code: e.code,
+                message: e.message,
+            }),
+            other => Err(NetError::Protocol(format!(
+                "expected a reload acknowledgment, got {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the server to drain in-flight work and stop.
     pub fn shutdown_server(&mut self) -> Result<(), NetError> {
         Frame::Shutdown

@@ -49,6 +49,8 @@ const KIND_ERROR: u8 = 3;
 const KIND_PING: u8 = 4;
 const KIND_PONG: u8 = 5;
 const KIND_SHUTDOWN: u8 = 6;
+const KIND_RELOAD: u8 = 7;
+const KIND_RELOADED: u8 = 8;
 
 /// A typed decode failure. Every malformed buffer maps to one of these;
 /// decoding never panics.
@@ -227,6 +229,10 @@ pub struct WireResponse {
     pub id: u64,
     /// The queried user id.
     pub user: u64,
+    /// Artifact version that produced this ranking — the attribution
+    /// key under hot swaps (every response names exactly one artifact
+    /// generation).
+    pub version: u64,
     /// Tier whose model produced the ranking.
     pub tier: Tier,
     /// `true` when the cold-start fallback path served the user.
@@ -237,11 +243,13 @@ pub struct WireResponse {
 }
 
 impl WireResponse {
-    /// Wraps a recommender response for the wire.
-    pub fn from_response(id: u64, response: &RecommendResponse) -> Self {
+    /// Wraps a recommender response for the wire, stamped with the
+    /// artifact version that served it.
+    pub fn from_response(id: u64, version: u64, response: &RecommendResponse) -> Self {
         Self {
             id,
             user: response.user as u64,
+            version,
             tier: response.tier,
             cold_start: response.cold_start,
             items: response.items.clone(),
@@ -286,6 +294,12 @@ pub enum Frame {
     Pong(u64),
     /// Client → server: drain in-flight requests and stop serving.
     Shutdown,
+    /// Client → server: hot-swap to the freshest artifact on disk
+    /// without restarting. In-flight batches finish on the old artifact.
+    Reload,
+    /// Server → client: the swap completed; responses stamped with this
+    /// artifact version (or later) come from the fresh artifact.
+    Reloaded(u64),
 }
 
 impl Frame {
@@ -298,6 +312,8 @@ impl Frame {
             Frame::Ping(_) => "ping",
             Frame::Pong(_) => "pong",
             Frame::Shutdown => "shutdown",
+            Frame::Reload => "reload",
+            Frame::Reloaded(_) => "reloaded",
         }
     }
 
@@ -323,6 +339,7 @@ impl Frame {
                 w.put_u8(KIND_RESPONSE);
                 w.put_u64_le(r.id);
                 w.put_u64_le(r.user);
+                w.put_u64_le(r.version);
                 w.put_u8(r.tier.index() as u8);
                 w.put_u8(r.cold_start as u8);
                 w.put_u32_le(r.items.len() as u32);
@@ -350,6 +367,13 @@ impl Frame {
             }
             Frame::Shutdown => {
                 w.put_u8(KIND_SHUTDOWN);
+            }
+            Frame::Reload => {
+                w.put_u8(KIND_RELOAD);
+            }
+            Frame::Reloaded(version) => {
+                w.put_u8(KIND_RELOADED);
+                w.put_u64_le(*version);
             }
         }
         w.into_vec()
@@ -385,6 +409,7 @@ impl Frame {
             KIND_RESPONSE => {
                 let id = r.get_u64_le().ok_or(FrameError::Truncated)?;
                 let user = r.get_u64_le().ok_or(FrameError::Truncated)?;
+                let version = r.get_u64_le().ok_or(FrameError::Truncated)?;
                 let tier_idx = r.get_u8().ok_or(FrameError::Truncated)? as usize;
                 let tier = *Tier::ALL.get(tier_idx).ok_or(FrameError::BadField {
                     frame: "response",
@@ -404,6 +429,7 @@ impl Frame {
                 Frame::Response(WireResponse {
                     id,
                     user,
+                    version,
                     tier,
                     cold_start,
                     items,
@@ -434,6 +460,8 @@ impl Frame {
             KIND_PING => Frame::Ping(r.get_u64_le().ok_or(FrameError::Truncated)?),
             KIND_PONG => Frame::Pong(r.get_u64_le().ok_or(FrameError::Truncated)?),
             KIND_SHUTDOWN => Frame::Shutdown,
+            KIND_RELOAD => Frame::Reload,
+            KIND_RELOADED => Frame::Reloaded(r.get_u64_le().ok_or(FrameError::Truncated)?),
             other => return Err(FrameError::BadKind { got: other }),
         };
         if r.remaining() != 0 {
@@ -555,6 +583,7 @@ mod tests {
             Frame::Response(WireResponse {
                 id: 42,
                 user: 7,
+                version: 3,
                 tier: Tier::Large,
                 cold_start: true,
                 items: vec![
@@ -576,6 +605,8 @@ mod tests {
             Frame::Ping(0xDEAD_BEEF),
             Frame::Pong(0xDEAD_BEEF),
             Frame::Shutdown,
+            Frame::Reload,
+            Frame::Reloaded(u64::MAX),
         ]
     }
 
@@ -649,12 +680,13 @@ mod tests {
         let mut payload = Frame::Response(WireResponse {
             id: 1,
             user: 2,
+            version: 1,
             tier: Tier::Small,
             cold_start: false,
             items: vec![],
         })
         .encode();
-        payload[18] = 3; // tier byte: 1 + 1 + 8 + 8
+        payload[26] = 3; // tier byte: 1 ver + 1 kind + 8 id + 8 user + 8 version
         assert_eq!(
             Frame::decode(&payload),
             Err(FrameError::BadField {

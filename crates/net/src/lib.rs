@@ -46,7 +46,7 @@ pub use frame::{
     FRAME_VERSION, MAX_FRAME_LEN,
 };
 pub use loadgen::{run as run_loadgen, verify_exchanges, LoadGen, LoadReport};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, serve_slot, ReloadFn, ServerConfig, ServerHandle};
 
 /// Failure modes of the networking layer.
 #[derive(Debug)]

@@ -334,7 +334,9 @@ pub fn verify_exchanges(
     let requests: Vec<_> = exchanges.iter().map(|(q, _)| q.to_request()).collect();
     let expected = recommender.recommend_batch(&requests);
     for ((wire_request, served), expect) in exchanges.iter().zip(&expected) {
-        let expect_wire = WireResponse::from_response(wire_request.id, expect);
+        // Adopt the served artifact-version stamp: verification is about
+        // the ranking bits, whichever artifact generation produced them.
+        let expect_wire = WireResponse::from_response(wire_request.id, served.version, expect);
         let served_bytes = Frame::Response(served.clone()).encode();
         let expect_bytes = Frame::Response(expect_wire).encode();
         if served_bytes != expect_bytes {

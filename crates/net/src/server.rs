@@ -15,6 +15,17 @@
 //!   answering them through a single `Recommender::recommend_batch` call
 //!   each; answers are written back under each connection's write lock.
 //!
+//! The recommender lives in an [`ArtifactSlot`], so the model can be
+//! **hot-swapped under live traffic**: the batcher loads the
+//! `(version, recommender)` pair once per popped batch, meaning a batch
+//! already in flight finishes on the artifact it started with while the
+//! next batch picks up the fresh one — no request is dropped, delayed,
+//! or split across artifacts, and every response is stamped with the
+//! version that served it. [`serve_slot`] additionally accepts a reload
+//! callback; a client's `Reload` frame invokes it (on that connection's
+//! reader thread, never blocking the batcher), swaps the result into
+//! the slot, and answers `Reloaded(version)`.
+//!
 //! Graceful shutdown (via [`ServerHandle::shutdown`] or a client's
 //! `Shutdown` frame) stops accepting, lets readers push what they have
 //! already decoded, drains the queue to completion — every accepted
@@ -23,7 +34,7 @@
 use crate::batcher::Queue;
 use crate::frame::{ErrorCode, Frame, ReadFrameError, WireError, WireRequest, WireResponse};
 use crate::NetError;
-use hf_serve::Recommender;
+use hf_serve::{ArtifactSlot, Recommender};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -92,6 +103,10 @@ struct Job {
     request: WireRequest,
 }
 
+/// Builds a fresh recommender on demand — the `Reload` frame's swap
+/// source (typically: re-read the newest artifact file from disk).
+pub type ReloadFn = Box<dyn Fn() -> Result<Recommender, String> + Send + Sync>;
+
 struct Shared {
     queue: Queue<Job>,
     stopping: AtomicBool,
@@ -101,6 +116,11 @@ struct Shared {
     conns: Mutex<HashMap<u64, Arc<Conn>>>,
     /// Reader threads still running (joined at shutdown).
     readers: Mutex<Vec<JoinHandle<()>>>,
+    /// The hot-swappable serving artifact.
+    slot: ArtifactSlot,
+    /// How to rebuild the recommender on a `Reload` frame (`None` means
+    /// the frame is answered `Unsupported`).
+    reload: Option<ReloadFn>,
 }
 
 impl Shared {
@@ -177,9 +197,24 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds `addr` and serves `recommender` until shutdown.
+/// Binds `addr` and serves `recommender` until shutdown. The artifact
+/// is wrapped as version 1 of a private slot; swaps require
+/// [`serve_slot`].
 pub fn serve(
     recommender: Recommender,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> Result<ServerHandle, NetError> {
+    serve_slot(ArtifactSlot::new(recommender), None, addr, config)
+}
+
+/// Binds `addr` and serves whatever recommender `slot` currently holds,
+/// picking up swaps batch-by-batch. With `reload` present, a client's
+/// `Reload` frame rebuilds the recommender through it and swaps the
+/// result in without restarting the server.
+pub fn serve_slot(
+    slot: ArtifactSlot,
+    reload: Option<ReloadFn>,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> Result<ServerHandle, NetError> {
@@ -192,6 +227,8 @@ pub fn serve(
         addr,
         conns: Mutex::new(HashMap::new()),
         readers: Mutex::new(Vec::new()),
+        slot,
+        reload,
     });
 
     let accept = {
@@ -208,7 +245,7 @@ pub fn serve(
         let max = config.batch_max;
         std::thread::Builder::new()
             .name("hf-net-batcher".into())
-            .spawn(move || batcher_loop(recommender, shared, max, window))
+            .spawn(move || batcher_loop(shared, max, window))
             .map_err(NetError::Io)?
     };
 
@@ -317,6 +354,29 @@ fn reader_loop(conn_id: u64, conn: Arc<Conn>, shared: &Shared) {
                 shared.begin_shutdown();
                 break;
             }
+            Ok(Some(Frame::Reload)) => {
+                // Rebuild on this reader thread: the batcher keeps
+                // serving the old artifact until the swap lands, so a
+                // slow reload delays nothing but its own acknowledgment.
+                let reply = match &shared.reload {
+                    Some(reload) => match reload() {
+                        Ok(recommender) => Frame::Reloaded(shared.slot.swap(recommender)),
+                        Err(message) => Frame::Error(WireError {
+                            id: 0,
+                            code: ErrorCode::Internal,
+                            message,
+                        }),
+                    },
+                    None => Frame::Error(WireError {
+                        id: 0,
+                        code: ErrorCode::Unsupported,
+                        message: "this server has no reload source".to_string(),
+                    }),
+                };
+                if conn.send(&reply).is_err() {
+                    break;
+                }
+            }
             Ok(Some(other)) => {
                 // Response/Error/Pong arriving at the server is a
                 // protocol violation worth reporting, not a framing
@@ -347,13 +407,21 @@ fn reader_loop(conn_id: u64, conn: Arc<Conn>, shared: &Shared) {
         .remove(&conn_id);
 }
 
-fn batcher_loop(recommender: Recommender, shared: Arc<Shared>, max: usize, window: Duration) {
+fn batcher_loop(shared: Arc<Shared>, max: usize, window: Duration) {
     while let Some(batch) = shared.queue.pop_batch(max, window) {
+        // One slot load per batch: the whole batch is served — and
+        // stamped — by a single artifact generation, and a swap landing
+        // mid-batch takes effect at the next pop.
+        let (version, recommender) = shared.slot.load();
         let requests: Vec<_> = batch.iter().map(|job| job.request.to_request()).collect();
         let responses = recommender.recommend_batch(&requests);
         debug_assert_eq!(responses.len(), batch.len());
         for (job, response) in batch.iter().zip(&responses) {
-            let frame = Frame::Response(WireResponse::from_response(job.request.id, response));
+            let frame = Frame::Response(WireResponse::from_response(
+                job.request.id,
+                version,
+                response,
+            ));
             // A send failure means the client went away; its answer is
             // undeliverable, which harms no one else.
             let _ = job.conn.send(&frame);

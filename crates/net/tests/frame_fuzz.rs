@@ -24,7 +24,7 @@ const FUZZ_SEED: u64 = 0x4652_414d; // "FRAM"
 
 /// A valid frame with RNG-driven field values.
 fn random_frame(rng: &mut impl Rng) -> Frame {
-    match rng.gen_range(0..6u32) {
+    match rng.gen_range(0..8u32) {
         0 => {
             let mut request = WireRequest::new(rng.gen(), rng.gen_range(0..1_000_000u64));
             request.k = rng.gen_range(0..100u32);
@@ -39,6 +39,7 @@ fn random_frame(rng: &mut impl Rng) -> Frame {
             Frame::Response(WireResponse {
                 id: rng.gen(),
                 user: rng.gen_range(0..1_000_000u64),
+                version: rng.gen_range(1..1_000u64),
                 tier: Tier::ALL[rng.gen_range(0..3usize)],
                 cold_start: rng.gen_bool(0.2),
                 items: (0..n)
@@ -56,6 +57,8 @@ fn random_frame(rng: &mut impl Rng) -> Frame {
         }),
         3 => Frame::Ping(rng.gen()),
         4 => Frame::Pong(rng.gen()),
+        5 => Frame::Reload,
+        6 => Frame::Reloaded(rng.gen()),
         _ => Frame::Shutdown,
     }
 }

@@ -1,0 +1,43 @@
+//! # hf_pipeline — the online training-to-serving pipeline
+//!
+//! Closes the loop the other crates leave open: `hetefedrec_core`
+//! trains on a frozen split, `hf_serve` ranks from a frozen artifact,
+//! `hf_net` serves that artifact over TCP — and nothing moved new
+//! interactions from the world into a running session or fresh models
+//! back to a running server. This crate does both, std-only like the
+//! rest of the workspace:
+//!
+//! * [`stream`] — timestamped interaction events
+//!   ([`InteractionStream`]) and the deterministic [`ReplayStream`]
+//!   that carves a held-out "future" from a dataset and replays it on
+//!   the session's simulated clock;
+//! * [`driver`] — [`PipelineDriver`]: poll → [`Session::ingest`] →
+//!   train → export a *versioned* `artifact-v{N}.hfab` file on a fixed
+//!   cycle cadence ([`latest_artifact`] re-resolves the newest for a
+//!   hot-swapping server's reload closure);
+//! * [`drift`] — [`drift_report`]: replay the held-out events against
+//!   a stale and a fresh artifact and price the staleness (NDCG@k
+//!   delta, mean rank displacement).
+//!
+//! The `hf-pipeline` binary strings all of it together against a live
+//! [`hf_net`] server: train, export, `Reload` over the wire, and
+//! verify that responses flip from version stamp `N` to `N + 1` with
+//! no request dropped.
+//!
+//! Determinism inherits from the layers below: fixed-seed pipelines
+//! emit bit-identical artifact sequences across thread counts, and a
+//! mid-stream checkpoint (plus [`ReplayStream::skip`] re-alignment)
+//! resumes them exactly — `tests/pipeline_determinism.rs` holds both
+//! properties.
+//!
+//! [`Session::ingest`]: hetefedrec_core::Session::ingest
+
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod driver;
+pub mod stream;
+
+pub use drift::{drift_report, DriftReport};
+pub use driver::{artifact_path, latest_artifact, CycleReport, PipelineConfig, PipelineDriver};
+pub use stream::{InteractionStream, ReplayConfig, ReplayStream, StreamEvent};

@@ -64,6 +64,7 @@ pub mod binfmt;
 pub mod footprint;
 pub mod lazy;
 pub mod recommender;
+pub mod slot;
 pub mod synth;
 
 pub use artifact::{ModelArtifact, SoloModel, UserRecord, UserRef, ARTIFACT_VERSION};
@@ -73,6 +74,7 @@ pub use recommender::{
     ItemFilter, ItemHalfMode, RecommendRequest, RecommendResponse, Recommender, RecommenderBuilder,
     ScoredItem,
 };
+pub use slot::ArtifactSlot;
 pub use synth::SynthStats;
 
 use hetefedrec_core::session::Session;

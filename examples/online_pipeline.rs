@@ -1,0 +1,167 @@
+//! Domain example: keeping a deployed recommender fresh.
+//!
+//! A recommender in production faces interactions its artifact has
+//! never seen. This example closes the loop with the `pipeline` crate:
+//!
+//! 1. **Streaming ingest** — a deterministic `ReplayStream` carves a
+//!    held-out "future" (20% of every user's interactions plus two
+//!    entirely new users) from the dataset and replays it into the
+//!    running session on its simulated clock.
+//! 2. **Incremental export** — the `PipelineDriver` trains between
+//!    stream polls and writes versioned `artifact-v{N}.hfab` files.
+//! 3. **Hot swap** — a TCP server starts on generation 1; one on-wire
+//!    `Reload` swaps the newest generation in with traffic running,
+//!    and every response names the generation that ranked it.
+//! 4. **Freshness payoff** — `drift_report` replays the held-out
+//!    events against the stale and fresh artifacts: NDCG delta and
+//!    rank displacement quantify what the swap bought.
+//!
+//! ```text
+//! cargo run --release --example online_pipeline
+//! ```
+//!
+//! Artifacts go to `target/ci-artifacts/online_pipeline/` (override
+//! with `HF_PIPELINE_DIR`; ci.sh greps this example's proof lines).
+
+use hetefedrec::net::serve_slot;
+use hetefedrec::prelude::*;
+use std::path::PathBuf;
+
+fn main() {
+    let seed = 17;
+    let dir = PathBuf::from(
+        std::env::var("HF_PIPELINE_DIR")
+            .unwrap_or_else(|_| "target/ci-artifacts/online_pipeline".into()),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- 1. Carve the stream, train on the pre-cutoff base -----------------
+    let data = DatasetProfile::MovieLens.config_scaled(0.02).generate(seed);
+    let replay = ReplayConfig {
+        item_frac: 0.2,
+        new_users: 2,
+        start: 1,
+        horizon: 6,
+    };
+    let (base, stream) = ReplayStream::replay(&data, &replay, seed);
+    println!(
+        "stream: {} held-out events over {} base users (+{} users arriving mid-stream)",
+        stream.events().len(),
+        base.num_users(),
+        replay.new_users
+    );
+    let held_out = stream.events().to_vec();
+    let split = SplitDataset::paper_split(&base, seed);
+    let mut cfg = TrainConfig::paper_defaults(ModelKind::Ncf, DatasetProfile::MovieLens);
+    cfg.epochs = 4;
+    cfg.seed = seed;
+    let session = SessionBuilder::new(cfg, Strategy::HeteFedRec(Ablation::FULL), split)
+        .eval_every(0)
+        .build()
+        .expect("valid configuration");
+
+    // --- 2. The pipeline: poll -> ingest -> train -> export ----------------
+    let mut driver = PipelineDriver::new(
+        session,
+        stream,
+        PipelineConfig {
+            rounds_per_cycle: 1,
+            export_every: 2,
+            artifact_dir: dir.clone(),
+        },
+    )
+    .expect("initial export");
+
+    // --- 3. Serve generation 1 while the pipeline runs ---------------------
+    let gen1 = RecommenderBuilder::new(
+        ModelArtifact::load_file(hetefedrec::pipeline::artifact_path(&dir, 1))
+            .expect("generation 1 on disk"),
+    )
+    .default_k(10)
+    .build()
+    .expect("valid serving configuration");
+    let reload_dir = dir.clone();
+    let reload: ReloadFn = Box::new(move || {
+        let (version, path) = latest_artifact(&reload_dir)
+            .map_err(|e| format!("cannot scan artifacts: {e}"))?
+            .ok_or("no artifact yet")?;
+        let artifact =
+            ModelArtifact::load_file(&path).map_err(|e| format!("cannot load v{version}: {e}"))?;
+        RecommenderBuilder::new(artifact)
+            .default_k(10)
+            .build()
+            .map_err(|e| e.to_string())
+    });
+    let slot = ArtifactSlot::new(
+        RecommenderBuilder::new(gen1.artifact().clone())
+            .default_k(10)
+            .build()
+            .expect("valid serving configuration"),
+    );
+    let handle = serve_slot(slot, Some(reload), "127.0.0.1:0", ServerConfig::default())
+        .expect("loopback server");
+    println!("serving generation 1 on {}", handle.local_addr());
+    let mut client = Client::connect(handle.local_addr()).expect("client connects");
+
+    let probe = |client: &mut Client, id: u64| -> WireResponse {
+        let request = RecommendRequest::new(3).with_k(10);
+        let wire = WireRequest::try_from_request(id, &request).expect("wire-expressible");
+        client.recommend_wire(wire).expect("served")
+    };
+    let before = probe(&mut client, 1);
+    assert_eq!(before.version, 1, "pre-swap traffic is attributed to v1");
+
+    for report in driver.run().expect("pipeline runs") {
+        if let Some((version, _)) = &report.exported {
+            println!(
+                "cycle {:>2}: ingested {:>3} events (+{} users) -> exported generation {version}",
+                report.cycle,
+                report.ingest.appended + report.ingest.admitted,
+                report.ingest.admitted
+            );
+        }
+    }
+    let generations = driver.version();
+    let (session, _) = driver.into_parts();
+    println!(
+        "pipeline done: {} events ingested, {} generations on disk",
+        session.ingested_events(),
+        generations
+    );
+
+    // --- 4. Hot swap over the wire, attribution intact ----------------------
+    let slot_version = client.reload().expect("reload acknowledged");
+    let after = probe(&mut client, 2);
+    assert_eq!(
+        after.version, slot_version,
+        "post-swap traffic names the new slot"
+    );
+    println!(
+        "hot swap: slot v{} -> v{} (serving artifact-v{generations}.hfab), \
+         responses re-stamped mid-connection",
+        before.version, after.version
+    );
+
+    // --- 5. What did freshness buy? -----------------------------------------
+    let fresh = RecommenderBuilder::new(
+        ModelArtifact::load_file(hetefedrec::pipeline::artifact_path(&dir, generations))
+            .expect("final generation on disk"),
+    )
+    .default_k(10)
+    .build()
+    .expect("valid serving configuration");
+    let drift = drift_report(&gen1, &fresh, &held_out, 10);
+    println!(
+        "freshness: stale NDCG@10 {:.5} -> fresh {:.5} (delta {:+.5}), \
+         mean rank displacement {:.1} over {} events",
+        drift.stale_ndcg,
+        drift.fresh_ndcg,
+        drift.ndcg_delta,
+        drift.mean_rank_displacement,
+        drift.events
+    );
+
+    client.shutdown_server().expect("shutdown frame sent");
+    handle.wait();
+    println!("server drained and stopped");
+}

@@ -59,6 +59,7 @@
 //! | [`secagg`] | pairwise-masked secure aggregation: fixed-point ring quantization, mask PRG, Shamir escrow, dropout recovery |
 //! | [`serve`] | model artifacts (eager or lazily loaded), synthetic capacity profiles, and the batched top-K `Recommender` |
 //! | [`net`] | framed TCP serving: micro-batching server, client, load generator |
+//! | [`pipeline`] | online loop: streaming ingest, versioned incremental export, hot swap, drift |
 
 pub use hetefedrec_core as core;
 pub use hf_dataset as dataset;
@@ -66,6 +67,7 @@ pub use hf_fedsim as fedsim;
 pub use hf_metrics as metrics;
 pub use hf_models as models;
 pub use hf_net as net;
+pub use hf_pipeline as pipeline;
 pub use hf_secagg as secagg;
 pub use hf_serve as serve;
 pub use hf_tensor as tensor;
@@ -87,11 +89,15 @@ pub mod prelude {
     pub use hf_metrics::eval::EvalResult;
     pub use hf_models::ModelKind;
     pub use hf_net::{
-        Client, Frame, LoadGen, LoadReport, NetError, ServerConfig, ServerHandle, WireRequest,
-        WireResponse,
+        Client, Frame, LoadGen, LoadReport, NetError, ReloadFn, ServerConfig, ServerHandle,
+        WireRequest, WireResponse,
+    };
+    pub use hf_pipeline::{
+        drift_report, latest_artifact, DriftReport, InteractionStream, PipelineConfig,
+        PipelineDriver, ReplayConfig, ReplayStream, StreamEvent,
     };
     pub use hf_serve::{
-        ExportArtifact, ItemHalfMode, LazyConfig, ModelArtifact, RecommendRequest,
+        ArtifactSlot, ExportArtifact, ItemHalfMode, LazyConfig, ModelArtifact, RecommendRequest,
         RecommendResponse, Recommender, RecommenderBuilder, ScoredItem, ServeError, SynthStats,
         UserRef,
     };
